@@ -1,0 +1,511 @@
+//! Chained HotStuff \[36\], simplified to the level needed for the
+//! paper's comparisons (§1.1): rotating leader every view, linear
+//! happy-path message pattern (votes go to the *next* leader), 3-chain
+//! commit rule, and a timeout pacemaker.
+//!
+//! Shape properties this implementation reproduces:
+//!
+//! * reciprocal throughput `2δ` when leaders are honest (one proposal +
+//!   one vote hop per view);
+//! * commit latency `~6δ` (a block commits only when the 3-chain on top
+//!   of it is built — three views later);
+//! * a crashed leader stalls its entire view until the pacemaker
+//!   timeout fires (no block at all for that view), unlike ICC where
+//!   higher-rank proposers fill in and the tree still grows.
+//!
+//! Cryptography is modeled (votes counted against the `n − t` quorum;
+//! wire sizes match signature-bearing messages) but not executed — the
+//! comparison experiments measure timing and traffic, not forgery
+//! resistance.
+
+use icc_crypto::{hash_parts, Hash256};
+use icc_sim::{Context, Node, WireMessage};
+use icc_types::{NodeIndex, SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A quorum certificate: `n − t` votes on a block of a view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Qc {
+    /// The certified view.
+    pub view: u64,
+    /// The certified block.
+    pub block: Hash256,
+}
+
+/// A HotStuff block header (payload modeled by size only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HsBlock {
+    /// The view this block was proposed in.
+    pub view: u64,
+    /// Parent block hash.
+    pub parent: Hash256,
+    /// QC justifying the parent.
+    pub justify: Qc,
+    /// Modeled payload size in bytes.
+    pub payload_bytes: u32,
+}
+
+impl HsBlock {
+    /// The block hash.
+    pub fn hash(&self) -> Hash256 {
+        hash_parts(
+            "hs-block",
+            &[
+                &self.view.to_le_bytes(),
+                self.parent.as_bytes(),
+                &self.justify.view.to_le_bytes(),
+                self.justify.block.as_bytes(),
+                &self.payload_bytes.to_le_bytes(),
+            ],
+        )
+    }
+}
+
+/// HotStuff wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HsMessage {
+    /// Leader's proposal, broadcast.
+    Proposal(HsBlock),
+    /// A vote, sent to the next leader.
+    Vote {
+        /// Voted view.
+        view: u64,
+        /// Voted block.
+        block: Hash256,
+        /// Voter index.
+        voter: u32,
+    },
+    /// Pacemaker: view-change message to the next leader.
+    NewView {
+        /// The view being abandoned.
+        view: u64,
+        /// The sender's highest QC.
+        high_qc: Qc,
+        /// Sender index.
+        sender: u32,
+    },
+}
+
+impl WireMessage for HsMessage {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            // header + payload + 48-byte QC signature
+            HsMessage::Proposal(b) => 96 + b.payload_bytes as usize + 48,
+            HsMessage::Vote { .. } => 44 + 48,
+            HsMessage::NewView { .. } => 52 + 48,
+        }
+    }
+    fn kind(&self) -> &'static str {
+        match self {
+            HsMessage::Proposal(_) => "hs-proposal",
+            HsMessage::Vote { .. } => "hs-vote",
+            HsMessage::NewView { .. } => "hs-newview",
+        }
+    }
+}
+
+/// Observable HotStuff events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HsEvent {
+    /// A block committed (3-chain completed beneath it).
+    Committed {
+        /// The committed block's view.
+        view: u64,
+        /// The committed block.
+        block: Hash256,
+        /// Its modeled payload size.
+        payload_bytes: u32,
+    },
+    /// A view ended in a pacemaker timeout (no block).
+    ViewTimeout {
+        /// The timed-out view.
+        view: u64,
+    },
+}
+
+/// One chained-HotStuff replica.
+#[derive(Debug)]
+pub struct HotStuffNode {
+    n: usize,
+    t: usize,
+    crashed: bool,
+    /// Models a mobile just-in-time adversary: the node behaves
+    /// honestly except it never proposes when it is the leader (its
+    /// leadership window is exactly when the adversary has it).
+    suppressed_leader: bool,
+    payload_bytes: u32,
+    timeout: SimDuration,
+    view: u64,
+    /// Highest QC known.
+    high_qc: Qc,
+    /// Blocks by hash.
+    blocks: HashMap<Hash256, HsBlock>,
+    /// Votes collected by this node as (next-)leader: view → voters.
+    votes: BTreeMap<(u64, Hash256), HashSet<u32>>,
+    /// NewView messages collected per view.
+    new_views: BTreeMap<u64, HashSet<u32>>,
+    last_voted_view: u64,
+    /// Highest committed view.
+    committed_view: u64,
+    /// Whether this node proposed in its current leadership.
+    proposed_in_view: HashSet<u64>,
+    genesis: Hash256,
+    view_entered_at: SimTime,
+}
+
+impl HotStuffNode {
+    /// A replica for an `n`-party cluster with pacemaker `timeout` and
+    /// synthetic payloads of `payload_bytes` per block.
+    pub fn new(n: usize, timeout: SimDuration, payload_bytes: u32) -> HotStuffNode {
+        let genesis = hash_parts("hs-genesis", &[]);
+        HotStuffNode {
+            n,
+            t: n.div_ceil(3) - 1,
+            crashed: false,
+            suppressed_leader: false,
+            payload_bytes,
+            timeout,
+            view: 1,
+            high_qc: Qc {
+                view: 0,
+                block: genesis,
+            },
+            blocks: HashMap::new(),
+            votes: BTreeMap::new(),
+            new_views: BTreeMap::new(),
+            last_voted_view: 0,
+            committed_view: 0,
+            proposed_in_view: HashSet::new(),
+            genesis,
+            view_entered_at: SimTime::ZERO,
+        }
+    }
+
+    /// Marks this node crashed (sends nothing, ever).
+    pub fn crashed(mut self) -> HotStuffNode {
+        self.crashed = true;
+        self
+    }
+
+    /// Marks this node as corrupted exactly during its leadership (the
+    /// mobile weak-adaptive adversary: with a public round-robin
+    /// schedule it always reaches the next leader in time).
+    pub fn suppressed_leader(mut self) -> HotStuffNode {
+        self.suppressed_leader = true;
+        self
+    }
+
+    /// The view this replica is currently in.
+    pub fn current_view(&self) -> u64 {
+        self.view
+    }
+
+    /// The highest committed view.
+    pub fn committed_view(&self) -> u64 {
+        self.committed_view
+    }
+
+    fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    fn leader_of(&self, view: u64) -> NodeIndex {
+        NodeIndex::new(((view - 1) % self.n as u64) as u32)
+    }
+
+    fn arm_pacemaker(&mut self, ctx: &mut Context<'_, HsMessage, HsEvent>) {
+        self.view_entered_at = ctx.now();
+        ctx.set_timer(self.timeout, self.view);
+    }
+
+    fn try_propose(&mut self, ctx: &mut Context<'_, HsMessage, HsEvent>) {
+        if self.crashed
+            || self.suppressed_leader
+            || self.leader_of(self.view) != ctx.me()
+            || self.proposed_in_view.contains(&self.view)
+        {
+            return;
+        }
+        // Propose only with a fresh QC or a quorum of NewViews.
+        let have_qc = self.high_qc.view + 1 == self.view;
+        let have_nv = self
+            .new_views
+            .get(&(self.view - 1))
+            .is_some_and(|s| s.len() >= self.quorum());
+        if !(have_qc || have_nv || self.view == 1) {
+            return;
+        }
+        self.proposed_in_view.insert(self.view);
+        let block = HsBlock {
+            view: self.view,
+            parent: self.high_qc.block,
+            justify: self.high_qc.clone(),
+            payload_bytes: self.payload_bytes,
+        };
+        ctx.broadcast(HsMessage::Proposal(block));
+    }
+
+    fn advance_to(&mut self, view: u64, ctx: &mut Context<'_, HsMessage, HsEvent>) {
+        if view <= self.view {
+            return;
+        }
+        self.view = view;
+        self.arm_pacemaker(ctx);
+        self.try_propose(ctx);
+    }
+
+    /// Checks the 3-chain commit rule at `block` and emits commits.
+    fn try_commit(&mut self, block: &HsBlock, ctx: &mut Context<'_, HsMessage, HsEvent>) {
+        // block.justify certifies b2; b2.justify certifies b1. If views
+        // are consecutive (block.view = b2.view + 1 = b1.view + 2), b1
+        // and everything below commits.
+        let Some(b2) = self.blocks.get(&block.justify.block) else {
+            return;
+        };
+        let Some(b1) = self.blocks.get(&b2.justify.block) else {
+            return;
+        };
+        if block.justify.view == b2.view
+            && b2.justify.view == b1.view
+            && block.view == b2.view + 1
+            && b2.view == b1.view + 1
+            && b1.view > self.committed_view
+        {
+            // Commit b1 and any uncommitted ancestors (ancestors first).
+            let mut chain = Vec::new();
+            let mut cur = b1.clone();
+            loop {
+                if cur.view <= self.committed_view {
+                    break;
+                }
+                chain.push(cur.clone());
+                match self.blocks.get(&cur.parent) {
+                    Some(p) => cur = p.clone(),
+                    None => break,
+                }
+            }
+            chain.reverse();
+            self.committed_view = b1.view;
+            for b in chain {
+                ctx.output(HsEvent::Committed {
+                    view: b.view,
+                    block: b.hash(),
+                    payload_bytes: b.payload_bytes,
+                });
+            }
+        }
+    }
+}
+
+impl Node for HotStuffNode {
+    type Msg = HsMessage;
+    type External = ();
+    type Output = HsEvent;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        if self.crashed {
+            return;
+        }
+        self.arm_pacemaker(ctx);
+        self.try_propose(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        _from: NodeIndex,
+        msg: Self::Msg,
+    ) {
+        if self.crashed {
+            return;
+        }
+        match msg {
+            HsMessage::Proposal(block) => {
+                // QC signatures are modeled, not executed (see the
+                // module docs): integrity comes from this replica's own
+                // vote counting, so proposals are accepted structurally.
+                let hash = block.hash();
+                self.blocks.insert(hash, block.clone());
+                if block.justify.view > self.high_qc.view {
+                    self.high_qc = block.justify.clone();
+                }
+                self.try_commit(&block, ctx);
+                // Vote once per view, monotonically.
+                if block.view >= self.view && block.view > self.last_voted_view {
+                    self.last_voted_view = block.view;
+                    let next_leader = self.leader_of(block.view + 1);
+                    ctx.send(
+                        next_leader,
+                        HsMessage::Vote {
+                            view: block.view,
+                            block: hash,
+                            voter: ctx.me().get(),
+                        },
+                    );
+                    self.advance_to(block.view + 1, ctx);
+                }
+            }
+            HsMessage::Vote { view, block, voter } => {
+                let entry = self.votes.entry((view, block)).or_default();
+                entry.insert(voter);
+                if entry.len() >= self.quorum() && view >= self.high_qc.view {
+                    self.high_qc = Qc { view, block };
+                    self.advance_to(view + 1, ctx);
+                    self.try_propose(ctx);
+                }
+            }
+            HsMessage::NewView {
+                view,
+                high_qc,
+                sender,
+            } => {
+                if high_qc.view > self.high_qc.view {
+                    self.high_qc = high_qc;
+                }
+                let entry = self.new_views.entry(view).or_default();
+                entry.insert(sender);
+                if entry.len() >= self.quorum() {
+                    self.advance_to(view + 1, ctx);
+                    self.try_propose(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>, tag: u64) {
+        if self.crashed || tag != self.view {
+            return; // stale pacemaker timer
+        }
+        ctx.output(HsEvent::ViewTimeout { view: self.view });
+        let next_leader = self.leader_of(self.view + 1);
+        ctx.send(
+            next_leader,
+            HsMessage::NewView {
+                view: self.view,
+                high_qc: self.high_qc.clone(),
+                sender: ctx.me().get(),
+            },
+        );
+        // Also count our own new-view if we are the next leader.
+        self.advance_to(self.view + 1, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icc_sim::delay::FixedDelay;
+    use icc_sim::SimulationBuilder;
+
+    fn run(
+        n: usize,
+        crashed: &[usize],
+        delta_ms: u64,
+        timeout_ms: u64,
+        secs: u64,
+    ) -> icc_sim::Simulation<HotStuffNode> {
+        let nodes = (0..n)
+            .map(|i| {
+                let node = HotStuffNode::new(n, SimDuration::from_millis(timeout_ms), 1024);
+                if crashed.contains(&i) {
+                    node.crashed()
+                } else {
+                    node
+                }
+            })
+            .collect();
+        let mut sim = SimulationBuilder::new(1)
+            .delay(FixedDelay::new(SimDuration::from_millis(delta_ms)))
+            .build(nodes);
+        sim.run_for(SimDuration::from_secs(secs));
+        sim
+    }
+
+    #[test]
+    fn happy_path_commits_views() {
+        let sim = run(4, &[], 10, 1000, 2);
+        let commits: Vec<_> = sim
+            .outputs()
+            .iter()
+            .filter(|o| matches!(o.output, HsEvent::Committed { .. }))
+            .collect();
+        assert!(commits.len() > 50, "got {} commits", commits.len());
+        // No timeouts on the happy path.
+        assert!(!sim
+            .outputs()
+            .iter()
+            .any(|o| matches!(o.output, HsEvent::ViewTimeout { .. })));
+    }
+
+    #[test]
+    fn view_time_is_about_2_delta() {
+        // Views advance one per 2δ: in 2s with δ=10ms expect ~100 views.
+        let sim = run(4, &[], 10, 1000, 2);
+        let max_view = sim.nodes().iter().map(|n| n.current_view()).max().unwrap();
+        assert!((80..=110).contains(&max_view), "views {max_view}");
+    }
+
+    #[test]
+    fn commit_latency_is_about_6_delta() {
+        // A block of view v commits when the view-(v+2) proposal
+        // arrives: ~3 views × 2δ after its own proposal.
+        let sim = run(4, &[], 10, 1000, 2);
+        // Find when view-10's block committed (event time) vs when view
+        // 10 started (≈ 9 views × 2δ).
+        let commit_at = sim
+            .outputs()
+            .iter()
+            .find(|o| matches!(o.output, HsEvent::Committed { view: 10, .. }))
+            .map(|o| o.at)
+            .expect("view 10 committed");
+        let view10_proposal_at = SimDuration::from_millis(9 * 20);
+        let latency = commit_at.saturating_since(SimTime::ZERO + view10_proposal_at);
+        assert!(
+            (40_000..90_000).contains(&latency.as_micros()),
+            "latency {latency} not ≈ 6δ = 60ms"
+        );
+    }
+
+    #[test]
+    fn crashed_leader_stalls_until_timeout() {
+        // Node 0 leads views 1, 5, 9, ...: each of its views costs a
+        // full timeout.
+        let sim = run(4, &[0], 10, 300, 3);
+        let timeouts = sim
+            .outputs()
+            .iter()
+            .filter(|o| matches!(o.output, HsEvent::ViewTimeout { .. }))
+            .count();
+        assert!(timeouts > 0, "crashed leader must cause timeouts");
+        // Still makes progress between crashes.
+        let commits = sim
+            .outputs()
+            .iter()
+            .filter(|o| matches!(o.output, HsEvent::Committed { .. }))
+            .count();
+        assert!(commits > 10, "progress resumes after view change, got {commits}");
+    }
+
+    #[test]
+    fn replicas_agree_on_committed_prefix() {
+        let sim = run(7, &[], 5, 500, 1);
+        let chains: Vec<Vec<Hash256>> = (0..7)
+            .map(|i| {
+                sim.outputs()
+                    .iter()
+                    .filter(|o| o.node.as_usize() == i)
+                    .filter_map(|o| match &o.output {
+                        HsEvent::Committed { block, .. } => Some(*block),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        for a in &chains {
+            for b in &chains {
+                let common = a.len().min(b.len());
+                assert_eq!(&a[..common], &b[..common], "commit prefix mismatch");
+            }
+        }
+    }
+}

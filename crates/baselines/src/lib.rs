@@ -1,0 +1,26 @@
+//! Baseline BFT protocols the ICC paper compares against (§1.1),
+//! implemented on the same deterministic simulator so timing and
+//! traffic comparisons are apples-to-apples:
+//!
+//! * [`hotstuff`] — chained HotStuff \[36\]: rotating leader, linear
+//!   happy path, 3-chain commit, timeout pacemaker. Reciprocal
+//!   throughput `2δ`, latency `~6δ`, stalls a full view on a crashed
+//!   leader.
+//! * [`tendermint`] — a Tendermint-style fixed-pace protocol \[8\]:
+//!   real propose/prevote/precommit quorums but a fixed round schedule,
+//!   i.e. **not** optimistically responsive — throughput `1/Δround`
+//!   regardless of actual network speed.
+//!
+//! These are deliberately *simplified* baselines (modeled signatures,
+//! no full view-synchronization corner cases): the experiments use them
+//! for the performance-shape comparisons the paper makes, not as
+//! production implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hotstuff;
+pub mod tendermint;
+
+pub use hotstuff::{HotStuffNode, HsEvent, HsMessage};
+pub use tendermint::{TendermintNode, TmEvent, TmMessage};

@@ -1,0 +1,246 @@
+//! A Tendermint-style fixed-pace protocol \[8\] — the paper's example of
+//! a protocol that is **not optimistically responsive** (§1.1): "in
+//! Tendermint, every round takes time O(Δbnd), even when the leader is
+//! honest."
+//!
+//! Faithful-enough model for the responsiveness comparison (E5): each
+//! round runs propose → prevote → precommit with real `n − t` quorum
+//! counting, but a replica only *enters* round `r` at local time
+//! `r · Δround` — the fixed round schedule that makes throughput
+//! `1/Δround` regardless of how fast the network actually is. Commit
+//! latency within a round is still `~3δ`; it is the *round pacing* that
+//! is clamped.
+
+use icc_crypto::{hash_parts, Hash256};
+use icc_sim::{Context, Node, WireMessage};
+use icc_types::{NodeIndex, SimDuration};
+use std::collections::{BTreeMap, HashSet};
+
+/// Tendermint-style wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmMessage {
+    /// The round leader's proposal.
+    Proposal {
+        /// The round.
+        round: u64,
+        /// Proposed block id.
+        block: Hash256,
+        /// Modeled payload size.
+        payload_bytes: u32,
+    },
+    /// First voting phase, all-to-all.
+    Prevote {
+        /// The round.
+        round: u64,
+        /// Voted block.
+        block: Hash256,
+        /// Voter.
+        voter: u32,
+    },
+    /// Second voting phase, all-to-all.
+    Precommit {
+        /// The round.
+        round: u64,
+        /// Voted block.
+        block: Hash256,
+        /// Voter.
+        voter: u32,
+    },
+}
+
+impl WireMessage for TmMessage {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            TmMessage::Proposal { payload_bytes, .. } => 60 + *payload_bytes as usize + 64,
+            TmMessage::Prevote { .. } | TmMessage::Precommit { .. } => 44 + 64,
+        }
+    }
+    fn kind(&self) -> &'static str {
+        match self {
+            TmMessage::Proposal { .. } => "tm-proposal",
+            TmMessage::Prevote { .. } => "tm-prevote",
+            TmMessage::Precommit { .. } => "tm-precommit",
+        }
+    }
+}
+
+/// Observable events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmEvent {
+    /// A block committed in a round.
+    Committed {
+        /// The round.
+        round: u64,
+        /// The block.
+        block: Hash256,
+    },
+}
+
+/// One fixed-pace replica.
+#[derive(Debug)]
+pub struct TendermintNode {
+    n: usize,
+    t: usize,
+    round_interval: SimDuration,
+    payload_bytes: u32,
+    round: u64,
+    prevotes: BTreeMap<(u64, Hash256), HashSet<u32>>,
+    precommits: BTreeMap<(u64, Hash256), HashSet<u32>>,
+    prevoted: HashSet<u64>,
+    precommitted: HashSet<u64>,
+    committed: HashSet<u64>,
+}
+
+impl TendermintNode {
+    /// A replica with the given fixed round interval (`O(Δbnd)`).
+    pub fn new(n: usize, round_interval: SimDuration, payload_bytes: u32) -> TendermintNode {
+        TendermintNode {
+            n,
+            t: n.div_ceil(3) - 1,
+            round_interval,
+            payload_bytes,
+            round: 0,
+            prevotes: BTreeMap::new(),
+            precommits: BTreeMap::new(),
+            prevoted: HashSet::new(),
+            precommitted: HashSet::new(),
+            committed: HashSet::new(),
+        }
+    }
+
+    /// Rounds committed so far.
+    pub fn committed_rounds(&self) -> usize {
+        self.committed.len()
+    }
+
+    fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    fn leader_of(&self, round: u64) -> NodeIndex {
+        NodeIndex::new((round % self.n as u64) as u32)
+    }
+
+    fn enter_round(&mut self, round: u64, ctx: &mut Context<'_, TmMessage, TmEvent>) {
+        self.round = round;
+        // Schedule the *next* round at the fixed interval — this is the
+        // non-responsiveness: no matter how fast this round completes,
+        // the chain does not accelerate.
+        ctx.set_timer(self.round_interval, round + 1);
+        if self.leader_of(round) == ctx.me() {
+            let block = hash_parts("tm-block", &[&round.to_le_bytes()]);
+            ctx.broadcast(TmMessage::Proposal {
+                round,
+                block,
+                payload_bytes: self.payload_bytes,
+            });
+        }
+    }
+}
+
+impl Node for TendermintNode {
+    type Msg = TmMessage;
+    type External = ();
+    type Output = TmEvent;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        self.enter_round(0, ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>, tag: u64) {
+        if tag == self.round + 1 {
+            self.enter_round(tag, ctx);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        _from: NodeIndex,
+        msg: Self::Msg,
+    ) {
+        match msg {
+            TmMessage::Proposal { round, block, .. } => {
+                if self.prevoted.insert(round) {
+                    ctx.broadcast(TmMessage::Prevote {
+                        round,
+                        block,
+                        voter: ctx.me().get(),
+                    });
+                }
+            }
+            TmMessage::Prevote { round, block, voter } => {
+                let e = self.prevotes.entry((round, block)).or_default();
+                e.insert(voter);
+                if e.len() >= self.quorum() && self.precommitted.insert(round) {
+                    ctx.broadcast(TmMessage::Precommit {
+                        round,
+                        block,
+                        voter: ctx.me().get(),
+                    });
+                }
+            }
+            TmMessage::Precommit { round, block, voter } => {
+                let e = self.precommits.entry((round, block)).or_default();
+                e.insert(voter);
+                if e.len() >= self.quorum() && self.committed.insert(round) {
+                    ctx.output(TmEvent::Committed { round, block });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icc_sim::delay::FixedDelay;
+    use icc_sim::SimulationBuilder;
+
+    fn run(n: usize, delta_ms: u64, interval_ms: u64, secs: u64) -> icc_sim::Simulation<TendermintNode> {
+        let nodes = (0..n)
+            .map(|_| TendermintNode::new(n, SimDuration::from_millis(interval_ms), 1024))
+            .collect();
+        let mut sim = SimulationBuilder::new(2)
+            .delay(FixedDelay::new(SimDuration::from_millis(delta_ms)))
+            .build(nodes);
+        sim.run_for(SimDuration::from_secs(secs));
+        sim
+    }
+
+    #[test]
+    fn commits_every_round() {
+        let sim = run(4, 10, 100, 2);
+        // 2s / 100ms = 20 rounds; each commits on every node.
+        let commits = sim.nodes()[0].committed_rounds();
+        assert!((18..=21).contains(&commits), "commits {commits}");
+    }
+
+    #[test]
+    fn throughput_clamped_by_interval_not_network() {
+        // Halving δ must NOT increase throughput — the defining
+        // non-responsiveness property.
+        let fast = run(4, 2, 200, 4);
+        let slow = run(4, 50, 200, 4);
+        let c_fast = fast.nodes()[0].committed_rounds();
+        let c_slow = slow.nodes()[0].committed_rounds();
+        assert_eq!(c_fast, c_slow, "throughput must depend only on the interval");
+    }
+
+    #[test]
+    fn commit_latency_is_3_delta_within_round() {
+        let sim = run(4, 10, 500, 1);
+        // Round 0 proposal at t=0; commit after proposal + prevote +
+        // precommit ≈ 3δ = 30ms.
+        let commit = sim
+            .outputs()
+            .iter()
+            .find(|o| matches!(o.output, TmEvent::Committed { round: 0, .. }))
+            .expect("round 0 commits");
+        assert!(
+            (28_000..40_000).contains(&commit.at.as_micros()),
+            "latency {} not ≈ 3δ",
+            commit.at
+        );
+    }
+}

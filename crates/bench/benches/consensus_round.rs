@@ -1,0 +1,79 @@
+//! Criterion benchmarks of whole consensus rounds: how much *simulator*
+//! wall-clock one protocol round costs end-to-end at the paper's subnet
+//! sizes, for ICC0, ICC1 (gossip) and ICC2 (erasure RBC), plus the
+//! simulator's raw event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use icc_core::cluster::ClusterBuilder;
+use icc_erasure::{icc2_cluster, Icc2Config};
+use icc_gossip::{gossip_cluster, GossipConfig, Overlay};
+use icc_sim::delay::FixedDelay;
+use icc_types::SimDuration;
+
+fn builder(n: usize) -> ClusterBuilder {
+    ClusterBuilder::new(n)
+        .seed(1)
+        .network(FixedDelay::new(SimDuration::from_millis(10)))
+        .protocol_delays(SimDuration::from_millis(30), SimDuration::ZERO)
+}
+
+fn bench_icc0_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rounds_1s_sim");
+    for n in [4usize, 13, 40] {
+        g.bench_with_input(BenchmarkId::new("icc0", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cluster = builder(n).build();
+                cluster.run_for(SimDuration::from_secs(1));
+                assert!(cluster.min_committed_round() > 10);
+                cluster.min_committed_round()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_icc1_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rounds_1s_sim");
+    for n in [13usize, 40] {
+        g.bench_with_input(BenchmarkId::new("icc1_gossip", n), &n, |b, &n| {
+            b.iter(|| {
+                let overlay = Overlay::random_regular(n, 6, 2);
+                let mut cluster = gossip_cluster(builder(n), overlay, GossipConfig::default());
+                cluster.run_for(SimDuration::from_secs(1));
+                assert!(cluster.min_committed_round() > 5);
+                cluster.min_committed_round()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_icc2_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rounds_1s_sim");
+    for n in [7usize, 13] {
+        g.bench_with_input(BenchmarkId::new("icc2_rbc", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cluster = icc2_cluster(
+                    builder(n),
+                    Icc2Config {
+                        inline_threshold: 0,
+                    },
+                );
+                cluster.run_for(SimDuration::from_secs(1));
+                assert!(cluster.min_committed_round() > 5);
+                cluster.min_committed_round()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_icc0_rounds, bench_icc1_rounds, bench_icc2_rounds
+}
+criterion_main!(benches);

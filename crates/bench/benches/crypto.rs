@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: SHA-256
+//! throughput, signing/verification, multi-signature and threshold
+//! combining, Lagrange interpolation, and beacon permutation derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use icc_crypto::beacon::{BeaconValue, RankPermutation};
+use icc_crypto::multisig::MultiSigScheme;
+use icc_crypto::sig::Keypair;
+use icc_crypto::threshold::Dealer;
+use icc_crypto::{sha256, shamir, Fp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536, 1 << 20] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = Keypair::generate(&mut rng);
+    let msg = b"a 44-byte block reference to sign and check";
+    c.bench_function("sig/sign", |b| b.iter(|| kp.secret.sign("bench", msg)));
+    let sig = kp.secret.sign("bench", msg);
+    c.bench_function("sig/verify", |b| {
+        b.iter(|| kp.public.verify("bench", msg, &sig))
+    });
+}
+
+fn bench_multisig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multisig_combine");
+    for n in [13usize, 40] {
+        let t = n.div_ceil(3) - 1;
+        let mut rng = StdRng::seed_from_u64(2);
+        let (scheme, keys) = MultiSigScheme::generate("bench", n - t, n, &mut rng);
+        let msg = b"block ref";
+        let shares: Vec<_> = (0..n - t)
+            .map(|i| scheme.sign_share(&keys[i], i as u32, msg))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &shares, |b, sh| {
+            b.iter(|| scheme.combine(msg, sh.iter().copied()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threshold_combine");
+    for n in [13usize, 40] {
+        let t = n.div_ceil(3) - 1;
+        let mut rng = StdRng::seed_from_u64(3);
+        let dealt = Dealer::deal(t + 1, n, &mut rng);
+        let msg = b"beacon message";
+        let shares: Vec<_> = (0..t + 1).map(|i| dealt.signer(i).sign_share(msg)).collect();
+        let public = dealt.public();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &shares, |b, sh| {
+            b.iter(|| public.combine(msg, sh.iter().copied()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lagrange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shamir");
+    for k in [5usize, 14] {
+        let indices: Vec<u32> = (0..k as u32).map(|i| i * 3).collect();
+        g.bench_with_input(
+            BenchmarkId::new("lagrange_at_zero", k),
+            &indices,
+            |b, idx| b.iter(|| shamir::lagrange_at_zero(idx).unwrap()),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let shares = shamir::split(Fp::new(42), k, 40, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("reconstruct", k),
+            &shares[..k].to_vec(),
+            |b, sh| b.iter(|| shamir::reconstruct(sh).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_beacon_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("beacon_permutation");
+    for n in [13usize, 40, 518] {
+        let beacon = BeaconValue::Genesis(sha256(b"bench"));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| RankPermutation::derive(&beacon, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sha256, bench_signatures, bench_multisig, bench_threshold,
+        bench_lagrange, bench_beacon_permutation
+}
+criterion_main!(benches);

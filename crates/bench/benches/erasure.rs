@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the ICC2 substrates: Reed-Solomon
+//! encode/decode at the paper's subnet geometries, Merkle tree
+//! construction and proof verification, and a full RBC
+//! disperse→reconstruct cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use icc_erasure::merkle::{verify, MerkleTree};
+use icc_erasure::rbc::Rbc;
+use icc_erasure::rs::ReedSolomon;
+
+fn payload(size: usize) -> Vec<u8> {
+    (0..size).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn bench_rs_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_encode");
+    for (n, t) in [(13usize, 4usize), (40, 13)] {
+        for size in [65536usize, 1 << 20] {
+            let rs = ReedSolomon::new(t + 1, n).unwrap();
+            let data = payload(size);
+            g.throughput(Throughput::Bytes(size as u64));
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_S{size}")),
+                &data,
+                |b, d| b.iter(|| rs.encode(d)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_rs_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_decode_parity_only");
+    for (n, t) in [(13usize, 4usize), (40, 13)] {
+        let size = 1 << 20;
+        let rs = ReedSolomon::new(t + 1, n).unwrap();
+        let data = payload(size);
+        let shards = rs.encode(&data);
+        // Worst case: reconstruct purely from parity shards.
+        let mut opt: Vec<Option<Vec<u8>>> = vec![None; n];
+        for i in (n - (t + 1))..n {
+            opt[i] = Some(shards[i].clone());
+        }
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &opt, |b, o| {
+            b.iter(|| rs.decode(o, size).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    let rs = ReedSolomon::new(14, 40).unwrap();
+    let shards = rs.encode(&payload(1 << 20));
+    g.bench_function("build_40_leaves_1MiB", |b| {
+        b.iter(|| MerkleTree::build(&shards))
+    });
+    let tree = MerkleTree::build(&shards);
+    let proof = tree.proof(7);
+    g.bench_function("verify_proof", |b| {
+        b.iter(|| verify(&tree.root(), &shards[7], &proof))
+    });
+    g.finish();
+}
+
+fn bench_rbc_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rbc_cycle");
+    for size in [65536usize, 1 << 20] {
+        let data = payload(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| {
+                // Sender disperses; receiver 1 reconstructs from the
+                // first k fragments.
+                let mut sender = Rbc::new(0, 13, 4);
+                let frags = sender.disperse(d);
+                let mut receiver = Rbc::new(1, 13, 4);
+                let mut delivered = None;
+                for f in frags.into_iter().take(5) {
+                    let out = receiver.on_fragment(f);
+                    if out.delivered.is_some() {
+                        delivered = out.delivered;
+                        break;
+                    }
+                }
+                delivered.expect("reconstructed")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_rs_encode, bench_rs_decode, bench_merkle, bench_rbc_cycle
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **Scalability sweep** — how the deployment-relevant metrics move
+//! with subnet size (the Internet Computer operates subnets of 13 to 40
+//! nodes; §5).
+//!
+//! For n = 4…64 under identical network conditions: round rate, mean
+//! per-node traffic, the [35]-style bottleneck, and commit latency.
+//! Expected shapes: round rate flat (rounds cost 2δ regardless of n);
+//! per-node traffic linear in n (everyone broadcasts shares to
+//! everyone); latency flat at 3δ.
+
+use icc_bench::{fmt_f, measure_window, print_table};
+use icc_core::cluster::ClusterBuilder;
+use icc_sim::delay::FixedDelay;
+use icc_types::SimDuration;
+
+fn main() {
+    let mut rows = Vec::new();
+    for &n in &[4usize, 7, 13, 19, 28, 40, 64] {
+        let mut cluster = ClusterBuilder::new(n)
+            .seed(13)
+            .network(FixedDelay::new(SimDuration::from_millis(20)))
+            .protocol_delays(SimDuration::from_millis(60), SimDuration::ZERO)
+            .build();
+        let m = measure_window(
+            &mut cluster,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(5),
+        );
+        cluster.assert_safety();
+        rows.push(vec![
+            format!("{n}"),
+            fmt_f(m.blocks_per_sec, 1),
+            fmt_f(m.mbit_per_sec_per_node, 3),
+            fmt_f(m.mbit_per_sec_per_node * 1000.0 / n as f64, 2),
+            fmt_f(m.max_mbit_per_sec, 3),
+            fmt_f(m.msgs_per_sec_per_node, 0),
+        ]);
+        eprintln!("done n={n}");
+    }
+    print_table(
+        "Scalability: ICC0, delta=20ms, empty blocks, 5s window",
+        &[
+            "n",
+            "blocks/s",
+            "Mb/s per node",
+            "kb/s per node per peer",
+            "bottleneck Mb/s",
+            "msgs/s per node",
+        ],
+        &rows,
+    );
+    println!(
+        "expected shape: blocks/s flat at 1/(2delta) = 25 (consensus critical path is\n\
+         independent of n); per-node traffic linear in n (column 4 flat); no single-\n\
+         node bottleneck beyond the common rate (col 5 ~ col 3)."
+    );
+}

@@ -1,0 +1,156 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Each table and figure of the paper's evaluation has a binary in
+//! `src/bin/` (see `DESIGN.md` §2 and `EXPERIMENTS.md` for the index).
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p icc-bench --bin table1
+//! ```
+//!
+//! This library holds the pieces they share: plain-text table rendering
+//! and measurement helpers over a finished [`Cluster`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use icc_core::cluster::{Cluster, CoreAccess};
+use icc_core::events::NodeEvent;
+use icc_sim::Node;
+use icc_types::{Command, SimDuration};
+
+/// Renders an aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// let s = icc_bench::render_table(
+///     "demo",
+///     &["a", "b"],
+///     &[vec!["1".into(), "2".into()]],
+/// );
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("1"));
+/// ```
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let hdr: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    out.push_str(&hdr.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(hdr.join("  ").len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a rendered table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, headers, rows));
+    println!();
+}
+
+/// Measurements of one cluster run over a window.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowMeasurement {
+    /// Committed blocks per second (minimum over honest nodes).
+    pub blocks_per_sec: f64,
+    /// Mean egress per honest node, in megabits per second.
+    pub mbit_per_sec_per_node: f64,
+    /// Maximum egress of any single node (the bottleneck), Mb/s.
+    pub max_mbit_per_sec: f64,
+    /// Mean messages sent per honest node per second.
+    pub msgs_per_sec_per_node: f64,
+}
+
+/// Runs `cluster` for `warmup`, resets counters, runs the measurement
+/// `window`, and extracts rates.
+pub fn measure_window<N>(
+    cluster: &mut Cluster<N>,
+    warmup: SimDuration,
+    window: SimDuration,
+) -> WindowMeasurement
+where
+    N: Node<External = Command, Output = NodeEvent> + CoreAccess,
+{
+    cluster.run_for(warmup);
+    let start_round = cluster.min_committed_round();
+    cluster.sim.reset_metrics();
+    cluster.run_for(window);
+    let end_round = cluster.min_committed_round();
+    let honest = cluster.honest_nodes();
+    let secs = window.as_secs_f64();
+    let metrics = cluster.sim.metrics();
+    let per_node = metrics.per_node();
+    let honest_bytes: Vec<u64> = honest.iter().map(|&i| per_node[i].sent_bytes).collect();
+    let honest_msgs: Vec<u64> = honest.iter().map(|&i| per_node[i].sent_messages).collect();
+    let mean_bytes = honest_bytes.iter().sum::<u64>() as f64 / honest.len() as f64;
+    let mean_msgs = honest_msgs.iter().sum::<u64>() as f64 / honest.len() as f64;
+    WindowMeasurement {
+        blocks_per_sec: (end_round - start_round) as f64 / secs,
+        mbit_per_sec_per_node: mean_bytes * 8.0 / 1e6 / secs,
+        max_mbit_per_sec: metrics.max_node_bytes() as f64 * 8.0 / 1e6 / secs,
+        msgs_per_sec_per_node: mean_msgs / secs,
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            "t",
+            &["col", "x"],
+            &[
+                vec!["1".into(), "2.5".into()],
+                vec!["1000".into(), "3".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("col"));
+        assert!(lines[3].ends_with("2.5"));
+    }
+
+    #[test]
+    fn measure_window_rates() {
+        let mut cluster = icc_core::cluster::ClusterBuilder::new(4).seed(5).build();
+        let m = measure_window(
+            &mut cluster,
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
+        );
+        // 10ms fixed delay, ε = 0: ≈ 50 rounds/s.
+        assert!(m.blocks_per_sec > 20.0, "{}", m.blocks_per_sec);
+        assert!(m.mbit_per_sec_per_node > 0.0);
+        assert!(m.max_mbit_per_sec >= m.mbit_per_sec_per_node * 0.99);
+        assert!(m.msgs_per_sec_per_node > 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Constructors for signed consensus artifacts.
+//!
+//! These helpers are the only place signatures are *produced*; the
+//! [`Pool`](crate::pool::Pool) is the only place they are *checked*.
+//! Both honest nodes and the test/Byzantine harnesses build artifacts
+//! through these functions.
+
+use crate::keys::NodeKeys;
+use icc_crypto::beacon::{beacon_sign_message, BeaconValue};
+use icc_types::block::HashedBlock;
+use icc_types::messages::{
+    domains, BeaconShare, BlockProposal, BlockRef, FinalizationShare, Notarization,
+    NotarizationShare,
+};
+use icc_types::Round;
+
+/// Builds a signed proposal for `block`, bundling the parent
+/// notarization (required for rounds ≥ 2; `None` only when the parent is
+/// `root`).
+pub fn proposal(
+    keys: &NodeKeys,
+    block: HashedBlock,
+    parent_notarization: Option<Notarization>,
+) -> BlockProposal {
+    let block_ref = BlockRef::of_hashed(&block);
+    let authenticator = keys.auth.sign(domains::AUTH, &block_ref.sign_bytes());
+    BlockProposal {
+        block,
+        authenticator,
+        parent_notarization,
+    }
+}
+
+/// Builds this party's notarization share on the referenced block.
+pub fn notarization_share(keys: &NodeKeys, block_ref: BlockRef) -> NotarizationShare {
+    NotarizationShare {
+        block_ref,
+        share: keys
+            .setup
+            .notary
+            .sign_share(&keys.notary, keys.index.get(), &block_ref.sign_bytes()),
+    }
+}
+
+/// Builds this party's finalization share on the referenced block.
+pub fn finalization_share(keys: &NodeKeys, block_ref: BlockRef) -> FinalizationShare {
+    FinalizationShare {
+        block_ref,
+        share: keys
+            .setup
+            .finality
+            .sign_share(&keys.finality, keys.index.get(), &block_ref.sign_bytes()),
+    }
+}
+
+/// Builds this party's threshold share of the round-`round` beacon,
+/// given the previous beacon value `prev` (= `R_{round−1}`).
+pub fn beacon_share(keys: &NodeKeys, round: Round, prev: &BeaconValue) -> BeaconShare {
+    let msg = beacon_sign_message(round.get(), prev);
+    BeaconShare {
+        round,
+        share: keys.beacon.sign_share(&msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::generate_keys;
+    use icc_types::block::{Block, Payload};
+    use icc_types::{NodeIndex, SubnetConfig};
+
+    #[test]
+    fn proposal_authenticator_verifies() {
+        let keys = generate_keys(SubnetConfig::new(4), 1);
+        let block = Block::new(
+            Round::new(1),
+            NodeIndex::new(2),
+            keys[2].setup.genesis.hash(),
+            Payload::empty(),
+        )
+        .into_hashed();
+        let p = proposal(&keys[2], block.clone(), None);
+        let r = BlockRef::of_hashed(&block);
+        assert!(keys[0].setup.auth_keys[2].verify(domains::AUTH, &r.sign_bytes(), &p.authenticator));
+    }
+
+    #[test]
+    fn shares_verify_under_their_schemes() {
+        let keys = generate_keys(SubnetConfig::new(4), 2);
+        let block = Block::new(
+            Round::new(1),
+            NodeIndex::new(0),
+            keys[0].setup.genesis.hash(),
+            Payload::empty(),
+        )
+        .into_hashed();
+        let r = BlockRef::of_hashed(&block);
+        let ns = notarization_share(&keys[1], r);
+        assert!(keys[0].setup.notary.verify_share(&r.sign_bytes(), &ns.share));
+        let fs = finalization_share(&keys[1], r);
+        assert!(keys[0].setup.finality.verify_share(&r.sign_bytes(), &fs.share));
+        // Notary and finality shares are not interchangeable.
+        assert!(!keys[0].setup.finality.verify_share(&r.sign_bytes(), &ns.share));
+    }
+
+    #[test]
+    fn beacon_share_verifies_against_message() {
+        let keys = generate_keys(SubnetConfig::new(4), 3);
+        let prev = keys[0].setup.genesis_beacon;
+        let bs = beacon_share(&keys[3], Round::new(1), &prev);
+        let msg = beacon_sign_message(1, &prev);
+        assert!(keys[0].setup.beacon.verify_share(&msg, &bs.share));
+        // A share for the wrong round does not verify.
+        let msg2 = beacon_sign_message(2, &prev);
+        assert!(!keys[0].setup.beacon.verify_share(&msg2, &bs.share));
+    }
+}

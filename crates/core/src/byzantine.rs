@@ -1,0 +1,134 @@
+//! Byzantine behavior profiles.
+//!
+//! The simulated adversary attacks the *protocol*, never the
+//! cryptography (see the security note in `icc-crypto`): corrupt nodes
+//! run modified protocol logic. Profiles cover the failure modes the
+//! paper discusses:
+//!
+//! * crashes (§1: "this includes, of course, parties that have simply
+//!   crashed"; Table 1 scenario 3: "one third of the nodes refuses to
+//!   participate");
+//! * equivocation — proposing two different blocks in one round, the
+//!   attack the rank-disqualification set `D` exists for (§3.5);
+//! * useless-but-consistent leaders (§1: "a corrupt leader could always
+//!   propose an empty block") — the paper's *consistent failure* class;
+//! * share withholding — participating in dissemination but never
+//!   helping quorums form.
+
+/// How a node deviates from the honest protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol exactly.
+    #[default]
+    Honest,
+    /// Sends nothing at all (crash / refuses to participate).
+    Crash,
+    /// When proposing, broadcasts two different blocks for the same
+    /// round and rank (equivocation).
+    Equivocate,
+    /// Proposes only empty payloads (a useless but conspicuously
+    /// "correct" leader — a consistent failure).
+    EmptyProposals,
+    /// Never contributes notarization, finalization or beacon shares,
+    /// but still proposes and echoes.
+    WithholdShares,
+    /// Contributes everything except finalization shares (stalls
+    /// commits without stalling the tree).
+    WithholdFinalization,
+}
+
+impl Behavior {
+    /// Whether the node participates in the protocol at all.
+    pub fn participates(self) -> bool {
+        self != Behavior::Crash
+    }
+
+    /// Whether the node contributes beacon shares.
+    pub fn shares_beacon(self) -> bool {
+        !matches!(self, Behavior::Crash | Behavior::WithholdShares)
+    }
+
+    /// Whether the node contributes notarization shares.
+    pub fn shares_notarization(self) -> bool {
+        !matches!(self, Behavior::Crash | Behavior::WithholdShares)
+    }
+
+    /// Whether the node contributes finalization shares.
+    pub fn shares_finalization(self) -> bool {
+        !matches!(
+            self,
+            Behavior::Crash | Behavior::WithholdShares | Behavior::WithholdFinalization
+        )
+    }
+
+    /// Whether the node proposes empty payloads regardless of pending
+    /// commands.
+    pub fn proposes_empty(self) -> bool {
+        self == Behavior::EmptyProposals
+    }
+
+    /// Whether the node equivocates when proposing.
+    pub fn equivocates(self) -> bool {
+        self == Behavior::Equivocate
+    }
+
+    /// A behavior assignment for a cluster: the first `f` nodes get
+    /// `faulty`, the rest are honest. (Which *indices* are corrupt is
+    /// immaterial: ranks are drawn fresh from the beacon every round.)
+    pub fn first_f(n: usize, f: usize, faulty: Behavior) -> Vec<Behavior> {
+        assert!(f <= n, "more faulty nodes than nodes");
+        (0..n)
+            .map(|i| if i < f { faulty } else { Behavior::Honest })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_does_everything() {
+        let b = Behavior::Honest;
+        assert!(b.participates());
+        assert!(b.shares_beacon());
+        assert!(b.shares_notarization());
+        assert!(b.shares_finalization());
+        assert!(!b.proposes_empty());
+        assert!(!b.equivocates());
+    }
+
+    #[test]
+    fn crash_does_nothing() {
+        let b = Behavior::Crash;
+        assert!(!b.participates());
+        assert!(!b.shares_beacon());
+        assert!(!b.shares_finalization());
+    }
+
+    #[test]
+    fn withhold_profiles() {
+        assert!(!Behavior::WithholdShares.shares_notarization());
+        assert!(!Behavior::WithholdShares.shares_beacon());
+        assert!(Behavior::WithholdShares.participates());
+        assert!(Behavior::WithholdFinalization.shares_notarization());
+        assert!(!Behavior::WithholdFinalization.shares_finalization());
+    }
+
+    #[test]
+    fn first_f_assignment() {
+        let v = Behavior::first_f(4, 1, Behavior::Equivocate);
+        assert_eq!(v, vec![
+            Behavior::Equivocate,
+            Behavior::Honest,
+            Behavior::Honest,
+            Behavior::Honest
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more faulty")]
+    fn first_f_bounds() {
+        Behavior::first_f(2, 3, Behavior::Crash);
+    }
+}

@@ -1,0 +1,466 @@
+//! The cluster harness: wires `n` [`IccNode`]s into an `icc-sim`
+//! simulation, injects client workloads, and extracts the measurements
+//! every experiment needs (committed chains, round durations, safety
+//! checks).
+//!
+//! # Example
+//!
+//! ```
+//! use icc_core::cluster::ClusterBuilder;
+//! use icc_types::SimDuration;
+//!
+//! let mut cluster = ClusterBuilder::new(4).seed(1).build();
+//! cluster.run_for(SimDuration::from_secs(5));
+//! assert!(cluster.min_committed_round() > 0);
+//! cluster.assert_safety();
+//! ```
+
+use crate::byzantine::Behavior;
+use crate::consensus::{BlockPolicy, ConsensusCore};
+use crate::delays::{AdaptiveDelays, StaticDelays};
+use crate::events::NodeEvent;
+use crate::keys::generate_keys;
+use crate::node::IccNode;
+use icc_crypto::Hash256;
+use icc_sim::delay::{DelayModel, FixedDelay};
+use icc_sim::engine::OutputRecord;
+use icc_sim::policy::DeliveryPolicy;
+use icc_sim::{Node, Simulation, SimulationBuilder};
+use icc_types::block::HashedBlock;
+use icc_types::{Command, NodeIndex, Rank, Round, SimDuration, SimTime, SubnetConfig};
+
+/// Access to the wrapped [`ConsensusCore`] — implemented by every
+/// dissemination-layer node (ICC0's [`IccNode`], ICC1's gossip node,
+/// ICC2's erasure node) so the [`Cluster`] helpers work for all of them.
+pub trait CoreAccess {
+    /// The wrapped consensus core.
+    fn core(&self) -> &ConsensusCore;
+}
+
+impl CoreAccess for IccNode {
+    fn core(&self) -> &ConsensusCore {
+        IccNode::core(self)
+    }
+}
+
+/// Which delay policy the nodes run.
+#[derive(Debug, Clone, Copy)]
+enum DelayChoice {
+    Static {
+        delta_bound: SimDuration,
+        epsilon: SimDuration,
+    },
+    Adaptive {
+        initial: SimDuration,
+        floor: SimDuration,
+        cap: SimDuration,
+        epsilon: SimDuration,
+    },
+}
+
+/// Builds an ICC0 cluster simulation.
+pub struct ClusterBuilder {
+    n: usize,
+    seed: u64,
+    delay_model: Box<dyn DelayModel>,
+    policies: Vec<Box<dyn DeliveryPolicy>>,
+    loss: Option<(f64, SimDuration)>,
+    behaviors: Vec<Behavior>,
+    delays: DelayChoice,
+    block_policy: BlockPolicy,
+    max_events: u64,
+    disable_beacon_pipelining: bool,
+}
+
+impl ClusterBuilder {
+    /// A cluster of `n` honest parties with a fixed 10 ms network and
+    /// `Δbnd = 3×` the network bound, `ε = 0`.
+    pub fn new(n: usize) -> ClusterBuilder {
+        let net = FixedDelay::new(SimDuration::from_millis(10));
+        ClusterBuilder {
+            n,
+            seed: 0,
+            delays: DelayChoice::Static {
+                delta_bound: net.bound() * 3,
+                epsilon: SimDuration::ZERO,
+            },
+            delay_model: Box::new(net),
+            policies: Vec::new(),
+            loss: None,
+            behaviors: vec![Behavior::Honest; n],
+            block_policy: BlockPolicy::default(),
+            max_events: 500_000_000,
+            disable_beacon_pipelining: false,
+        }
+    }
+
+    /// Ablation: disable Fig. 1's beacon-share pipelining in every node.
+    pub fn without_beacon_pipelining(mut self) -> Self {
+        self.disable_beacon_pipelining = true;
+        self
+    }
+
+    /// Sets the RNG seed (keys, network jitter, schedules).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the network delay model. Unless
+    /// [`protocol_delays`](Self::protocol_delays) is also called, `Δbnd`
+    /// defaults to `3×` the model's bound.
+    pub fn network(mut self, model: impl DelayModel + 'static) -> Self {
+        if let DelayChoice::Static { epsilon, .. } = self.delays {
+            self.delays = DelayChoice::Static {
+                delta_bound: model.bound() * 3,
+                epsilon,
+            };
+        }
+        self.delay_model = Box::new(model);
+        self
+    }
+
+    /// Sets the protocol's `Δbnd` and governor `ε` explicitly (eq. 2).
+    pub fn protocol_delays(mut self, delta_bound: SimDuration, epsilon: SimDuration) -> Self {
+        self.delays = DelayChoice::Static {
+            delta_bound,
+            epsilon,
+        };
+        self
+    }
+
+    /// Uses the adaptive delay policy instead of static `Δbnd`.
+    pub fn adaptive_delays(
+        mut self,
+        initial: SimDuration,
+        floor: SimDuration,
+        cap: SimDuration,
+        epsilon: SimDuration,
+    ) -> Self {
+        self.delays = DelayChoice::Adaptive {
+            initial,
+            floor,
+            cap,
+            epsilon,
+        };
+        self
+    }
+
+    /// Adds a delivery policy (partition, async window, slow nodes).
+    pub fn policy(mut self, p: impl DeliveryPolicy + 'static) -> Self {
+        self.policies.push(Box::new(p));
+        self
+    }
+
+    /// Message loss probability with retransmission timeout.
+    pub fn loss(mut self, p: f64, rto: SimDuration) -> Self {
+        self.loss = Some((p, rto));
+        self
+    }
+
+    /// Sets per-node behaviors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from `n`.
+    pub fn behaviors(mut self, behaviors: Vec<Behavior>) -> Self {
+        assert_eq!(behaviors.len(), self.n, "one behavior per node");
+        self.behaviors = behaviors;
+        self
+    }
+
+    /// Sets block payload limits for all nodes.
+    pub fn block_policy(mut self, policy: BlockPolicy) -> Self {
+        self.block_policy = policy;
+        self
+    }
+
+    /// Caps simulator events.
+    pub fn max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Constructs an ICC0 (full-broadcast) cluster.
+    pub fn build(self) -> Cluster<IccNode> {
+        self.build_with(IccNode::new)
+    }
+
+    /// Constructs a cluster whose dissemination layer is produced by
+    /// `wrap` — used by the ICC1 gossip and ICC2 erasure-coded layers.
+    pub fn build_with<N, F>(self, wrap: F) -> Cluster<N>
+    where
+        N: Node<External = Command, Output = NodeEvent> + CoreAccess,
+        F: Fn(ConsensusCore) -> N,
+    {
+        let config = SubnetConfig::new(self.n);
+        let keys = generate_keys(config, self.seed);
+        let nodes: Vec<N> = keys
+            .into_iter()
+            .zip(&self.behaviors)
+            .map(|(k, &behavior)| {
+                let core = match self.delays {
+                    DelayChoice::Static {
+                        delta_bound,
+                        epsilon,
+                    } => ConsensusCore::new(k, StaticDelays::new(delta_bound, epsilon), behavior),
+                    DelayChoice::Adaptive {
+                        initial,
+                        floor,
+                        cap,
+                        epsilon,
+                    } => ConsensusCore::new(
+                        k,
+                        AdaptiveDelays::new(initial, floor, cap).with_epsilon(epsilon),
+                        behavior,
+                    ),
+                }
+                .with_block_policy(self.block_policy);
+                let core = if self.disable_beacon_pipelining {
+                    core.without_beacon_pipelining()
+                } else {
+                    core
+                };
+                wrap(core)
+            })
+            .collect();
+        let mut builder = SimulationBuilder::new(self.seed ^ 0x5eed)
+            .delay(self.delay_model)
+            .max_events(self.max_events);
+        if let Some((p, rto)) = self.loss {
+            builder = builder.loss(p, rto);
+        }
+        for policy in self.policies {
+            builder = builder.policy(policy);
+        }
+        Cluster {
+            behaviors: self.behaviors,
+            sim: builder.build(nodes),
+            injected_at: std::collections::HashMap::new(),
+        }
+    }
+}
+
+/// A running ICC cluster with measurement helpers, generic over the
+/// dissemination layer.
+pub struct Cluster<N: Node + CoreAccess = IccNode> {
+    /// The underlying simulation (exposed for advanced inspection).
+    pub sim: Simulation<N>,
+    behaviors: Vec<Behavior>,
+    /// Injection time of each command (keyed by command digest), for
+    /// latency measurements.
+    injected_at: std::collections::HashMap<icc_crypto::Hash256, SimTime>,
+}
+
+impl<N: Node<External = Command, Output = NodeEvent> + CoreAccess> Cluster<N> {
+    /// Runs the cluster for a span of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Runs the cluster until an absolute simulated time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.sim.n()
+    }
+
+    /// Indices of honest nodes.
+    pub fn honest_nodes(&self) -> Vec<usize> {
+        self.behaviors
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == Behavior::Honest)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Injects `count` synthetic client commands of `size` bytes into
+    /// every node (modeling ingress of the same request set at all
+    /// replicas), spread uniformly over `[start, start + window)`.
+    pub fn inject_commands(
+        &mut self,
+        start: SimTime,
+        window: SimDuration,
+        count: usize,
+        size: usize,
+    ) {
+        for i in 0..count {
+            let at = start + window * i as u64 / count.max(1) as u64;
+            let mut bytes = vec![0u8; size];
+            let tag = icc_crypto::hash_parts(
+                "client-cmd",
+                &[&(i as u64).to_le_bytes(), &start.as_micros().to_le_bytes()],
+            );
+            let m = size.min(32);
+            bytes[..m].copy_from_slice(&tag.as_bytes()[..m]);
+            // One refcounted Command shared by all copies — cloning a
+            // Command is a refcount bump, not a byte copy.
+            let cmd = Command::new(bytes);
+            self.injected_at.insert(cmd.digest(), at);
+            for node in 0..self.n() {
+                self.sim
+                    .schedule_external(at, NodeIndex::new(node as u32), cmd.clone());
+            }
+        }
+    }
+
+    /// All events emitted by `node`, in order.
+    pub fn events_of(&self, node: usize) -> impl Iterator<Item = &OutputRecord<NodeEvent>> {
+        self.sim
+            .outputs()
+            .iter()
+            .filter(move |o| o.node.as_usize() == node)
+    }
+
+    /// The chain of blocks `node` has committed, in order.
+    pub fn committed_chain(&self, node: usize) -> Vec<HashedBlock> {
+        self.events_of(node)
+            .filter_map(|o| o.output.as_committed().cloned())
+            .collect()
+    }
+
+    /// Commit timestamps per block hash for `node`.
+    pub fn commit_times(&self, node: usize) -> Vec<(Hash256, SimTime)> {
+        self.events_of(node)
+            .filter_map(|o| o.output.as_committed().map(|b| (b.hash(), o.at)))
+            .collect()
+    }
+
+    /// The highest round committed by `node`.
+    pub fn committed_round(&self, node: usize) -> u64 {
+        self.sim.node(node).core().committed_round().get()
+    }
+
+    /// The lowest committed round across honest nodes.
+    pub fn min_committed_round(&self) -> u64 {
+        self.honest_nodes()
+            .into_iter()
+            .map(|i| self.committed_round(i))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Commit latency of every command `node` committed: time from
+    /// injection (via [`inject_commands`](Self::inject_commands)) to
+    /// the node's commit event.
+    pub fn command_latencies(&self, node: usize) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        for o in self.events_of(node) {
+            if let NodeEvent::Committed { block } = &o.output {
+                for cmd in block.block().payload().commands() {
+                    if let Some(&t0) = self.injected_at.get(&cmd.digest()) {
+                        out.push(o.at.saturating_since(t0));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `RoundFinished` durations (in rank order of occurrence) for
+    /// `node`: `(round, duration, notarized_rank)`.
+    pub fn round_stats(&self, node: usize) -> Vec<(Round, SimDuration, Rank)> {
+        self.events_of(node)
+            .filter_map(|o| match &o.output {
+                NodeEvent::RoundFinished {
+                    round,
+                    duration,
+                    notarized_rank,
+                } => Some((*round, *duration, *notarized_rank)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks the atomic-broadcast safety property across all honest
+    /// node pairs: committed chains must be prefix-ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if two honest nodes committed
+    /// conflicting chains — a protocol safety violation.
+    pub fn assert_safety(&self) {
+        let honest = self.honest_nodes();
+        let chains: Vec<(usize, Vec<Hash256>)> = honest
+            .iter()
+            .map(|&i| (i, self.committed_chain(i).iter().map(HashedBlock::hash).collect()))
+            .collect();
+        for (ai, a) in &chains {
+            for (bi, b) in &chains {
+                if ai >= bi {
+                    continue;
+                }
+                let common = a.len().min(b.len());
+                for k in 0..common {
+                    assert_eq!(
+                        a[k], b[k],
+                        "SAFETY VIOLATION: nodes {ai} and {bi} disagree at chain position {k}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_nodes_commit_and_agree() {
+        let mut cluster = ClusterBuilder::new(4).seed(42).build();
+        cluster.run_for(SimDuration::from_secs(3));
+        assert!(cluster.min_committed_round() >= 3, "commits too slow");
+        cluster.assert_safety();
+        // All honest nodes committed the same chain length eventually
+        // modulo in-flight rounds.
+        let lens: Vec<usize> = (0..4).map(|i| cluster.committed_chain(i).len()).collect();
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 2, "{lens:?}");
+    }
+
+    #[test]
+    fn commands_are_committed_exactly_once() {
+        let mut cluster = ClusterBuilder::new(4).seed(7).build();
+        cluster.inject_commands(SimTime::ZERO, SimDuration::from_millis(500), 20, 64);
+        cluster.run_for(SimDuration::from_secs(5));
+        let chain = cluster.committed_chain(0);
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0;
+        for b in &chain {
+            for c in b.block().payload().commands() {
+                assert!(seen.insert(c.bytes().to_vec()), "duplicate command committed");
+                count += 1;
+            }
+        }
+        assert_eq!(count, 20, "all injected commands commit exactly once");
+    }
+
+    #[test]
+    fn round_durations_match_2delta_envelope() {
+        // Fixed 10ms network, honest leaders: rounds should finish in
+        // ~2δ = 20ms (plus self-delivery epsilon).
+        let mut cluster = ClusterBuilder::new(4).seed(3).build();
+        cluster.run_for(SimDuration::from_secs(2));
+        let stats = cluster.round_stats(0);
+        assert!(stats.len() > 50);
+        // Skip round 1 (startup) and average the rest.
+        let avg_us: u64 = stats[1..]
+            .iter()
+            .map(|(_, d, _)| d.as_micros())
+            .sum::<u64>()
+            / (stats.len() as u64 - 1);
+        assert!(
+            (18_000..26_000).contains(&avg_us),
+            "average round duration {avg_us}µs not ≈ 2δ = 20ms"
+        );
+    }
+}

@@ -1,0 +1,678 @@
+//! Protocol ICC0: the Tree-Building Subprotocol (Fig. 1) and the
+//! Finalization Subprotocol (Fig. 2), as a sans-IO state machine.
+//!
+//! [`ConsensusCore`] owns a party's pool and per-round state and is
+//! driven by four entry points — [`start`](ConsensusCore::start),
+//! [`on_message`](ConsensusCore::on_message),
+//! [`on_wakeup`](ConsensusCore::on_wakeup) (timers) and
+//! [`on_command`](ConsensusCore::on_command) (client input). Each entry
+//! point returns a [`Step`]: messages to broadcast, observable events,
+//! and the next time the party wants to be woken. The transport is
+//! external — the simulator broadcasts directly for ICC0, while the
+//! gossip (ICC1) and erasure-coded (ICC2) layers wrap the same core.
+//!
+//! The mapping to Figure 1 is direct:
+//!
+//! * *"wait for t + 1 shares of the round-k random beacon"* — the
+//!   beacon phase in `progress`, which also pipelines this party's share
+//!   for round `k + 1` the moment beacon `k` is computed;
+//! * clause **(a)** (finish the round) — `try_finish_round`;
+//! * clause **(b)** (propose after `Δprop(rank_me)`) — `try_propose`;
+//! * clause **(c)** (echo / notarization-share / disqualify after
+//!   `Δntry(r)`) — `try_support`;
+//! * Figure 2 — `run_finalization` (tracks `kmax`, combines and
+//!   broadcasts finalizations, outputs committed payloads).
+
+use crate::artifacts;
+use crate::byzantine::Behavior;
+use crate::delays::Delays;
+use crate::events::NodeEvent;
+use crate::keys::{NodeKeys, PublicSetup};
+use crate::pool::Pool;
+use icc_crypto::beacon::RankPermutation;
+use icc_crypto::{hash_parts, Hash256};
+use icc_types::block::{Block, HashedBlock, Payload};
+use icc_types::messages::{BlockProposal, BlockRef, ConsensusMessage};
+use icc_types::{Command, Rank, Round, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Limits on self-built block payloads.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockPolicy {
+    /// Maximum commands per proposed block.
+    pub max_commands: usize,
+    /// Maximum total command bytes per proposed block.
+    pub max_bytes: usize,
+    /// If set, purge pool artifacts more than this many rounds below
+    /// the committed round — the garbage-collection optimization §3.1
+    /// alludes to. `None` keeps everything (the paper's literal model).
+    pub purge_depth: Option<u64>,
+}
+
+impl Default for BlockPolicy {
+    fn default() -> Self {
+        BlockPolicy {
+            max_commands: 1000,
+            max_bytes: 4 << 20,
+            purge_depth: None,
+        }
+    }
+}
+
+/// The result of driving the core one step.
+#[derive(Debug, Default)]
+pub struct Step {
+    /// Messages to disseminate to all parties.
+    pub broadcasts: Vec<ConsensusMessage>,
+    /// Targeted messages — only corrupt behaviors use these (an honest
+    /// ICC0 party *only* broadcasts, §3.1); e.g. a split equivocation
+    /// sends different blocks to different parties.
+    pub sends: Vec<(icc_types::NodeIndex, ConsensusMessage)>,
+    /// Observable events (commits, round markers).
+    pub events: Vec<NodeEvent>,
+    /// The next instant the core wants `on_wakeup` called, if any.
+    pub next_wakeup: Option<SimTime>,
+}
+
+/// Per-round volatile state (Fig. 1 loop variables).
+#[derive(Debug)]
+struct RoundState {
+    t0: SimTime,
+    perm: RankPermutation,
+    my_rank: Rank,
+    /// `N`: the ranks this party broadcast a notarization share for,
+    /// with the block it supported (at most one per rank).
+    n_set: HashMap<u32, Hash256>,
+    /// `D`: disqualified ranks (caught equivocating).
+    d_set: HashSet<u32>,
+    proposed: bool,
+    done: bool,
+    /// Blocks already echoed (each block echoed at most once; at most
+    /// two per rank reach this set by the `N`/`D` guards).
+    echoed: HashSet<Hash256>,
+}
+
+impl RoundState {
+    fn new(t0: SimTime, perm: RankPermutation, my_rank: Rank) -> RoundState {
+        RoundState {
+            t0,
+            perm,
+            my_rank,
+            n_set: HashMap::new(),
+            d_set: HashSet::new(),
+            proposed: false,
+            done: false,
+            echoed: HashSet::new(),
+        }
+    }
+}
+
+/// A party running Protocol ICC0.
+pub struct ConsensusCore {
+    keys: NodeKeys,
+    delays: Box<dyn Delays + Send>,
+    behavior: Behavior,
+    policy: BlockPolicy,
+    pool: Pool,
+    round: Round,
+    rstate: Option<RoundState>,
+    /// Highest round our beacon share has been broadcast for.
+    beacon_share_sent_upto: Round,
+    /// Fig. 2's `kmax`: last committed round.
+    kmax: Round,
+    notarizations_broadcast: HashSet<Hash256>,
+    finalizations_broadcast: HashSet<Hash256>,
+    /// Client input queue with cached command hashes (hashing large
+    /// commands once, not once per proposal).
+    pending: VecDeque<(Command, Hash256)>,
+    /// Digests currently in `pending`, for O(1) submission dedup.
+    pending_digests: HashSet<Hash256>,
+    committed_cmds: HashSet<Hash256>,
+    started: bool,
+    /// Ablation switch: when set, the beacon share for round `k + 1` is
+    /// only broadcast on *entering* round `k + 1` instead of the moment
+    /// beacon `k` is computed. Costs one extra δ per round (see the
+    /// `fig_ablation_pipelining` experiment).
+    disable_beacon_pipelining: bool,
+}
+
+impl fmt::Debug for ConsensusCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ConsensusCore({} round {} kmax {})",
+            self.keys.index, self.round, self.kmax
+        )
+    }
+}
+
+fn command_hash(cmd: &Command) -> Hash256 {
+    cmd.digest()
+}
+
+impl ConsensusCore {
+    /// Creates a party from its key material, delay policy and behavior
+    /// profile.
+    pub fn new(keys: NodeKeys, delays: impl Delays + Send + 'static, behavior: Behavior) -> Self {
+        let pool = Pool::new(Arc::clone(&keys.setup));
+        ConsensusCore {
+            keys,
+            delays: Box::new(delays),
+            behavior,
+            policy: BlockPolicy::default(),
+            pool,
+            round: Round::new(1),
+            rstate: None,
+            beacon_share_sent_upto: Round::GENESIS,
+            kmax: Round::GENESIS,
+            notarizations_broadcast: HashSet::new(),
+            finalizations_broadcast: HashSet::new(),
+            pending: VecDeque::new(),
+            pending_digests: HashSet::new(),
+            committed_cmds: HashSet::new(),
+            started: false,
+            disable_beacon_pipelining: false,
+        }
+    }
+
+    /// Disables the beacon-share pipelining of Fig. 1 (ablation).
+    pub fn without_beacon_pipelining(mut self) -> Self {
+        self.disable_beacon_pipelining = true;
+        self
+    }
+
+    /// Overrides the block payload limits.
+    pub fn with_block_policy(mut self, policy: BlockPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// This party's index.
+    pub fn index(&self) -> icc_types::NodeIndex {
+        self.keys.index
+    }
+
+    /// This party's behavior profile.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// The shared public setup.
+    pub fn setup(&self) -> &Arc<PublicSetup> {
+        &self.keys.setup
+    }
+
+    /// The round the tree-building subprotocol is currently in.
+    pub fn current_round(&self) -> Round {
+        self.round
+    }
+
+    /// The last committed round (Fig. 2's `kmax`).
+    pub fn committed_round(&self) -> Round {
+        self.kmax
+    }
+
+    /// Read access to the artifact pool (tests, experiments).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Number of client commands queued but not yet committed.
+    pub fn pending_commands(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The current `Δbnd` of the delay policy (diagnostics).
+    pub fn delta_bound(&self) -> icc_types::SimDuration {
+        self.delays.delta_bound()
+    }
+
+    /// Initializes the party: broadcasts its share of the round-1 beacon
+    /// (the line before the main loop in Fig. 1) and runs the protocol
+    /// as far as it can go.
+    pub fn start(&mut self, now: SimTime) -> Step {
+        let mut step = Step::default();
+        if self.started || !self.behavior.participates() {
+            return step;
+        }
+        self.started = true;
+        if self.behavior.shares_beacon() {
+            let share =
+                artifacts::beacon_share(&self.keys, Round::new(1), &self.keys.setup.genesis_beacon);
+            self.emit(ConsensusMessage::BeaconShare(share), &mut step);
+            self.beacon_share_sent_upto = Round::new(1);
+        }
+        self.progress(now, &mut step);
+        step
+    }
+
+    /// Handles a consensus message from any party (including echoes of
+    /// this party's own artifacts).
+    pub fn on_message(&mut self, now: SimTime, msg: &ConsensusMessage) -> Step {
+        let mut step = Step::default();
+        if !self.behavior.participates() || !self.started {
+            return step;
+        }
+        // Run the clauses even for duplicate artifacts: the message may
+        // have raced a timer whose wakeup already fired.
+        self.pool.insert(msg);
+        self.progress(now, &mut step);
+        step
+    }
+
+    /// Handles a timer wake-up.
+    pub fn on_wakeup(&mut self, now: SimTime) -> Step {
+        let mut step = Step::default();
+        if !self.behavior.participates() || !self.started {
+            return step;
+        }
+        self.progress(now, &mut step);
+        step
+    }
+
+    /// Accepts a client command into the input queue (§1: inputs arrive
+    /// incrementally over time).
+    pub fn on_command(&mut self, cmd: Command) {
+        let h = command_hash(&cmd);
+        if !self.committed_cmds.contains(&h) && self.pending_digests.insert(h) {
+            self.pending.push_back((cmd, h));
+        }
+    }
+
+    /// Broadcasts `msg` and inserts it into the local pool immediately
+    /// (a party's own messages reach its own pool, §3.1).
+    fn emit(&mut self, msg: ConsensusMessage, step: &mut Step) {
+        self.pool.insert(&msg);
+        step.broadcasts.push(msg);
+    }
+
+    /// Runs every enabled protocol clause to quiescence.
+    fn progress(&mut self, now: SimTime, step: &mut Step) {
+        self.run_finalization(step);
+        let mut iterations = 0u32;
+        loop {
+            iterations += 1;
+            if iterations >= 50_000 {
+                // Degenerate configurations (e.g. a single-party subnet
+                // with ε = 0) can make unbounded progress in zero time;
+                // yield to the runtime and continue on the next wakeup
+                // instead of spinning here.
+                step.next_wakeup = Some(now);
+                return;
+            }
+            // Phase: compute the round beacon and enter the round.
+            if self.rstate.is_none() {
+                if !self.enter_round(now, step) {
+                    break; // waiting for beacon shares
+                }
+                continue;
+            }
+            // Advance past a finished round.
+            if self.rstate.as_ref().is_some_and(|rs| rs.done) {
+                self.round = self.round.next();
+                self.rstate = None;
+                continue;
+            }
+            // Clause (a): finish the round on a notarized block.
+            if self.try_finish_round(now, step) {
+                self.run_finalization(step);
+                continue;
+            }
+            // Clause (b): propose after Δprop(rank_me).
+            if self.try_propose(now, step) {
+                continue;
+            }
+            // Clause (c): support (echo + share / disqualify).
+            if self.try_support(now, step) {
+                continue;
+            }
+            break;
+        }
+        self.run_finalization(step);
+        step.next_wakeup = self.next_wakeup(now);
+    }
+
+    /// Fig. 1 preamble: wait for `t + 1` beacon shares, compute the
+    /// beacon, derive ranks, and pipeline the next round's share.
+    fn enter_round(&mut self, now: SimTime, step: &mut Step) -> bool {
+        // Ablated pipelining: contribute our share for the *current*
+        // round's beacon only now (adding a share-exchange δ per round).
+        if self.disable_beacon_pipelining
+            && self.beacon_share_sent_upto < self.round
+            && self.behavior.shares_beacon()
+        {
+            if let Some(prev) = self.round.prev().and_then(|p| self.pool.beacon(p)).copied() {
+                self.beacon_share_sent_upto = self.round;
+                let share = artifacts::beacon_share(&self.keys, self.round, &prev);
+                self.emit(ConsensusMessage::BeaconShare(share), step);
+            }
+        }
+        if self.pool.beacon(self.round).is_none() {
+            self.pool.try_compute_beacon(self.round);
+        }
+        let Some(beacon) = self.pool.beacon(self.round).copied() else {
+            return false;
+        };
+        let n = self.keys.setup.config.n();
+        let perm = RankPermutation::derive(&beacon, n);
+        let my_rank = Rank::new(perm.rank_of(self.keys.index.get()));
+        step.events.push(NodeEvent::EnteredRound {
+            round: self.round,
+            my_rank,
+            leader: icc_types::NodeIndex::new(perm.leader()),
+        });
+        self.rstate = Some(RoundState::new(now, perm, my_rank));
+
+        // Pipelining: broadcast our share of the *next* round's beacon.
+        let next = self.round.next();
+        if !self.disable_beacon_pipelining
+            && self.beacon_share_sent_upto < next
+            && self.behavior.shares_beacon()
+        {
+            self.beacon_share_sent_upto = next;
+            let share = artifacts::beacon_share(&self.keys, next, &beacon);
+            self.emit(ConsensusMessage::BeaconShare(share), step);
+        }
+        true
+    }
+
+    /// Clause (a): a notarized round-k block (or a completable share
+    /// set) ends the round.
+    fn try_finish_round(&mut self, now: SimTime, step: &mut Step) -> bool {
+        let notarization = if let Some((_, n)) = self.pool.notarized_block(self.round) {
+            n.clone()
+        } else if let Some(n) = self.pool.completable_notarization(self.round) {
+            self.pool.insert_notarization(n.clone());
+            n
+        } else {
+            return false;
+        };
+        let block_ref = notarization.block_ref;
+        if self.notarizations_broadcast.insert(block_ref.hash) {
+            self.emit(ConsensusMessage::Notarization(notarization), step);
+        }
+        let rs = self.rstate.as_mut().expect("in a round");
+        rs.done = true;
+        let duration = now.saturating_since(rs.t0);
+        let notarized_rank = Rank::new(rs.perm.rank_of(block_ref.proposer.get()));
+        // "if N ⊆ {B} then broadcast a finalization share for B".
+        let n_subset = rs.n_set.values().all(|h| *h == block_ref.hash);
+        step.events.push(NodeEvent::RoundFinished {
+            round: self.round,
+            duration,
+            notarized_rank,
+        });
+        self.delays
+            .observe_round(duration, notarized_rank.is_leader());
+        if n_subset && self.behavior.shares_finalization() {
+            let fs = artifacts::finalization_share(&self.keys, block_ref);
+            self.emit(ConsensusMessage::FinalizationShare(fs), step);
+        }
+        true
+    }
+
+    /// Clause (b): propose a block once `Δprop(rank_me)` has elapsed.
+    fn try_propose(&mut self, now: SimTime, step: &mut Step) -> bool {
+        let (t0, my_rank, proposed) = {
+            let rs = self.rstate.as_ref().expect("in a round");
+            (rs.t0, rs.my_rank, rs.proposed)
+        };
+        if proposed || now < t0 + self.delays.prop(my_rank) {
+            return false;
+        }
+        self.rstate.as_mut().expect("in a round").proposed = true;
+
+        // Choose a notarized round-(k−1) block to extend.
+        let (parent, parent_notarization) = if self.round == Round::new(1) {
+            (self.keys.setup.genesis.clone(), None)
+        } else {
+            let Some((b, n)) = self.pool.notarized_block(self.round.prev().expect("round >= 2"))
+            else {
+                // Unreachable for honest flow: the previous round only
+                // ends with a notarized block in the pool.
+                return false;
+            };
+            (b.clone(), Some(n.clone()))
+        };
+
+        if self.behavior.equivocates() {
+            self.propose_equivocating(parent, parent_notarization, step);
+            return true;
+        }
+        let payload = if self.behavior.proposes_empty() {
+            Payload::empty()
+        } else {
+            self.build_payload(&parent)
+        };
+        let block = Block::new(self.round, self.keys.index, parent.hash(), payload).into_hashed();
+        step.events.push(NodeEvent::Proposed {
+            round: self.round,
+            hash: block.hash(),
+        });
+        let proposal = artifacts::proposal(&self.keys, block, parent_notarization.clone());
+        self.emit(ConsensusMessage::Proposal(proposal), step);
+
+        true
+    }
+
+    /// The equivocating variant of clause (b): build two conflicting
+    /// blocks and send each to half of the parties, maximizing the
+    /// split (the attack the disqualification set `D` defends against).
+    fn propose_equivocating(
+        &mut self,
+        parent: HashedBlock,
+        parent_notarization: Option<icc_types::messages::Notarization>,
+        step: &mut Step,
+    ) {
+        let mk_block = |tag: u8, round: Round, me: icc_types::NodeIndex, parent: &HashedBlock| {
+            let marker = Command::new(
+                hash_parts("equivocation", &[&round.get().to_le_bytes(), &[tag]])
+                    .as_bytes()
+                    .to_vec(),
+            );
+            Block::new(round, me, parent.hash(), Payload::from_commands(vec![marker])).into_hashed()
+        };
+        let b1 = mk_block(1, self.round, self.keys.index, &parent);
+        let b2 = mk_block(2, self.round, self.keys.index, &parent);
+        step.events.push(NodeEvent::Proposed {
+            round: self.round,
+            hash: b1.hash(),
+        });
+        let p1 = ConsensusMessage::Proposal(artifacts::proposal(
+            &self.keys,
+            b1,
+            parent_notarization.clone(),
+        ));
+        let p2 =
+            ConsensusMessage::Proposal(artifacts::proposal(&self.keys, b2, parent_notarization));
+        self.pool.insert(&p1);
+        self.pool.insert(&p2);
+        let n = self.keys.setup.config.n();
+        for i in 0..n as u32 {
+            let to = icc_types::NodeIndex::new(i);
+            let msg = if i % 2 == 0 { p1.clone() } else { p2.clone() };
+            if to != self.keys.index {
+                step.sends.push((to, msg));
+            }
+        }
+    }
+
+    /// Clause (c): support the best eligible block — echo it, then
+    /// either broadcast a notarization share or disqualify its rank.
+    fn try_support(&mut self, now: SimTime, step: &mut Step) -> bool {
+        let candidate = {
+            let rs = self.rstate.as_ref().expect("in a round");
+            // Valid blocks of this round, ranked, rank not disqualified.
+            let mut ranked: Vec<(u32, HashedBlock)> = self
+                .pool
+                .valid_blocks(self.round)
+                .into_iter()
+                .map(|b| (rs.perm.rank_of(b.proposer().get()), b.clone()))
+                .filter(|(r, _)| !rs.d_set.contains(r))
+                .collect();
+            // Guard (iv): only blocks of the *minimum* eligible rank may
+            // be supported; any lower-ranked valid block blocks higher
+            // ranks regardless of timers.
+            let Some(&(min_rank, _)) = ranked.iter().min_by_key(|(r, _)| *r) else {
+                return false;
+            };
+            ranked.retain(|(r, b)| {
+                *r == min_rank
+                    && rs.n_set.get(r) != Some(&b.hash())
+                    && now >= rs.t0 + self.delays.ntry(Rank::new(*r))
+            });
+            // Deterministic pick among same-rank candidates.
+            ranked.sort_by_key(|(_, b)| b.hash());
+            match ranked.into_iter().next() {
+                Some(c) => c,
+                None => return false,
+            }
+        };
+        let (rank, block) = candidate;
+        let block_ref = BlockRef::of_hashed(&block);
+
+        // Echo (re-broadcast) other parties' blocks so every honest
+        // party gets a chance to see them and disqualify equivocators.
+        let rs = self.rstate.as_mut().expect("in a round");
+        let should_echo = rank != rs.my_rank.get() && rs.echoed.insert(block.hash());
+        let already_shared_this_rank = rs.n_set.contains_key(&rank);
+        if already_shared_this_rank {
+            rs.d_set.insert(rank);
+        } else {
+            rs.n_set.insert(rank, block.hash());
+        }
+        if should_echo {
+            let authenticator = self
+                .pool
+                .authenticator_of(&block.hash())
+                .expect("valid blocks have authenticators");
+            let parent_notarization = if block.round() == Round::new(1) {
+                None
+            } else {
+                Some(
+                    self.pool
+                        .notarization_of(&block.parent())
+                        .expect("valid blocks have notarized parents")
+                        .clone(),
+                )
+            };
+            step.broadcasts.push(ConsensusMessage::Proposal(BlockProposal {
+                block: block.clone(),
+                authenticator,
+                parent_notarization,
+            }));
+        }
+        if !already_shared_this_rank && self.behavior.shares_notarization() {
+            let share = artifacts::notarization_share(&self.keys, block_ref);
+            self.emit(ConsensusMessage::NotarizationShare(share), step);
+        }
+        true
+    }
+
+    /// Fig. 2: combine/broadcast finalizations and output committed
+    /// payloads, advancing `kmax`.
+    fn run_finalization(&mut self, step: &mut Step) {
+        loop {
+            // Case (ii): a completable share set.
+            if let Some(f) = self.pool.completable_finalization(self.kmax) {
+                self.pool.insert_finalization(f.clone());
+                if self.finalizations_broadcast.insert(f.block_ref.hash) {
+                    step.broadcasts.push(ConsensusMessage::Finalization(f));
+                }
+                continue;
+            }
+            // Case (i): a finalized block with round > kmax.
+            let Some(block) = self.pool.finalized_above(self.kmax).cloned() else {
+                break;
+            };
+            let finalization = self
+                .pool
+                .finalization_of(&block.hash())
+                .expect("finalized blocks have finalizations")
+                .clone();
+            if self.finalizations_broadcast.insert(block.hash()) {
+                step.broadcasts
+                    .push(ConsensusMessage::Finalization(finalization));
+            }
+            let chain = self
+                .pool
+                .chain_back_to(&block, self.kmax)
+                .expect("finalized blocks have complete chains");
+            for b in chain {
+                for cmd in b.block().payload().commands() {
+                    self.committed_cmds.insert(command_hash(cmd));
+                }
+                step.events.push(NodeEvent::Committed { block: b });
+            }
+            // Trim committed commands from the head of the input queue.
+            while let Some((_, h)) = self.pending.front() {
+                if self.committed_cmds.contains(h) {
+                    self.pending_digests.remove(h);
+                    self.pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.kmax = block.round();
+            if let Some(depth) = self.policy.purge_depth {
+                if self.kmax.get() > depth {
+                    self.pool.purge_below(Round::new(self.kmax.get() - depth));
+                }
+            }
+        }
+    }
+
+    /// `getPayload(Bp)` (§3.5): pending commands not already in the
+    /// chain ending at `parent`, within the block policy limits.
+    fn build_payload(&self, parent: &HashedBlock) -> Payload {
+        let mut excluded: HashSet<Hash256> = HashSet::new();
+        if let Some(chain) = self.pool.chain_back_to(parent, self.kmax) {
+            for b in &chain {
+                for cmd in b.block().payload().commands() {
+                    excluded.insert(command_hash(cmd));
+                }
+            }
+        }
+        let mut commands = Vec::new();
+        let mut bytes = 0usize;
+        for (cmd, h) in &self.pending {
+            if commands.len() >= self.policy.max_commands || bytes + cmd.len() > self.policy.max_bytes
+            {
+                break;
+            }
+            if self.committed_cmds.contains(h) || excluded.contains(h) {
+                continue;
+            }
+            bytes += cmd.len();
+            commands.push(cmd.clone());
+        }
+        Payload::from_commands(commands)
+    }
+
+    /// The earliest future instant any time-gated clause could fire.
+    fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
+        let rs = self.rstate.as_ref()?;
+        if rs.done {
+            return None;
+        }
+        let mut wake: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            if t > now {
+                wake = Some(wake.map_or(t, |w: SimTime| w.min(t)));
+            }
+        };
+        if !rs.proposed {
+            consider(rs.t0 + self.delays.prop(rs.my_rank));
+        }
+        for b in self.pool.valid_blocks(self.round) {
+            let r = rs.perm.rank_of(b.proposer().get());
+            if rs.d_set.contains(&r) || rs.n_set.get(&r) == Some(&b.hash()) {
+                continue;
+            }
+            consider(rs.t0 + self.delays.ntry(Rank::new(r)));
+        }
+        wake
+    }
+}

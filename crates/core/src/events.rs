@@ -1,0 +1,69 @@
+//! Observable events emitted by a consensus node.
+//!
+//! These form the node's output trace in the simulator: the atomic
+//! broadcast output itself ([`NodeEvent::Committed`]) plus progress
+//! markers the experiment harnesses use to measure round times,
+//! latencies and leader statistics.
+
+use icc_types::block::HashedBlock;
+use icc_types::{NodeIndex, Rank, Round, SimDuration};
+use icc_crypto::Hash256;
+
+/// One observable event in a node's execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeEvent {
+    /// The node computed the round's beacon and entered the round.
+    EnteredRound {
+        /// The round entered.
+        round: Round,
+        /// This node's rank for the round.
+        my_rank: Rank,
+        /// The round's leader (the rank-0 party).
+        leader: NodeIndex,
+    },
+    /// The node broadcast its own proposal for a round.
+    Proposed {
+        /// The proposal's round.
+        round: Round,
+        /// Hash of the proposed block.
+        hash: Hash256,
+    },
+    /// The node finished a round with a notarized block (Fig. 1 exit).
+    RoundFinished {
+        /// The finished round.
+        round: Round,
+        /// Time from entering the round to finishing it.
+        duration: SimDuration,
+        /// Rank of the proposer of the notarized block the node saw
+        /// first; 0 means the leader's block won.
+        notarized_rank: Rank,
+    },
+    /// A block became part of the committed chain — the atomic broadcast
+    /// output. Emitted once per block, in chain order; payload command
+    /// sequence across all `Committed` events is the node's output
+    /// sequence.
+    Committed {
+        /// The committed block.
+        block: HashedBlock,
+    },
+}
+
+impl NodeEvent {
+    /// The committed block, if this is a commit event.
+    pub fn as_committed(&self) -> Option<&HashedBlock> {
+        match self {
+            NodeEvent::Committed { block } => Some(block),
+            _ => None,
+        }
+    }
+
+    /// The round this event pertains to.
+    pub fn round(&self) -> Round {
+        match self {
+            NodeEvent::EnteredRound { round, .. }
+            | NodeEvent::Proposed { round, .. }
+            | NodeEvent::RoundFinished { round, .. } => *round,
+            NodeEvent::Committed { block } => block.round(),
+        }
+    }
+}

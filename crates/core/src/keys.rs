@@ -1,0 +1,208 @@
+//! Key material and trusted setup (paper §3.1–§3.2).
+//!
+//! Each party is initialized with a secret key for each of the four
+//! schemes and the public material of all parties:
+//!
+//! * `S_auth` — an ordinary signature key pair per party;
+//! * `S_notary`, `S_final` — `(t, n−t, n)` multi-signature instances;
+//! * `S_beacon` — a `(t, t+1, n)` threshold instance with
+//!   Shamir-shared key, dealt by a trusted dealer (explicitly permitted
+//!   by §3.1).
+//!
+//! [`generate_keys`] plays the trusted dealer and returns one
+//! [`NodeKeys`] per party plus the shared [`PublicSetup`].
+
+use icc_crypto::beacon::BeaconValue;
+use icc_crypto::multisig::MultiSigScheme;
+use icc_crypto::sig::{PublicKey, SecretKey};
+use icc_crypto::threshold::{Dealer, ThresholdPublic, ThresholdSigner};
+use icc_crypto::{hash_parts, Hash256};
+use icc_types::block::{Block, HashedBlock};
+use icc_types::messages::domains;
+use icc_types::{NodeIndex, SubnetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::Arc;
+
+/// Public material shared by all parties of one subnet.
+pub struct PublicSetup {
+    /// The subnet parameters.
+    pub config: SubnetConfig,
+    /// Every party's `S_auth` public key, by index.
+    pub auth_keys: Vec<PublicKey>,
+    /// The `(t, n−t, n)` notarization multi-signature instance.
+    pub notary: MultiSigScheme,
+    /// The `(t, n−t, n)` finalization multi-signature instance.
+    pub finality: MultiSigScheme,
+    /// The `(t, t+1, n)` beacon threshold instance (public part).
+    pub beacon: Arc<ThresholdPublic>,
+    /// The genesis (`root`) block, identical for all parties.
+    pub genesis: HashedBlock,
+    /// `R_0`, the fixed initial beacon value.
+    pub genesis_beacon: BeaconValue,
+}
+
+impl fmt::Debug for PublicSetup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PublicSetup")
+            .field("config", &self.config)
+            .field("genesis", &self.genesis.hash())
+            .finish()
+    }
+}
+
+/// One party's complete key material.
+pub struct NodeKeys {
+    /// This party's index.
+    pub index: NodeIndex,
+    /// `S_auth` secret key.
+    pub auth: SecretKey,
+    /// `S_notary` secret key (multi-signature share key).
+    pub notary: SecretKey,
+    /// `S_final` secret key.
+    pub finality: SecretKey,
+    /// `S_beacon` threshold signing handle.
+    pub beacon: ThresholdSigner,
+    /// The shared public setup.
+    pub setup: Arc<PublicSetup>,
+}
+
+impl fmt::Debug for NodeKeys {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeKeys({})", self.index)
+    }
+}
+
+/// Acts as the trusted dealer: generates all key material for a subnet.
+///
+/// Deterministic in `seed`, so clusters are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use icc_core::keys::generate_keys;
+/// use icc_types::SubnetConfig;
+/// let keys = generate_keys(SubnetConfig::new(4), 7);
+/// assert_eq!(keys.len(), 4);
+/// assert_eq!(keys[0].setup.notary.threshold(), 3); // n - t = 4 - 1
+/// ```
+pub fn generate_keys(config: SubnetConfig, seed: u64) -> Vec<NodeKeys> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.n();
+
+    let (notary, notary_sks) =
+        MultiSigScheme::generate(domains::NOTARY, config.notarization_threshold(), n, &mut rng);
+    let (finality, finality_sks) =
+        MultiSigScheme::generate(domains::FINAL, config.finalization_threshold(), n, &mut rng);
+    let beacon_dealt =
+        Dealer::deal_with_domain(domains::BEACON, config.beacon_threshold(), n, &mut rng);
+
+    let auth_sks: Vec<SecretKey> = (0..n).map(|_| SecretKey::generate(&mut rng)).collect();
+    let auth_keys: Vec<PublicKey> = auth_sks.iter().map(SecretKey::public_key).collect();
+
+    let genesis = Block::genesis().into_hashed();
+    let genesis_beacon = BeaconValue::Genesis(genesis_seed(seed));
+
+    let setup = Arc::new(PublicSetup {
+        config,
+        auth_keys,
+        notary,
+        finality,
+        beacon: beacon_dealt.public(),
+        genesis,
+        genesis_beacon,
+    });
+
+    let beacon_signers = beacon_dealt.into_signers();
+    auth_sks
+        .into_iter()
+        .zip(notary_sks)
+        .zip(finality_sks)
+        .zip(beacon_signers)
+        .enumerate()
+        .map(|(i, (((auth, notary), finality), beacon))| NodeKeys {
+            index: NodeIndex::new(i as u32),
+            auth,
+            notary,
+            finality,
+            beacon,
+            setup: Arc::clone(&setup),
+        })
+        .collect()
+}
+
+fn genesis_seed(seed: u64) -> Hash256 {
+    hash_parts("icc-genesis-beacon", &[&seed.to_le_bytes()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icc_types::messages::BlockRef;
+
+    #[test]
+    fn setup_is_consistent_across_parties() {
+        let keys = generate_keys(SubnetConfig::new(7), 1);
+        assert_eq!(keys.len(), 7);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(k.index, NodeIndex::new(i as u32));
+            assert_eq!(k.setup.genesis.hash(), keys[0].setup.genesis.hash());
+            assert_eq!(k.setup.genesis_beacon, keys[0].setup.genesis_beacon);
+            // The party's own auth key matches the registry.
+            assert_eq!(k.auth.public_key(), k.setup.auth_keys[i]);
+        }
+    }
+
+    #[test]
+    fn thresholds_match_config() {
+        let cfg = SubnetConfig::new(13);
+        let keys = generate_keys(cfg, 2);
+        let s = &keys[0].setup;
+        assert_eq!(s.notary.threshold(), 9);
+        assert_eq!(s.finality.threshold(), 9);
+        assert_eq!(s.beacon.threshold(), 5);
+        assert_eq!(s.notary.parties(), 13);
+    }
+
+    #[test]
+    fn notary_shares_combine_across_parties() {
+        let keys = generate_keys(SubnetConfig::new(4), 3);
+        let s = &keys[0].setup;
+        let msg = b"some block ref";
+        let shares: Vec<_> = keys
+            .iter()
+            .take(3)
+            .map(|k| s.notary.sign_share(&k.notary, k.index.get(), msg))
+            .collect();
+        let agg = s.notary.combine(msg, shares).unwrap();
+        assert!(s.notary.verify(msg, &agg));
+    }
+
+    #[test]
+    fn beacon_shares_combine_across_parties() {
+        let keys = generate_keys(SubnetConfig::new(4), 3);
+        let msg = icc_crypto::beacon::beacon_sign_message(1, &keys[0].setup.genesis_beacon);
+        let shares: Vec<_> = keys.iter().take(2).map(|k| k.beacon.sign_share(&msg)).collect();
+        let sig = keys[0].setup.beacon.combine(&msg, shares).unwrap();
+        assert!(keys[3].setup.beacon.verify(&msg, &sig));
+    }
+
+    #[test]
+    fn auth_signature_verifies_via_registry() {
+        let keys = generate_keys(SubnetConfig::new(4), 4);
+        let block_ref = BlockRef::of(keys[2].setup.genesis.block());
+        let sig = keys[2].auth.sign(domains::AUTH, &block_ref.sign_bytes());
+        assert!(keys[0].setup.auth_keys[2].verify(domains::AUTH, &block_ref.sign_bytes(), &sig));
+        assert!(!keys[0].setup.auth_keys[1].verify(domains::AUTH, &block_ref.sign_bytes(), &sig));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_keys(SubnetConfig::new(4), 9);
+        let b = generate_keys(SubnetConfig::new(4), 9);
+        assert_eq!(a[0].setup.auth_keys, b[0].setup.auth_keys);
+        let c = generate_keys(SubnetConfig::new(4), 10);
+        assert_ne!(a[0].setup.auth_keys, c[0].setup.auth_keys);
+    }
+}

@@ -1,0 +1,63 @@
+//! Protocol ICC0 — the Internet Computer Consensus atomic broadcast
+//! protocol (Camenisch et al., PODC 2022) — plus the harness pieces the
+//! experiments need.
+//!
+//! # Overview
+//!
+//! ICC is a blockchain-based, leader-based atomic broadcast protocol for
+//! partial synchrony with `t < n/3` Byzantine faults. Each round a
+//! random beacon ranks the parties; the rank-0 leader's block is
+//! prioritized, but any party's block can be *notarized* (signed by
+//! `n − t` parties), guaranteeing the block tree grows every round
+//! (deadlock-freeness, P1). A block that is *finalized* (a second
+//! `n − t`-quorum attests its signers notarized nothing else that round)
+//! uniquely determines the chain up to its round (safety, P2). Under
+//! partial synchrony with an honest leader, the leader's block finalizes
+//! within `3δ` (liveness, P3).
+//!
+//! # Crate layout
+//!
+//! * [`keys`] — trusted setup for the four signature schemes;
+//! * [`delays`] — `Δprop` / `Δntry` delay functions (eq. 2) and the
+//!   adaptive-`Δbnd` variant;
+//! * [`pool`] — the artifact pool and §3.4 block classification;
+//! * [`artifacts`] — signed artifact constructors;
+//! * [`consensus`] — the sans-IO protocol state machine (Fig. 1 + 2);
+//! * [`byzantine`] — corrupt-node behavior profiles;
+//! * [`events`] — the observable output trace;
+//! * [`node`] — the `icc-sim` adapter (this is ICC0's full-broadcast
+//!   dissemination);
+//! * [`cluster`] — multi-node simulation harness with safety checks;
+//! * [`replica`] — state-machine replication on top of atomic broadcast.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use icc_core::cluster::ClusterBuilder;
+//! use icc_types::SimDuration;
+//!
+//! let mut cluster = ClusterBuilder::new(4).seed(1).build();
+//! cluster.run_for(SimDuration::from_secs(2));
+//! cluster.assert_safety();
+//! assert!(cluster.min_committed_round() > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod byzantine;
+pub mod cluster;
+pub mod consensus;
+pub mod delays;
+pub mod events;
+pub mod keys;
+pub mod node;
+pub mod pool;
+pub mod replica;
+
+pub use byzantine::Behavior;
+pub use cluster::{Cluster, ClusterBuilder};
+pub use consensus::{BlockPolicy, ConsensusCore, Step};
+pub use events::NodeEvent;
+pub use node::IccNode;

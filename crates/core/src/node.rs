@@ -1,0 +1,102 @@
+//! The simulator adapter: plugs a [`ConsensusCore`] into `icc-sim` as a
+//! plain-broadcast node — this *is* Protocol ICC0 (every artifact is
+//! broadcast in full to every party). ICC1 and ICC2 wrap the same core
+//! with different dissemination layers.
+
+use crate::consensus::{ConsensusCore, Step};
+use crate::events::NodeEvent;
+use icc_sim::{Context, Node};
+use icc_types::messages::ConsensusMessage;
+use icc_types::{Command, NodeIndex, SimTime};
+use std::collections::BTreeSet;
+
+/// An ICC0 party as a simulator node.
+#[derive(Debug)]
+pub struct IccNode {
+    core: ConsensusCore,
+    /// Wake-up times already scheduled but not yet fired, to avoid
+    /// flooding the event queue with duplicate timers.
+    scheduled: BTreeSet<u64>,
+}
+
+impl IccNode {
+    /// Wraps a consensus core for simulation.
+    pub fn new(core: ConsensusCore) -> IccNode {
+        IccNode {
+            core,
+            scheduled: BTreeSet::new(),
+        }
+    }
+
+    /// The wrapped core (state inspection in tests and experiments).
+    pub fn core(&self) -> &ConsensusCore {
+        &self.core
+    }
+
+    fn apply(&mut self, ctx: &mut Context<'_, ConsensusMessage, NodeEvent>, step: Step) {
+        for msg in step.broadcasts {
+            ctx.broadcast(msg);
+        }
+        for (to, msg) in step.sends {
+            ctx.send(to, msg);
+        }
+        for event in step.events {
+            ctx.output(event);
+        }
+        if let Some(at) = step.next_wakeup {
+            let micros = at.as_micros();
+            if self.scheduled.insert(micros) {
+                ctx.set_timer(at.saturating_since(ctx.now()), micros);
+            }
+        }
+    }
+
+    fn prune_fired(&mut self, now: SimTime) {
+        let fired: Vec<u64> = self
+            .scheduled
+            .range(..=now.as_micros())
+            .copied()
+            .collect();
+        for f in fired {
+            self.scheduled.remove(&f);
+        }
+    }
+}
+
+impl Node for IccNode {
+    type Msg = ConsensusMessage;
+    type External = Command;
+    type Output = NodeEvent;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let step = self.core.start(ctx.now());
+        self.apply(ctx, step);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        _from: NodeIndex,
+        msg: Self::Msg,
+    ) {
+        let step = self.core.on_message(ctx.now(), &msg);
+        self.apply(ctx, step);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>, _tag: u64) {
+        self.prune_fired(ctx.now());
+        let step = self.core.on_wakeup(ctx.now());
+        self.apply(ctx, step);
+    }
+
+    fn on_external(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        input: Self::External,
+    ) {
+        self.core.on_command(input);
+        // A command alone triggers no protocol step; it is picked up at
+        // the next proposal. No wake-up needed.
+        let _ = ctx;
+    }
+}

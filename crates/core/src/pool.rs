@@ -1,0 +1,810 @@
+//! The message pool (paper §3.1, §3.4).
+//!
+//! Each party holds a pool of all artifacts it has received (including
+//! from itself); nothing is ever deleted (§3.1 — an optional
+//! [`Pool::purge_below`] implements the optimization the paper mentions
+//! but elides). The pool classifies each block as *authentic*, *valid*,
+//! *notarized* or *finalized* **for this party** exactly per §3.4:
+//!
+//! * **authentic** — an authenticator (valid `S_auth` signature by the
+//!   claimed proposer) is present;
+//! * **valid** — authentic, and its parent is a *notarized* block of the
+//!   previous round in this pool (`root` for round 1); validity is a
+//!   property of the whole ancestor chain;
+//! * **notarized** — valid with a verified `(n−t)` notarization present;
+//! * **finalized** — valid with a verified `(n−t)` finalization present.
+//!
+//! All signatures are verified on insertion; artifacts that fail
+//! verification are dropped (and counted). Beacon shares are the one
+//! exception: they can only be verified once the *previous* beacon value
+//! is known, so they are held and verified at combine time.
+
+use crate::keys::PublicSetup;
+use icc_crypto::beacon::{beacon_sign_message, BeaconValue};
+use icc_crypto::threshold::ThresholdSigShare;
+use icc_crypto::Hash256;
+use icc_types::block::HashedBlock;
+use icc_types::messages::{
+    domains, BlockRef, ConsensusMessage, Finalization, FinalizationShare, Notarization,
+    NotarizationShare,
+};
+use icc_types::Round;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// The per-party artifact pool and block classifier.
+#[derive(Debug)]
+pub struct Pool {
+    setup: Arc<PublicSetup>,
+    blocks: HashMap<Hash256, HashedBlock>,
+    by_round: BTreeMap<Round, Vec<Hash256>>,
+    authentic: HashSet<Hash256>,
+    valid: HashSet<Hash256>,
+    notarized: HashSet<Hash256>,
+    finalized: HashSet<Hash256>,
+    authenticators: HashMap<Hash256, icc_crypto::sig::Signature>,
+    notarizations: HashMap<Hash256, Notarization>,
+    finalizations: HashMap<Hash256, Finalization>,
+    notarization_shares: HashMap<Hash256, BTreeMap<u32, NotarizationShare>>,
+    finalization_shares: HashMap<Hash256, BTreeMap<u32, FinalizationShare>>,
+    /// Round index over finalization-share targets, so the Fig. 2 scan
+    /// is O(active rounds), not O(history).
+    finalization_share_rounds: BTreeMap<Round, HashSet<Hash256>>,
+    /// Aggregates whose block is not yet valid, awaiting promotion.
+    pending_notarized: HashSet<Hash256>,
+    pending_finalized: HashSet<Hash256>,
+    refs: HashMap<Hash256, BlockRef>,
+    beacon_shares: BTreeMap<Round, BTreeMap<u32, ThresholdSigShare>>,
+    beacons: BTreeMap<Round, BeaconValue>,
+    /// Blocks that are authentic but not yet valid (awaiting ancestors).
+    pending_validity: HashSet<Hash256>,
+    /// Finalized blocks indexed by round (P2 guarantees at most one).
+    finalized_by_round: BTreeMap<Round, Hash256>,
+    rejected: u64,
+}
+
+impl Pool {
+    /// An empty pool for a party of the given setup. The genesis block
+    /// is pre-inserted as valid, notarized and finalized (§3.4: `root`
+    /// serves as its own authenticator, notarization and finalization),
+    /// and `R_0` as the round-0 beacon.
+    pub fn new(setup: Arc<PublicSetup>) -> Pool {
+        let genesis = setup.genesis.clone();
+        let ghash = genesis.hash();
+        let mut pool = Pool {
+            setup,
+            blocks: HashMap::new(),
+            by_round: BTreeMap::new(),
+            authentic: HashSet::new(),
+            authenticators: HashMap::new(),
+            valid: HashSet::new(),
+            notarized: HashSet::new(),
+            finalized: HashSet::new(),
+            notarizations: HashMap::new(),
+            finalizations: HashMap::new(),
+            notarization_shares: HashMap::new(),
+            finalization_shares: HashMap::new(),
+            finalization_share_rounds: BTreeMap::new(),
+            pending_notarized: HashSet::new(),
+            pending_finalized: HashSet::new(),
+            refs: HashMap::new(),
+            beacon_shares: BTreeMap::new(),
+            beacons: BTreeMap::new(),
+            pending_validity: HashSet::new(),
+            finalized_by_round: BTreeMap::new(),
+            rejected: 0,
+        };
+        pool.beacons.insert(Round::GENESIS, pool.setup.genesis_beacon);
+        pool.blocks.insert(ghash, genesis);
+        pool.by_round.insert(Round::GENESIS, vec![ghash]);
+        pool.authentic.insert(ghash);
+        pool.valid.insert(ghash);
+        pool.notarized.insert(ghash);
+        pool.finalized.insert(ghash);
+        pool.finalized_by_round.insert(Round::GENESIS, ghash);
+        pool
+    }
+
+    /// Number of artifacts rejected for failing verification.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Inserts an incoming message's artifacts, verifying signatures.
+    /// Returns `true` if anything new and valid entered the pool.
+    pub fn insert(&mut self, msg: &ConsensusMessage) -> bool {
+        let changed = match msg {
+            ConsensusMessage::Proposal(p) => {
+                let mut changed = false;
+                if let Some(n) = &p.parent_notarization {
+                    changed |= self.insert_notarization(n.clone());
+                }
+                changed |= self.insert_block(p.block.clone(), &p.authenticator);
+                changed
+            }
+            ConsensusMessage::NotarizationShare(s) => self.insert_notarization_share(*s),
+            ConsensusMessage::Notarization(n) => self.insert_notarization(n.clone()),
+            ConsensusMessage::FinalizationShare(s) => self.insert_finalization_share(*s),
+            ConsensusMessage::Finalization(f) => self.insert_finalization(f.clone()),
+            ConsensusMessage::BeaconShare(b) => {
+                // Held unverified until the previous beacon is known.
+                self.beacon_shares
+                    .entry(b.round)
+                    .or_default()
+                    .insert(b.share.signer, b.share)
+                    .is_none()
+            }
+        };
+        if changed {
+            self.recheck_validity();
+        }
+        changed
+    }
+
+    fn insert_block(
+        &mut self,
+        block: HashedBlock,
+        authenticator: &icc_crypto::sig::Signature,
+    ) -> bool {
+        let hash = block.hash();
+        if self.authentic.contains(&hash) {
+            return false;
+        }
+        let block_ref = BlockRef::of_hashed(&block);
+        if block.round().is_genesis() {
+            self.rejected += 1;
+            return false;
+        }
+        let Some(pk) = self.setup.auth_keys.get(block.proposer().as_usize()) else {
+            self.rejected += 1;
+            return false;
+        };
+        if !pk.verify(domains::AUTH, &block_ref.sign_bytes(), authenticator) {
+            self.rejected += 1;
+            return false;
+        }
+        self.refs.insert(hash, block_ref);
+        self.blocks.insert(hash, block.clone());
+        self.by_round.entry(block.round()).or_default().push(hash);
+        self.authentic.insert(hash);
+        self.authenticators.insert(hash, *authenticator);
+        self.pending_validity.insert(hash);
+        true
+    }
+
+    /// Inserts a verified notarization (also used by the node after
+    /// combining shares itself).
+    pub fn insert_notarization(&mut self, n: Notarization) -> bool {
+        if self.notarizations.contains_key(&n.block_ref.hash) {
+            return false;
+        }
+        if !self.setup.notary.verify(&n.block_ref.sign_bytes(), &n.sig) {
+            self.rejected += 1;
+            return false;
+        }
+        let hash = n.block_ref.hash;
+        self.refs.insert(hash, n.block_ref);
+        self.notarizations.insert(hash, n);
+        if self.valid.contains(&hash) {
+            self.notarized.insert(hash);
+        } else {
+            self.pending_notarized.insert(hash);
+        }
+        self.recheck_validity();
+        true
+    }
+
+    /// Inserts a verified finalization (also used after combining).
+    pub fn insert_finalization(&mut self, f: Finalization) -> bool {
+        if self.finalizations.contains_key(&f.block_ref.hash) {
+            return false;
+        }
+        if !self.setup.finality.verify(&f.block_ref.sign_bytes(), &f.sig) {
+            self.rejected += 1;
+            return false;
+        }
+        let hash = f.block_ref.hash;
+        self.refs.insert(hash, f.block_ref);
+        self.finalizations.insert(hash, f);
+        if self.valid.contains(&hash) {
+            self.mark_finalized(hash);
+        } else {
+            self.pending_finalized.insert(hash);
+        }
+        self.recheck_validity();
+        true
+    }
+
+    fn insert_notarization_share(&mut self, s: NotarizationShare) -> bool {
+        if !self
+            .setup
+            .notary
+            .verify_share(&s.block_ref.sign_bytes(), &s.share)
+        {
+            self.rejected += 1;
+            return false;
+        }
+        self.refs.insert(s.block_ref.hash, s.block_ref);
+        self.notarization_shares
+            .entry(s.block_ref.hash)
+            .or_default()
+            .insert(s.share.signer, s)
+            .is_none()
+    }
+
+    fn insert_finalization_share(&mut self, s: FinalizationShare) -> bool {
+        if !self
+            .setup
+            .finality
+            .verify_share(&s.block_ref.sign_bytes(), &s.share)
+        {
+            self.rejected += 1;
+            return false;
+        }
+        self.refs.insert(s.block_ref.hash, s.block_ref);
+        self.finalization_share_rounds
+            .entry(s.block_ref.round)
+            .or_default()
+            .insert(s.block_ref.hash);
+        self.finalization_shares
+            .entry(s.block_ref.hash)
+            .or_default()
+            .insert(s.share.signer, s)
+            .is_none()
+    }
+
+    /// Recomputes the valid / notarized / finalized classification to a
+    /// fixpoint (§3.4). Cheap: only blocks whose status can still change
+    /// are revisited.
+    fn recheck_validity(&mut self) {
+        let genesis_hash = self.setup.genesis.hash();
+        loop {
+            let mut newly_valid = Vec::new();
+            for &hash in &self.pending_validity {
+                let block = &self.blocks[&hash];
+                let parent_ok = if block.round() == Round::new(1) {
+                    block.parent() == genesis_hash
+                } else {
+                    self.notarized.contains(&block.parent())
+                };
+                // The parent must sit exactly one round below; the hash
+                // link plus per-round bookkeeping guarantees this when
+                // the parent is known, but a malicious proposer could
+                // reference a notarized block of the wrong round.
+                let depth_ok = parent_ok
+                    && self
+                        .blocks
+                        .get(&block.parent())
+                        .is_some_and(|p| p.round().next() == block.round());
+                if depth_ok {
+                    newly_valid.push(hash);
+                }
+            }
+            if newly_valid.is_empty() {
+                break;
+            }
+            for hash in newly_valid {
+                self.pending_validity.remove(&hash);
+                self.valid.insert(hash);
+                // Promote aggregates that arrived before validity; a
+                // newly notarized parent may validate children on the
+                // next fixpoint iteration.
+                if self.pending_notarized.remove(&hash) {
+                    self.notarized.insert(hash);
+                }
+                if self.pending_finalized.remove(&hash) {
+                    self.mark_finalized(hash);
+                }
+            }
+        }
+    }
+
+    fn mark_finalized(&mut self, hash: Hash256) {
+        if self.finalized.insert(hash) {
+            let round = self.blocks[&hash].round();
+            self.finalized_by_round.insert(round, hash);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The block body for `hash`, if present.
+    pub fn block(&self, hash: &Hash256) -> Option<&HashedBlock> {
+        self.blocks.get(hash)
+    }
+
+    /// The stored authenticator for `hash` (needed to echo a block).
+    pub fn authenticator_of(&self, hash: &Hash256) -> Option<icc_crypto::sig::Signature> {
+        self.authenticators.get(hash).copied()
+    }
+
+    /// Whether `hash` is valid for this party.
+    pub fn is_valid(&self, hash: &Hash256) -> bool {
+        self.valid.contains(hash)
+    }
+
+    /// Whether `hash` is notarized for this party.
+    pub fn is_notarized(&self, hash: &Hash256) -> bool {
+        self.notarized.contains(hash)
+    }
+
+    /// Whether `hash` is finalized for this party.
+    pub fn is_finalized(&self, hash: &Hash256) -> bool {
+        self.finalized.contains(hash)
+    }
+
+    /// All valid blocks of `round`, in insertion order.
+    pub fn valid_blocks(&self, round: Round) -> Vec<&HashedBlock> {
+        self.by_round
+            .get(&round)
+            .into_iter()
+            .flatten()
+            .filter(|h| self.valid.contains(*h))
+            .map(|h| &self.blocks[h])
+            .collect()
+    }
+
+    /// Any notarized block of `round` (the first to become notarized
+    /// in this pool), with its notarization.
+    pub fn notarized_block(&self, round: Round) -> Option<(&HashedBlock, &Notarization)> {
+        self.by_round.get(&round).into_iter().flatten().find_map(|h| {
+            if self.notarized.contains(h) {
+                Some((&self.blocks[h], &self.notarizations[h]))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// All notarized blocks of `round`.
+    pub fn notarized_blocks(&self, round: Round) -> Vec<&HashedBlock> {
+        self.by_round
+            .get(&round)
+            .into_iter()
+            .flatten()
+            .filter(|h| self.notarized.contains(*h))
+            .map(|h| &self.blocks[h])
+            .collect()
+    }
+
+    /// The notarization for `hash`, if present.
+    pub fn notarization_of(&self, hash: &Hash256) -> Option<&Notarization> {
+        self.notarizations.get(hash)
+    }
+
+    /// The finalization for `hash`, if present.
+    pub fn finalization_of(&self, hash: &Hash256) -> Option<&Finalization> {
+        self.finalizations.get(hash)
+    }
+
+    /// A *valid but non-notarized* block of `round` holding a full set
+    /// of `n − t` notarization shares; combines them (Fig. 1 clause (a)).
+    pub fn completable_notarization(&self, round: Round) -> Option<Notarization> {
+        let need = self.setup.config.notarization_threshold();
+        for h in self.by_round.get(&round).into_iter().flatten() {
+            if !self.valid.contains(h) || self.notarized.contains(h) {
+                continue;
+            }
+            if let Some(shares) = self.notarization_shares.get(h) {
+                if shares.len() >= need {
+                    let block_ref = self.refs[h];
+                    let sig = self
+                        .setup
+                        .notary
+                        .combine(&block_ref.sign_bytes(), shares.values().map(|s| s.share))
+                        .expect("shares were verified on insertion");
+                    return Some(Notarization { block_ref, sig });
+                }
+            }
+        }
+        None
+    }
+
+    /// A *valid but non-finalized* block of round > `above` holding a
+    /// full set of finalization shares; combines them (Fig. 2 case ii).
+    pub fn completable_finalization(&self, above: Round) -> Option<Finalization> {
+        let need = self.setup.config.finalization_threshold();
+        for hashes in self
+            .finalization_share_rounds
+            .range(above.next()..)
+            .map(|(_, hs)| hs)
+        {
+            for h in hashes {
+                let shares = &self.finalization_shares[h];
+                if shares.len() < need || !self.valid.contains(h) || self.finalized.contains(h) {
+                    continue;
+                }
+                let block_ref = self.refs[h];
+                let sig = self
+                    .setup
+                    .finality
+                    .combine(&block_ref.sign_bytes(), shares.values().map(|s| s.share))
+                    .expect("shares were verified on insertion");
+                return Some(Finalization { block_ref, sig });
+            }
+        }
+        None
+    }
+
+    /// The highest finalized block with round > `above`, if any
+    /// (Fig. 2 case i).
+    pub fn finalized_above(&self, above: Round) -> Option<&HashedBlock> {
+        self.finalized_by_round
+            .range(above.next()..)
+            .next_back()
+            .map(|(_, h)| &self.blocks[h])
+    }
+
+    /// The chain of blocks `(above, k]` ending at `block` (ancestors
+    /// first). Returns `None` if any ancestor body is missing — which
+    /// cannot happen for a block that is valid for this party.
+    pub fn chain_back_to(&self, block: &HashedBlock, above: Round) -> Option<Vec<HashedBlock>> {
+        let mut chain = Vec::new();
+        let mut cur = block.clone();
+        while cur.round() > above {
+            let parent = cur.parent();
+            let next = if cur.round() == Round::new(1) {
+                None
+            } else {
+                Some(self.blocks.get(&parent)?.clone())
+            };
+            chain.push(cur);
+            match next {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    // ------------------------------------------------------------------
+    // Beacon
+    // ------------------------------------------------------------------
+
+    /// The computed beacon value for `round`, if known.
+    pub fn beacon(&self, round: Round) -> Option<&BeaconValue> {
+        self.beacons.get(&round)
+    }
+
+    /// Attempts to compute the round-`round` beacon from held shares.
+    /// Requires `R_{round−1}`; invalid shares are discarded on the way.
+    /// Returns the value if newly computed.
+    pub fn try_compute_beacon(&mut self, round: Round) -> Option<BeaconValue> {
+        if self.beacons.contains_key(&round) {
+            return None;
+        }
+        let prev = *self.beacons.get(&round.prev()?)?;
+        let msg = beacon_sign_message(round.get(), &prev);
+        let shares = self.beacon_shares.entry(round).or_default();
+        // Drop shares that fail verification now that we can check them.
+        let setup = &self.setup;
+        let mut dropped = 0u64;
+        shares.retain(|_, s| {
+            let ok = setup.beacon.verify_share(&msg, s);
+            if !ok {
+                dropped += 1;
+            }
+            ok
+        });
+        self.rejected += dropped;
+        if shares.len() < self.setup.config.beacon_threshold() {
+            return None;
+        }
+        let sig = self
+            .setup
+            .beacon
+            .combine(&msg, shares.values().copied())
+            .expect("verified shares combine");
+        let value = BeaconValue::Signature(sig);
+        self.beacons.insert(round, value);
+        Some(value)
+    }
+
+    /// Number of (unverified) shares held for the round-`round` beacon.
+    pub fn beacon_share_count(&self, round: Round) -> usize {
+        self.beacon_shares.get(&round).map_or(0, BTreeMap::len)
+    }
+
+    /// Discards artifacts strictly below `round` — the garbage-collection
+    /// optimization §3.1 alludes to. Never discards finalized chain
+    /// entries' bodies at or below the bar that later rounds reference.
+    pub fn purge_below(&mut self, round: Round) {
+        let keep: HashSet<Hash256> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.round() >= round || b.round().is_genesis())
+            .map(|(h, _)| *h)
+            .collect();
+        self.blocks.retain(|h, _| keep.contains(h));
+        self.by_round.retain(|r, _| *r >= round || r.is_genesis());
+        self.authentic.retain(|h| keep.contains(h));
+        self.authenticators.retain(|h, _| keep.contains(h));
+        self.valid.retain(|h| keep.contains(h));
+        self.notarized.retain(|h| keep.contains(h));
+        self.finalized.retain(|h| keep.contains(h));
+        self.notarizations.retain(|h, _| keep.contains(h));
+        self.finalizations.retain(|h, _| keep.contains(h));
+        self.notarization_shares.retain(|h, _| keep.contains(h));
+        self.finalization_shares.retain(|h, _| keep.contains(h));
+        self.finalization_share_rounds.retain(|r, _| *r >= round);
+        self.pending_notarized.retain(|h| keep.contains(h));
+        self.pending_finalized.retain(|h| keep.contains(h));
+        self.pending_validity.retain(|h| keep.contains(h));
+        self.finalized_by_round.retain(|r, _| *r >= round || r.is_genesis());
+        self.beacon_shares.retain(|r, _| *r >= round);
+        // Keep the last beacon below the bar: the next round's message
+        // chains from it.
+        let last_needed = round.prev().unwrap_or(Round::GENESIS);
+        self.beacons.retain(|r, _| *r >= last_needed);
+    }
+
+    /// Total number of block bodies held (diagnostics).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts;
+    use crate::keys::{generate_keys, NodeKeys};
+    use icc_types::block::{Block, Payload};
+    use icc_types::SubnetConfig;
+
+    fn keys() -> Vec<NodeKeys> {
+        generate_keys(SubnetConfig::new(4), 11)
+    }
+
+    fn block_at(keys: &NodeKeys, round: u64, parent: Hash256, tag: u8) -> HashedBlock {
+        Block::new(
+            Round::new(round),
+            keys.index,
+            parent,
+            Payload::from_commands(vec![icc_types::Command::new(vec![tag])]),
+        )
+        .into_hashed()
+    }
+
+    fn notarize(keys: &[NodeKeys], block: &HashedBlock) -> Notarization {
+        let r = BlockRef::of_hashed(block);
+        let shares = keys
+            .iter()
+            .take(keys[0].setup.config.notarization_threshold())
+            .map(|k| artifacts::notarization_share(k, r).share);
+        Notarization {
+            block_ref: r,
+            sig: keys[0].setup.notary.combine(&r.sign_bytes(), shares).unwrap(),
+        }
+    }
+
+    fn finalize(keys: &[NodeKeys], block: &HashedBlock) -> Finalization {
+        let r = BlockRef::of_hashed(block);
+        let shares = keys
+            .iter()
+            .take(keys[0].setup.config.finalization_threshold())
+            .map(|k| artifacts::finalization_share(k, r).share);
+        Finalization {
+            block_ref: r,
+            sig: keys[0].setup.finality.combine(&r.sign_bytes(), shares).unwrap(),
+        }
+    }
+
+    #[test]
+    fn genesis_preclassified() {
+        let ks = keys();
+        let pool = Pool::new(Arc::clone(&ks[0].setup));
+        let g = ks[0].setup.genesis.hash();
+        assert!(pool.is_valid(&g));
+        assert!(pool.is_notarized(&g));
+        assert!(pool.is_finalized(&g));
+        assert_eq!(pool.beacon(Round::GENESIS), Some(&ks[0].setup.genesis_beacon));
+    }
+
+    #[test]
+    fn round1_block_becomes_valid_then_notarized() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b = block_at(&ks[1], 1, ks[0].setup.genesis.hash(), 1);
+        let p = artifacts::proposal(&ks[1], b.clone(), None);
+        assert!(pool.insert(&ConsensusMessage::Proposal(p)));
+        assert!(pool.is_valid(&b.hash()));
+        assert!(!pool.is_notarized(&b.hash()));
+        let n = notarize(&ks, &b);
+        assert!(pool.insert(&ConsensusMessage::Notarization(n)));
+        assert!(pool.is_notarized(&b.hash()));
+        assert_eq!(pool.notarized_block(Round::new(1)).unwrap().0.hash(), b.hash());
+    }
+
+    #[test]
+    fn forged_authenticator_rejected() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b = block_at(&ks[1], 1, ks[0].setup.genesis.hash(), 1);
+        // Signed by party 2, claiming to be party 1's block.
+        let mut p = artifacts::proposal(&ks[1], b, None);
+        p.authenticator = ks[2].auth.sign(domains::AUTH, b"junk");
+        assert!(!pool.insert(&ConsensusMessage::Proposal(p)));
+        assert_eq!(pool.rejected_count(), 1);
+        assert!(pool.valid_blocks(Round::new(1)).is_empty());
+    }
+
+    #[test]
+    fn orphan_block_validates_when_parent_notarizes() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b1 = block_at(&ks[1], 1, ks[0].setup.genesis.hash(), 1);
+        let b2 = block_at(&ks[2], 2, b1.hash(), 2);
+        // Child arrives first: authentic but not valid.
+        let p2 = artifacts::proposal(&ks[2], b2.clone(), Some(notarize(&ks, &b1)));
+        pool.insert(&ConsensusMessage::Proposal(p2));
+        assert!(!pool.is_valid(&b2.hash()));
+        // Parent proposal arrives: the notarization (already held) plus
+        // the body make the parent notarized, cascading to the child.
+        let p1 = artifacts::proposal(&ks[1], b1.clone(), None);
+        pool.insert(&ConsensusMessage::Proposal(p1));
+        assert!(pool.is_notarized(&b1.hash()));
+        assert!(pool.is_valid(&b2.hash()));
+    }
+
+    #[test]
+    fn completable_notarization_requires_quorum_and_validity() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b = block_at(&ks[0], 1, ks[0].setup.genesis.hash(), 1);
+        let r = BlockRef::of_hashed(&b);
+        pool.insert(&ConsensusMessage::Proposal(artifacts::proposal(&ks[0], b.clone(), None)));
+        // Two of three required shares: not completable.
+        for k in &ks[..2] {
+            pool.insert(&ConsensusMessage::NotarizationShare(
+                artifacts::notarization_share(k, r),
+            ));
+        }
+        assert!(pool.completable_notarization(Round::new(1)).is_none());
+        pool.insert(&ConsensusMessage::NotarizationShare(
+            artifacts::notarization_share(&ks[2], r),
+        ));
+        let n = pool.completable_notarization(Round::new(1)).unwrap();
+        assert_eq!(n.block_ref.hash, b.hash());
+        assert!(ks[0].setup.notary.verify(&r.sign_bytes(), &n.sig));
+        // Once notarized, it is no longer "completable".
+        pool.insert_notarization(n);
+        assert!(pool.completable_notarization(Round::new(1)).is_none());
+    }
+
+    #[test]
+    fn invalid_share_rejected_and_counted() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b = block_at(&ks[0], 1, ks[0].setup.genesis.hash(), 1);
+        let r = BlockRef::of_hashed(&b);
+        let mut s = artifacts::notarization_share(&ks[1], r);
+        s.share.signer = 2; // claim someone else produced it
+        assert!(!pool.insert(&ConsensusMessage::NotarizationShare(s)));
+        assert_eq!(pool.rejected_count(), 1);
+    }
+
+    #[test]
+    fn finalization_flow_and_chain_walk() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b1 = block_at(&ks[1], 1, ks[0].setup.genesis.hash(), 1);
+        let b2 = block_at(&ks[2], 2, b1.hash(), 2);
+        pool.insert(&ConsensusMessage::Proposal(artifacts::proposal(&ks[1], b1.clone(), None)));
+        pool.insert(&ConsensusMessage::Notarization(notarize(&ks, &b1)));
+        pool.insert(&ConsensusMessage::Proposal(artifacts::proposal(
+            &ks[2],
+            b2.clone(),
+            Some(notarize(&ks, &b1)),
+        )));
+        pool.insert(&ConsensusMessage::Notarization(notarize(&ks, &b2)));
+        assert!(pool.finalized_above(Round::GENESIS).is_none());
+        pool.insert(&ConsensusMessage::Finalization(finalize(&ks, &b2)));
+        let f = pool.finalized_above(Round::GENESIS).unwrap();
+        assert_eq!(f.hash(), b2.hash());
+        let chain = pool.chain_back_to(&b2, Round::GENESIS).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].hash(), b1.hash());
+        assert_eq!(chain[1].hash(), b2.hash());
+        let partial = pool.chain_back_to(&b2, Round::new(1)).unwrap();
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial[0].hash(), b2.hash());
+    }
+
+    #[test]
+    fn completable_finalization() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b1 = block_at(&ks[1], 1, ks[0].setup.genesis.hash(), 1);
+        let r = BlockRef::of_hashed(&b1);
+        pool.insert(&ConsensusMessage::Proposal(artifacts::proposal(&ks[1], b1.clone(), None)));
+        for k in &ks[..3] {
+            pool.insert(&ConsensusMessage::FinalizationShare(
+                artifacts::finalization_share(k, r),
+            ));
+        }
+        let f = pool.completable_finalization(Round::GENESIS).unwrap();
+        assert_eq!(f.block_ref.hash, b1.hash());
+        // Not completable below the bar.
+        assert!(pool.completable_finalization(Round::new(1)).is_none());
+    }
+
+    #[test]
+    fn beacon_combines_at_threshold_and_drops_bad_shares() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let r1 = Round::new(1);
+        let prev = ks[0].setup.genesis_beacon;
+        // A garbage share (wrong round message) plus one good one: not
+        // enough.
+        let bad = artifacts::beacon_share(&ks[3], Round::new(2), &prev);
+        pool.insert(&ConsensusMessage::BeaconShare(icc_types::messages::BeaconShare {
+            round: r1,
+            share: bad.share,
+        }));
+        pool.insert(&ConsensusMessage::BeaconShare(artifacts::beacon_share(&ks[0], r1, &prev)));
+        assert!(pool.try_compute_beacon(r1).is_none());
+        assert_eq!(pool.beacon_share_count(r1), 1, "bad share dropped");
+        // A second good share reaches t + 1 = 2.
+        pool.insert(&ConsensusMessage::BeaconShare(artifacts::beacon_share(&ks[1], r1, &prev)));
+        let v = pool.try_compute_beacon(r1).unwrap();
+        assert_eq!(pool.beacon(r1), Some(&v));
+        // Beacon values chain: round 2 now computable from new shares.
+        pool.insert(&ConsensusMessage::BeaconShare(artifacts::beacon_share(&ks[0], Round::new(2), &v)));
+        pool.insert(&ConsensusMessage::BeaconShare(artifacts::beacon_share(&ks[2], Round::new(2), &v)));
+        assert!(pool.try_compute_beacon(Round::new(2)).is_some());
+    }
+
+    #[test]
+    fn wrong_depth_parent_rejected() {
+        // A malicious proposer extends a round-1 block with a "round 3"
+        // child; the child must never become valid.
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b1 = block_at(&ks[1], 1, ks[0].setup.genesis.hash(), 1);
+        pool.insert(&ConsensusMessage::Proposal(artifacts::proposal(&ks[1], b1.clone(), None)));
+        pool.insert(&ConsensusMessage::Notarization(notarize(&ks, &b1)));
+        let bad = block_at(&ks[2], 3, b1.hash(), 9);
+        pool.insert(&ConsensusMessage::Proposal(artifacts::proposal(&ks[2], bad.clone(), None)));
+        assert!(!pool.is_valid(&bad.hash()));
+    }
+
+    #[test]
+    fn purge_below_keeps_recent_and_genesis() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b1 = block_at(&ks[1], 1, ks[0].setup.genesis.hash(), 1);
+        let b2 = block_at(&ks[2], 2, b1.hash(), 2);
+        pool.insert(&ConsensusMessage::Proposal(artifacts::proposal(&ks[1], b1.clone(), None)));
+        pool.insert(&ConsensusMessage::Notarization(notarize(&ks, &b1)));
+        pool.insert(&ConsensusMessage::Proposal(artifacts::proposal(
+            &ks[2],
+            b2.clone(),
+            Some(notarize(&ks, &b1)),
+        )));
+        assert_eq!(pool.block_count(), 3); // genesis + 2
+        pool.purge_below(Round::new(2));
+        assert_eq!(pool.block_count(), 2); // genesis + b2
+        assert!(pool.block(&b1.hash()).is_none());
+        assert!(pool.block(&b2.hash()).is_some());
+    }
+
+    #[test]
+    fn duplicate_inserts_are_noops() {
+        let ks = keys();
+        let mut pool = Pool::new(Arc::clone(&ks[0].setup));
+        let b = block_at(&ks[1], 1, ks[0].setup.genesis.hash(), 1);
+        let p = ConsensusMessage::Proposal(artifacts::proposal(&ks[1], b.clone(), None));
+        assert!(pool.insert(&p));
+        assert!(!pool.insert(&p));
+        let s = ConsensusMessage::NotarizationShare(artifacts::notarization_share(
+            &ks[0],
+            BlockRef::of_hashed(&b),
+        ));
+        assert!(pool.insert(&s));
+        assert!(!pool.insert(&s));
+    }
+}

@@ -1,0 +1,321 @@
+//! Arithmetic in the prime field GF(p) with p = 2^61 − 1 (a Mersenne
+//! prime).
+//!
+//! This field underlies the simulation-grade linear signature schemes
+//! ([`crate::sig`], [`crate::multisig`], [`crate::threshold`]) and the
+//! Shamir secret sharing in [`crate::shamir`]. The Mersenne structure
+//! makes reduction branch-light and multiplication exact via `u128`
+//! intermediates. Security of the field size is irrelevant here — see the
+//! crate-level security note.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus, the Mersenne prime 2^61 − 1.
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// An element of GF(2^61 − 1), kept in canonical reduced form `0 <= v < P`.
+///
+/// # Example
+///
+/// ```
+/// use icc_crypto::Fp;
+/// let a = Fp::new(7);
+/// let b = Fp::new(3);
+/// assert_eq!(a * b / b, a);
+/// assert_eq!(a - a, Fp::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Constructs an element, reducing `v` modulo p.
+    pub fn new(v: u64) -> Fp {
+        Fp(v % P)
+    }
+
+    /// Returns the canonical representative in `0..P`.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the additive identity.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Fast reduction of a 128-bit product using the Mersenne structure:
+    /// `x ≡ (x mod 2^61) + (x >> 61)  (mod 2^61 − 1)`.
+    fn reduce128(x: u128) -> u64 {
+        let lo = (x as u64) & P;
+        let hi = x >> 61;
+        let mut r = lo as u128 + hi;
+        // hi can be up to ~2^67, so fold once more.
+        r = (r & P as u128) + (r >> 61);
+        let mut r = r as u64;
+        if r >= P {
+            r -= P;
+        }
+        r
+    }
+
+    /// Exponentiation by squaring.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use icc_crypto::Fp;
+    /// assert_eq!(Fp::new(2).pow(10), Fp::new(1024));
+    /// ```
+    pub fn pow(self, mut e: u64) -> Fp {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(p−2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero — zero has no inverse; callers in this
+    /// workspace guarantee non-zero inputs (e.g. distinct Shamir x-coords).
+    pub fn inv(self) -> Fp {
+        assert!(!self.is_zero(), "attempted to invert zero in GF(2^61-1)");
+        self.pow(P - 2)
+    }
+
+    /// Maps arbitrary bytes to a field element via the low 61 bits of a
+    /// `u64`, never returning zero (zero would make `h(m)` lose the
+    /// message, so it maps to one instead).
+    pub fn from_u64_nonzero(v: u64) -> Fp {
+        let f = Fp::new(v);
+        if f.is_zero() {
+            Fp::ONE
+        } else {
+            f
+        }
+    }
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Fp {
+        Fp::new(v)
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+    fn add(self, rhs: Fp) -> Fp {
+        let mut r = self.0 + rhs.0; // < 2^62, no overflow
+        if r >= P {
+            r -= P;
+        }
+        Fp(r)
+    }
+}
+
+impl AddAssign for Fp {
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+    fn sub(self, rhs: Fp) -> Fp {
+        let r = if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + P - rhs.0
+        };
+        Fp(r)
+    }
+}
+
+impl SubAssign for Fp {
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        Fp::ZERO - self
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp(Fp::reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl MulAssign for Fp {
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Fp {
+    type Output = Fp;
+    /// # Panics
+    ///
+    /// Panics on division by zero (see [`Fp::inv`]).
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a·b⁻¹ is the definition
+    fn div(self, rhs: Fp) -> Fp {
+        self * rhs.inv()
+    }
+}
+
+impl Sum for Fp {
+    fn sum<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ZERO, Add::add)
+    }
+}
+
+impl Product for Fp {
+    fn product<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ONE, Mul::mul)
+    }
+}
+
+/// Samples a uniformly random field element.
+pub fn random_fp(rng: &mut impl rand::Rng) -> Fp {
+    // Rejection sampling over 61-bit candidates keeps the distribution
+    // exactly uniform.
+    loop {
+        let v = rng.gen::<u64>() & P;
+        if v < P {
+            return Fp(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(P, 2305843009213693951);
+        assert_eq!(Fp::ZERO + Fp::ONE, Fp::ONE);
+    }
+
+    #[test]
+    fn add_wraps_at_modulus() {
+        assert_eq!(Fp::new(P - 1) + Fp::ONE, Fp::ZERO);
+        assert_eq!(Fp::new(P - 1) + Fp::new(P - 1), Fp::new(P - 2));
+    }
+
+    #[test]
+    fn sub_underflow_wraps() {
+        assert_eq!(Fp::ZERO - Fp::ONE, Fp::new(P - 1));
+    }
+
+    #[test]
+    fn neg_roundtrip() {
+        let a = Fp::new(12345);
+        assert_eq!(-(-a), a);
+        assert_eq!(a + (-a), Fp::ZERO);
+    }
+
+    #[test]
+    fn mul_max_values() {
+        // (P-1)^2 mod P == 1 since P-1 ≡ -1.
+        assert_eq!(Fp::new(P - 1) * Fp::new(P - 1), Fp::ONE);
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(Fp::new(5).pow(0), Fp::ONE);
+        assert_eq!(Fp::new(5).pow(1), Fp::new(5));
+        assert_eq!(Fp::ZERO.pow(0), Fp::ONE); // convention 0^0 = 1
+        // Fermat: a^(p-1) = 1 for a != 0.
+        assert_eq!(Fp::new(123456789).pow(P - 1), Fp::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn inv_zero_panics() {
+        let _ = Fp::ZERO.inv();
+    }
+
+    #[test]
+    fn from_u64_nonzero_never_zero() {
+        assert_eq!(Fp::from_u64_nonzero(0), Fp::ONE);
+        assert_eq!(Fp::from_u64_nonzero(P), Fp::ONE);
+        assert_eq!(Fp::from_u64_nonzero(7), Fp::new(7));
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let xs = [Fp::new(1), Fp::new(2), Fp::new(3)];
+        assert_eq!(xs.iter().copied().sum::<Fp>(), Fp::new(6));
+        assert_eq!(xs.iter().copied().product::<Fp>(), Fp::new(6));
+    }
+
+    fn arb_fp() -> impl Strategy<Value = Fp> {
+        (0..P).prop_map(Fp::new)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_mul_associative(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn prop_distributive(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_inverse(a in (1..P).prop_map(Fp::new)) {
+            prop_assert_eq!(a * a.inv(), Fp::ONE);
+        }
+
+        #[test]
+        fn prop_sub_add_roundtrip(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a - b + b, a);
+        }
+
+        #[test]
+        fn prop_reduce_canonical(a in any::<u64>(), b in any::<u64>()) {
+            let r = Fp::new(a) * Fp::new(b);
+            prop_assert!(r.value() < P);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Shamir secret sharing over GF(2^61 − 1).
+//!
+//! The paper's threshold-signature "approach (iii)" (§2.3) shares a BLS
+//! secret key with Shamir's scheme \[34\]; here the shared secret is the
+//! signing key of the linear scheme in [`crate::sig`]. Party `i` holds
+//! the evaluation `f(i+1)` of a random degree-(h−1) polynomial `f` with
+//! `f(0) = secret`; any `h` shares reconstruct by Lagrange interpolation
+//! at zero, and the same Lagrange coefficients combine *signature shares*
+//! because the scheme is linear.
+
+use crate::field::{random_fp, Fp};
+use rand::Rng;
+
+/// A single Shamir share: the evaluation of the dealer polynomial at
+/// x-coordinate `index + 1` (index is the 0-based party index; the +1
+/// offset keeps the secret at x = 0 out of the share set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Share {
+    /// 0-based party index.
+    pub index: u32,
+    /// Polynomial evaluation `f(index + 1)`.
+    pub value: Fp,
+}
+
+/// Splits `secret` into `n` shares such that any `threshold` of them
+/// reconstruct it and fewer reveal nothing.
+///
+/// # Panics
+///
+/// Panics if `threshold` is zero or exceeds `n`.
+///
+/// # Example
+///
+/// ```
+/// use icc_crypto::{Fp, shamir};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let shares = shamir::split(Fp::new(42), 3, 5, &mut rng);
+/// let got = shamir::reconstruct(&shares[1..4]).unwrap();
+/// assert_eq!(got, Fp::new(42));
+/// ```
+pub fn split(secret: Fp, threshold: usize, n: usize, rng: &mut impl Rng) -> Vec<Share> {
+    assert!(threshold >= 1, "threshold must be at least 1");
+    assert!(threshold <= n, "threshold {threshold} exceeds share count {n}");
+    // f(x) = secret + c1 x + ... + c_{h-1} x^{h-1}
+    let mut coeffs = Vec::with_capacity(threshold);
+    coeffs.push(secret);
+    for _ in 1..threshold {
+        coeffs.push(random_fp(rng));
+    }
+    (0..n as u32)
+        .map(|index| Share {
+            index,
+            value: eval_poly(&coeffs, Fp::new(u64::from(index) + 1)),
+        })
+        .collect()
+}
+
+fn eval_poly(coeffs: &[Fp], x: Fp) -> Fp {
+    // Horner's rule.
+    coeffs.iter().rev().fold(Fp::ZERO, |acc, &c| acc * x + c)
+}
+
+/// Lagrange coefficients λ_i for interpolating at x = 0 from the given
+/// 0-based party indices (x-coordinates are `index + 1`).
+///
+/// Returns `None` if the indices contain duplicates.
+pub fn lagrange_at_zero(indices: &[u32]) -> Option<Vec<Fp>> {
+    for (a, &i) in indices.iter().enumerate() {
+        if indices[a + 1..].contains(&i) {
+            return None;
+        }
+    }
+    let xs: Vec<Fp> = indices.iter().map(|&i| Fp::new(u64::from(i) + 1)).collect();
+    let mut lambdas = Vec::with_capacity(xs.len());
+    for (i, &xi) in xs.iter().enumerate() {
+        let mut num = Fp::ONE;
+        let mut den = Fp::ONE;
+        for (j, &xj) in xs.iter().enumerate() {
+            if i != j {
+                num *= xj; // (0 - xj) / (xi - xj); the two sign flips cancel
+                den *= xj - xi;
+            }
+        }
+        lambdas.push(num / den);
+    }
+    Some(lambdas)
+}
+
+/// Reconstructs the secret from at least `threshold` distinct shares.
+///
+/// Uses *all* provided shares; supplying more than the threshold is fine
+/// as long as they lie on the same polynomial. Returns `None` on
+/// duplicate indices or an empty slice.
+pub fn reconstruct(shares: &[Share]) -> Option<Fp> {
+    if shares.is_empty() {
+        return None;
+    }
+    let indices: Vec<u32> = shares.iter().map(|s| s.index).collect();
+    let lambdas = lagrange_at_zero(&indices)?;
+    Some(
+        shares
+            .iter()
+            .zip(&lambdas)
+            .map(|(s, &l)| s.value * l)
+            .sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn exact_threshold_reconstructs() {
+        let secret = Fp::new(123456);
+        let shares = split(secret, 4, 7, &mut rng());
+        assert_eq!(reconstruct(&shares[..4]), Some(secret));
+        assert_eq!(reconstruct(&shares[3..7]), Some(secret));
+    }
+
+    #[test]
+    fn extra_shares_still_reconstruct() {
+        let secret = Fp::new(5);
+        let shares = split(secret, 2, 6, &mut rng());
+        assert_eq!(reconstruct(&shares), Some(secret));
+    }
+
+    #[test]
+    fn non_contiguous_subset_reconstructs() {
+        let secret = Fp::new(777);
+        let shares = split(secret, 3, 9, &mut rng());
+        let subset = [shares[0], shares[4], shares[8]];
+        assert_eq!(reconstruct(&subset), Some(secret));
+    }
+
+    #[test]
+    fn fewer_than_threshold_gives_wrong_secret() {
+        // Information-theoretically, t-1 shares interpolate to an
+        // unrelated value (with overwhelming probability not the secret).
+        let secret = Fp::new(31337);
+        let shares = split(secret, 3, 5, &mut rng());
+        let got = reconstruct(&shares[..2]).unwrap();
+        assert_ne!(got, secret);
+    }
+
+    #[test]
+    fn threshold_one_is_replication() {
+        let secret = Fp::new(9);
+        let shares = split(secret, 1, 3, &mut rng());
+        for s in &shares {
+            assert_eq!(reconstruct(&[*s]), Some(secret));
+        }
+    }
+
+    #[test]
+    fn duplicate_indices_rejected() {
+        let shares = split(Fp::new(1), 2, 3, &mut rng());
+        assert_eq!(reconstruct(&[shares[0], shares[0]]), None);
+        assert_eq!(lagrange_at_zero(&[1, 2, 1]), None);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(reconstruct(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds share count")]
+    fn threshold_above_n_panics() {
+        split(Fp::new(1), 4, 3, &mut rng());
+    }
+
+    #[test]
+    fn lagrange_coefficients_sum_to_one_for_degree_zero() {
+        // Interpolating a constant polynomial: coefficients must sum to 1.
+        let l = lagrange_at_zero(&[0, 3, 7, 11]).unwrap();
+        assert_eq!(l.iter().copied().sum::<Fp>(), Fp::ONE);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_any_threshold_subset_reconstructs(
+            secret in 0u64..crate::field::P,
+            seed in any::<u64>(),
+            n in 3usize..12,
+            pick in any::<u64>(),
+        ) {
+            let threshold = 2 + (seed as usize % (n - 1));
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let shares = split(Fp::new(secret), threshold, n, &mut r);
+            // Pick a pseudo-random subset of exactly `threshold` shares.
+            let mut idx: Vec<usize> = (0..n).collect();
+            let mut pr = rand::rngs::StdRng::seed_from_u64(pick);
+            use rand::seq::SliceRandom;
+            idx.shuffle(&mut pr);
+            let subset: Vec<Share> = idx[..threshold].iter().map(|&i| shares[i]).collect();
+            prop_assert_eq!(reconstruct(&subset), Some(Fp::new(secret)));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Arithmetic in GF(2^8), the field underlying the Reed-Solomon codes.
+//!
+//! Uses the conventional polynomial `x^8 + x^4 + x^3 + x^2 + 1`
+//! (0x11D) with generator 2, and log/exp tables for O(1) multiplication
+//! and inversion. Tables are built once at startup.
+
+/// The reduction polynomial (without the x^8 term): 0x1D.
+const POLY: u16 = 0x11D;
+
+/// Precomputed exp/log tables.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate so exp[a + b] never needs a mod for a, b < 255.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Addition in GF(2^8) (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2^8).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on zero (no inverse exists).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "attempted to invert zero in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division `a / b`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Exponentiation `a^e`.
+pub fn pow(a: u8, mut e: u32) -> u8 {
+    let mut base = a;
+    let mut acc = 1u8;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Multiplies a byte slice by a scalar and XORs it into `dst`
+/// (`dst ^= scalar * src`), the inner loop of RS encode/decode.
+///
+/// For long slices a per-scalar 256-entry product table is built first
+/// (256 multiplications), turning the inner loop into one lookup and
+/// one XOR per byte.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], scalar: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if scalar == 0 {
+        return;
+    }
+    if scalar == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let ls = t.log[scalar as usize] as usize;
+    if src.len() < 1024 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s != 0 {
+                *d ^= t.exp[ls + t.log[*s as usize] as usize];
+            }
+        }
+        return;
+    }
+    let mut row = [0u8; 256];
+    for (v, slot) in row.iter_mut().enumerate().skip(1) {
+        *slot = t.exp[ls + t.log[v] as usize];
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor() {
+        assert_eq!(add(0b1010, 0b0110), 0b1100);
+        assert_eq!(add(7, 7), 0);
+    }
+
+    #[test]
+    fn mul_identities() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+        }
+    }
+
+    #[test]
+    fn mul_commutative_and_associative() {
+        // Spot-check a dense sample.
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        for a in (0..=255u8).step_by(5) {
+            for b in (0..=255u8).step_by(13) {
+                for c in (0..=255u8).step_by(31) {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1);
+            assert_eq!(div(mul(7, a), a), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn inv_zero_panics() {
+        inv(0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let mut acc = 1u8;
+        for e in 0..300u32 {
+            assert_eq!(pow(3, e), acc);
+            acc = mul(acc, 3);
+        }
+        // Generator order: 2^255 == 1.
+        assert_eq!(pow(2, 255), 1);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_loop() {
+        let src: Vec<u8> = (0..64u8).collect();
+        let mut a = vec![0xAA; 64];
+        let mut b = a.clone();
+        mul_acc(&mut a, &src, 0x57);
+        for (d, s) in b.iter_mut().zip(&src) {
+            *d ^= mul(*s, 0x57);
+        }
+        assert_eq!(a, b);
+        // Scalar 0 is a no-op; scalar 1 is plain XOR.
+        let before = a.clone();
+        mul_acc(&mut a, &src, 0);
+        assert_eq!(a, before);
+        mul_acc(&mut a, &src, 1);
+        for i in 0..64 {
+            assert_eq!(a[i], before[i] ^ src[i]);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Merkle trees for fragment authentication.
+//!
+//! ICC2's reliable broadcast sends each party one Reed-Solomon fragment
+//! of the block. A fragment must be *verifiable in isolation* — a
+//! corrupt sender or relayer must not be able to slip in a bogus
+//! fragment that poisons reconstruction. Each fragment therefore
+//! carries a Merkle inclusion proof against the root the sender
+//! committed to.
+
+use icc_crypto::{hash_parts, Hash256};
+
+/// A Merkle tree over a list of byte leaves.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, `levels.last()` = the root.
+    levels: Vec<Vec<Hash256>>,
+}
+
+/// An inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// The leaf's index.
+    pub index: u32,
+    /// Sibling hashes, leaf level upward.
+    pub siblings: Vec<Hash256>,
+}
+
+impl MerkleProof {
+    /// Wire size: 4-byte index + 32 bytes per sibling.
+    pub fn wire_bytes(&self) -> usize {
+        4 + 32 * self.siblings.len()
+    }
+}
+
+fn leaf_hash(data: &[u8]) -> Hash256 {
+    hash_parts("merkle-leaf", &[data])
+}
+
+fn node_hash(left: &Hash256, right: &Hash256) -> Hash256 {
+    hash_parts("merkle-node", &[left.as_bytes(), right.as_bytes()])
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves` (odd levels duplicate the last hash).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty leaf list.
+    pub fn build(leaves: &[Vec<u8>]) -> MerkleTree {
+        assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
+        let mut levels = vec![leaves.iter().map(|l| leaf_hash(l)).collect::<Vec<_>>()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let next: Vec<Hash256> = prev
+                .chunks(2)
+                .map(|pair| match pair {
+                    [a, b] => node_hash(a, b),
+                    [a] => node_hash(a, a),
+                    _ => unreachable!("chunks(2)"),
+                })
+                .collect();
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root commitment.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Whether the tree is empty (never true: construction requires a
+    /// leaf).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The inclusion proof for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn proof(&self, index: usize) -> MerkleProof {
+        assert!(index < self.len(), "leaf index out of range");
+        let mut siblings = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = if i.is_multiple_of(2) {
+                // Right sibling (or self-duplicate at a ragged edge).
+                *level.get(i + 1).unwrap_or(&level[i])
+            } else {
+                level[i - 1]
+            };
+            siblings.push(sib);
+            i /= 2;
+        }
+        MerkleProof {
+            index: index as u32,
+            siblings,
+        }
+    }
+}
+
+/// Verifies that `leaf_data` is the `proof.index`-th leaf of the tree
+/// with the given `root`.
+pub fn verify(root: &Hash256, leaf_data: &[u8], proof: &MerkleProof) -> bool {
+    let mut h = leaf_hash(leaf_data);
+    let mut i = proof.index;
+    for sib in &proof.siblings {
+        h = if i.is_multiple_of(2) {
+            node_hash(&h, sib)
+        } else {
+            node_hash(sib, &h)
+        };
+        i /= 2;
+    }
+    h == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 8 + i % 5]).collect()
+    }
+
+    #[test]
+    fn every_leaf_verifies() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 13, 40] {
+            let ls = leaves(n);
+            let tree = MerkleTree::build(&ls);
+            for (i, l) in ls.iter().enumerate() {
+                let p = tree.proof(i);
+                assert!(verify(&tree.root(), l, &p), "n={n} leaf={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_data_rejected() {
+        let ls = leaves(7);
+        let tree = MerkleTree::build(&ls);
+        let p = tree.proof(3);
+        assert!(!verify(&tree.root(), b"forged", &p));
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let ls = leaves(8);
+        let tree = MerkleTree::build(&ls);
+        let mut p = tree.proof(2);
+        p.index = 3;
+        assert!(!verify(&tree.root(), &ls[2], &p));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let ls = leaves(4);
+        let tree = MerkleTree::build(&ls);
+        let other = MerkleTree::build(&leaves(5));
+        let p = tree.proof(0);
+        assert!(!verify(&other.root(), &ls[0], &p));
+    }
+
+    #[test]
+    fn proof_depth_is_logarithmic() {
+        let tree = MerkleTree::build(&leaves(40));
+        assert_eq!(tree.proof(0).siblings.len(), 6); // ceil(log2(40))
+        assert_eq!(tree.proof(0).wire_bytes(), 4 + 6 * 32);
+    }
+
+    #[test]
+    fn cross_leaf_proof_rejected() {
+        // A proof for leaf i must not verify leaf j's data.
+        let ls = leaves(8);
+        let tree = MerkleTree::build(&ls);
+        let p = tree.proof(1);
+        assert!(!verify(&tree.root(), &ls[2], &p));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_rejected() {
+        MerkleTree::build(&[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_all_leaves_verify(
+            data in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 1..30)
+        ) {
+            let tree = MerkleTree::build(&data);
+            for (i, l) in data.iter().enumerate() {
+                prop_assert!(verify(&tree.root(), l, &tree.proof(i)));
+            }
+        }
+    }
+}

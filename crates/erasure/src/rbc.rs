@@ -1,0 +1,383 @@
+//! The erasure-coded reliable broadcast subprotocol (paper §1; new
+//! low-latency variant of Cachin-Tessaro AVID \[11\]).
+//!
+//! To disseminate a payload of size `S` to `n` parties with `t < n/3`
+//! faults at `O(S)` bits per party:
+//!
+//! 1. **Disperse** — the sender Reed-Solomon-encodes the payload into
+//!    `n` fragments (`k = t + 1` data fragments), commits to them with a
+//!    Merkle root, and sends party `i` its fragment plus inclusion
+//!    proof. Sender egress ≈ `n/k · S ≈ 3S`.
+//! 2. **Echo** — a party receiving its own valid fragment broadcasts it
+//!    to everyone. Per-party egress ≈ `n · S/k ≈ 3S`.
+//! 3. **Reconstruct** — any party holding `k` valid fragments for a
+//!    root decodes, *re-encodes*, and checks the recomputed Merkle root
+//!    (defeating a sender that commits to a non-codeword); on success
+//!    the payload is delivered, and the party echoes its own fragment
+//!    if it had not (helping stragglers).
+//!
+//! One δ for dispersal, one δ for echoes: delivery after `2δ`, which is
+//! where ICC2's `3δ` reciprocal throughput / `4δ` latency come from.
+//!
+//! [`Rbc`] is transport-agnostic: the ICC2 node feeds it fragments and
+//! acts on the returned [`RbcOutput`].
+
+use crate::merkle::{self, MerkleProof, MerkleTree};
+use crate::rs::ReedSolomon;
+use icc_crypto::Hash256;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One authenticated Reed-Solomon fragment of a dispersed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fragment {
+    /// Merkle root over all fragments of this dispersal.
+    pub root: Hash256,
+    /// Total payload length in bytes.
+    pub data_len: u64,
+    /// The fragment (= shard = party) index.
+    pub index: u32,
+    /// The shard bytes.
+    pub bytes: Vec<u8>,
+    /// Merkle inclusion proof for `(index, bytes)`.
+    pub proof: MerkleProof,
+}
+
+impl Fragment {
+    /// Wire size: root + length + index + shard bytes + proof.
+    pub fn wire_bytes(&self) -> usize {
+        32 + 8 + 4 + 8 + self.bytes.len() + self.proof.wire_bytes()
+    }
+}
+
+/// What the caller must do after feeding a fragment.
+#[derive(Debug, Default, PartialEq)]
+pub struct RbcOutput {
+    /// Broadcast this party's own fragment to everyone.
+    pub echo: Option<Fragment>,
+    /// The payload reconstructed and validated — deliver it upward.
+    pub delivered: Option<Vec<u8>>,
+}
+
+#[derive(Debug)]
+struct DispersalState {
+    fragments: BTreeMap<u32, Fragment>,
+    data_len: u64,
+    echoed: bool,
+    delivered: bool,
+}
+
+/// Per-party reliable-broadcast engine over `(k = t+1, m = n)` coding.
+#[derive(Debug)]
+pub struct Rbc {
+    rs: ReedSolomon,
+    me: u32,
+    states: HashMap<Hash256, DispersalState>,
+    /// Roots proven inconsistent (decode/re-encode mismatch).
+    poisoned: HashSet<Hash256>,
+}
+
+impl Rbc {
+    /// An RBC engine for party `me` of `n` with fault bound `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(t+1, n)` code parameters are invalid.
+    pub fn new(me: u32, n: usize, t: usize) -> Rbc {
+        Rbc {
+            rs: ReedSolomon::new(t + 1, n).expect("valid (t+1, n) code"),
+            me,
+            states: HashMap::new(),
+            poisoned: HashSet::new(),
+        }
+    }
+
+    /// The fragments a *sender* disperses for `payload` (fragment `i`
+    /// goes to party `i`). Also primes the sender's own state so it
+    /// delivers without waiting for echoes.
+    pub fn disperse(&mut self, payload: &[u8]) -> Vec<Fragment> {
+        let shards = self.rs.encode(payload);
+        let tree = MerkleTree::build(&shards);
+        let root = tree.root();
+        let fragments: Vec<Fragment> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, bytes)| Fragment {
+                root,
+                data_len: payload.len() as u64,
+                index: i as u32,
+                bytes,
+                proof: tree.proof(i),
+            })
+            .collect();
+        // The sender holds everything already; retain only its own
+        // fragment (it can re-encode the rest on demand if ever needed).
+        self.states.insert(
+            root,
+            DispersalState {
+                fragments: fragments
+                    .iter()
+                    .filter(|f| f.index == self.me)
+                    .map(|f| (f.index, f.clone()))
+                    .collect(),
+                data_len: payload.len() as u64,
+                echoed: true,
+                delivered: true,
+            },
+        );
+        fragments
+    }
+
+    /// Whether `root` has already been delivered locally.
+    pub fn is_delivered(&self, root: &Hash256) -> bool {
+        self.states.get(root).is_some_and(|s| s.delivered)
+    }
+
+    /// This party's own fragment for `root`, if known (used to re-echo
+    /// when the consensus layer asks to support a block).
+    pub fn my_fragment(&self, root: &Hash256) -> Option<&Fragment> {
+        self.states.get(root)?.fragments.get(&self.me)
+    }
+
+    /// Feeds a fragment received from the network (dispersal or echo).
+    /// Invalid fragments are dropped silently.
+    pub fn on_fragment(&mut self, frag: Fragment) -> RbcOutput {
+        let mut out = RbcOutput::default();
+        if self.poisoned.contains(&frag.root) {
+            return out;
+        }
+        if frag.index as usize >= self.rs.total_shards() || frag.proof.index != frag.index {
+            return out;
+        }
+        // Fragment length must match the dispersal geometry.
+        if frag.bytes.len() != self.rs.shard_len(frag.data_len as usize) {
+            return out;
+        }
+        if !merkle::verify(&frag.root, &frag.bytes, &frag.proof) {
+            return out;
+        }
+        let state = self.states.entry(frag.root).or_insert(DispersalState {
+            fragments: BTreeMap::new(),
+            data_len: frag.data_len,
+            echoed: false,
+            delivered: false,
+        });
+        if state.data_len != frag.data_len {
+            // Same Merkle root with conflicting lengths: drop.
+            return out;
+        }
+        if state.delivered {
+            // Already reconstructed: peers' fragments are no longer
+            // needed (we keep only our own, for re-echoes).
+            return out;
+        }
+        let root = frag.root;
+        let index = frag.index;
+        state.fragments.entry(index).or_insert(frag);
+
+        // Echo our own fragment the first time we hold it.
+        if !state.echoed {
+            if let Some(mine) = state.fragments.get(&self.me) {
+                state.echoed = true;
+                out.echo = Some(mine.clone());
+            }
+        }
+
+        // Reconstruct once k fragments are in.
+        if !state.delivered && state.fragments.len() >= self.rs.data_shards() {
+            let mut opt: Vec<Option<Vec<u8>>> = vec![None; self.rs.total_shards()];
+            for (i, f) in &state.fragments {
+                opt[*i as usize] = Some(f.bytes.clone());
+            }
+            let data_len = state.data_len as usize;
+            match self.rs.decode(&opt, data_len) {
+                Ok(payload) => {
+                    // Re-encode and check the root: a corrupt sender may
+                    // have committed to a non-codeword.
+                    let shards = self.rs.encode(&payload);
+                    let tree = MerkleTree::build(&shards);
+                    if tree.root() == root {
+                        let state = self.states.get_mut(&root).expect("state exists");
+                        state.delivered = true;
+                        // Free peers' fragment bytes; keep only ours so
+                        // later consensus echoes can re-broadcast it.
+                        let me = self.me;
+                        state.fragments.retain(|i, _| *i == me);
+                        // Now that all fragments are recomputable, echo
+                        // ours if dispersal never reached us directly.
+                        if !state.echoed {
+                            state.echoed = true;
+                            let mine = Fragment {
+                                root,
+                                data_len: data_len as u64,
+                                index: self.me,
+                                bytes: shards[self.me as usize].clone(),
+                                proof: tree.proof(self.me as usize),
+                            };
+                            state.fragments.insert(self.me, mine.clone());
+                            out.echo = Some(mine);
+                        }
+                        out.delivered = Some(payload);
+                    } else {
+                        self.poisoned.insert(root);
+                        self.states.remove(&root);
+                    }
+                }
+                Err(_) => {
+                    self.poisoned.insert(root);
+                    self.states.remove(&root);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize, t: usize) -> Vec<Rbc> {
+        (0..n).map(|i| Rbc::new(i as u32, n, t)).collect()
+    }
+
+    #[test]
+    fn honest_dispersal_delivers_everywhere() {
+        let n = 7;
+        let t = 2;
+        let mut parties = setup(n, t);
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
+        let fragments = parties[0].disperse(&payload);
+        assert_eq!(fragments.len(), n);
+
+        // Phase 1: each party gets its fragment and echoes.
+        let mut echoes = Vec::new();
+        for (i, party) in parties.iter_mut().enumerate().skip(1) {
+            let out = party.on_fragment(fragments[i].clone());
+            let echo = out.echo.expect("own fragment triggers echo");
+            assert_eq!(echo.index, i as u32);
+            assert!(out.delivered.is_none(), "k=3 not yet reached");
+            echoes.push(echo);
+        }
+        // Phase 2: echoes reach everyone; all parties deliver.
+        for (i, party) in parties.iter_mut().enumerate().skip(1) {
+            let mut delivered = false;
+            for e in &echoes {
+                if e.index == i as u32 {
+                    continue;
+                }
+                if let Some(p) = party.on_fragment(e.clone()).delivered {
+                    assert_eq!(p, payload);
+                    delivered = true;
+                    break;
+                }
+            }
+            assert!(delivered, "party {i} delivered");
+            assert!(party.is_delivered(&fragments[0].root));
+        }
+    }
+
+    #[test]
+    fn sender_delivers_immediately() {
+        let mut parties = setup(4, 1);
+        let payload = b"block".to_vec();
+        let frags = parties[0].disperse(&payload);
+        assert!(parties[0].is_delivered(&frags[0].root));
+        assert!(parties[0].my_fragment(&frags[0].root).is_some());
+    }
+
+    #[test]
+    fn straggler_reconstructs_from_echoes_alone_and_echoes_back() {
+        // Party 3 never receives its dispersal fragment, only echoes of
+        // fragments 0 and 1 — enough for k = 2.
+        let mut parties = setup(4, 1);
+        let payload: Vec<u8> = (0..100).collect();
+        let frags = parties[0].disperse(&payload);
+        let out1 = parties[3].on_fragment(frags[0].clone());
+        assert!(out1.delivered.is_none());
+        let out2 = parties[3].on_fragment(frags[1].clone());
+        assert_eq!(out2.delivered, Some(payload));
+        // Having reconstructed, it echoes its own recomputed fragment.
+        let echo = out2.echo.expect("echoes after reconstruction");
+        assert_eq!(echo.index, 3);
+        assert_eq!(echo.bytes, frags[3].bytes);
+    }
+
+    #[test]
+    fn forged_fragment_rejected() {
+        let mut parties = setup(4, 1);
+        let frags = parties[0].disperse(&[1, 2, 3, 4]);
+        let mut bad = frags[1].clone();
+        bad.bytes[0] ^= 1;
+        let out = parties[1].on_fragment(bad);
+        assert_eq!(out, RbcOutput::default());
+    }
+
+    #[test]
+    fn wrong_geometry_rejected() {
+        let mut parties = setup(4, 1);
+        let frags = parties[0].disperse(&[1, 2, 3, 4]);
+        let mut bad = frags[1].clone();
+        bad.data_len = 9999; // shard length no longer matches
+        assert_eq!(parties[1].on_fragment(bad), RbcOutput::default());
+        let mut bad2 = frags[1].clone();
+        bad2.index = 99;
+        assert_eq!(parties[1].on_fragment(bad2), RbcOutput::default());
+    }
+
+    #[test]
+    fn non_codeword_commitment_poisoned() {
+        // Build a Merkle tree over shards that are NOT a valid codeword:
+        // receivers must reject after reconstruction, not deliver junk.
+        let n = 4;
+        let t = 1;
+        let rs = ReedSolomon::new(t + 1, n).unwrap();
+        let mut shards = rs.encode(&[9u8; 40]);
+        shards[3][0] ^= 0xFF; // corrupt a parity shard
+        let tree = MerkleTree::build(&shards);
+        let frags: Vec<Fragment> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Fragment {
+                root: tree.root(),
+                data_len: 40,
+                index: i as u32,
+                bytes: s.clone(),
+                proof: tree.proof(i),
+            })
+            .collect();
+        let mut p = Rbc::new(1, n, t);
+        // Feed k-1 data fragments then the corrupted parity fragment;
+        // decode picks the first k present (0 and 3 here).
+        assert!(p.on_fragment(frags[0].clone()).delivered.is_none());
+        let out = p.on_fragment(frags[3].clone());
+        assert!(out.delivered.is_none(), "non-codeword must not deliver");
+        // Root is poisoned: further fragments ignored.
+        assert_eq!(p.on_fragment(frags[2].clone()), RbcOutput::default());
+    }
+
+    #[test]
+    fn duplicate_fragments_are_idempotent() {
+        let mut parties = setup(4, 1);
+        let frags = parties[0].disperse(&[7u8; 64]);
+        let a = parties[2].on_fragment(frags[2].clone());
+        assert!(a.echo.is_some());
+        let b = parties[2].on_fragment(frags[2].clone());
+        assert!(b.echo.is_none(), "echo only once");
+    }
+
+    #[test]
+    fn per_party_bandwidth_is_linear_in_payload() {
+        // Sender fragments total ≈ (n / k) · S; each non-sender echoes
+        // one fragment of ≈ S/k bytes to n-1 parties → O(S) per party.
+        let n = 13;
+        let t = 4;
+        let mut sender = Rbc::new(0, n, t);
+        let payload = vec![0xAB; 100_000];
+        let frags = sender.disperse(&payload);
+        let total: usize = frags.iter().map(Fragment::wire_bytes).sum();
+        // n/k = 13/5 = 2.6 → within 3.5x of S including proofs.
+        assert!(total < payload.len() * 7 / 2, "sender sends {total} for S=100000");
+        let per_frag = frags[1].wire_bytes();
+        assert!(per_frag < payload.len() / (t + 1) + 400);
+    }
+}

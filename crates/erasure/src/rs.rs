@@ -1,0 +1,356 @@
+//! Systematic Reed-Solomon erasure codes over GF(2^8).
+//!
+//! A `(k, m)` code splits data into `k` data shards and derives `m − k`
+//! parity shards such that **any** `k` of the `m` shards reconstruct
+//! the data. ICC2's reliable broadcast uses `k = t + 1`, `m = n`, so
+//! the `t + 1` fragments any honest reconstruction quorum holds suffice
+//! (paper §1; \[11\]).
+//!
+//! Construction: evaluate at distinct nonzero points to get a
+//! Vandermonde matrix `V (m×k)`, then normalize by `V_top⁻¹` so the
+//! first `k` rows form the identity (systematic: data shards appear
+//! verbatim).
+
+use crate::gf256;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from Reed-Solomon coding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// Invalid `(k, m)` parameters.
+    BadParameters {
+        /// Requested data shards.
+        k: usize,
+        /// Requested total shards.
+        m: usize,
+    },
+    /// Fewer than `k` shards were present for decoding.
+    NotEnoughShards {
+        /// Shards required.
+        needed: usize,
+        /// Shards present.
+        got: usize,
+    },
+    /// Present shards have inconsistent lengths.
+    ShardSizeMismatch,
+    /// The claimed data length exceeds `k × shard_len`.
+    LengthOutOfRange,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::BadParameters { k, m } => {
+                write!(f, "invalid reed-solomon parameters k={k}, m={m} (need 1 <= k <= m <= 255)")
+            }
+            RsError::NotEnoughShards { needed, got } => {
+                write!(f, "not enough shards to decode: needed {needed}, got {got}")
+            }
+            RsError::ShardSizeMismatch => write!(f, "shards have inconsistent sizes"),
+            RsError::LengthOutOfRange => write!(f, "data length exceeds shard capacity"),
+        }
+    }
+}
+
+impl Error for RsError {}
+
+/// A systematic `(k, m)` Reed-Solomon code.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// The `m × k` encode matrix (top `k` rows are the identity).
+    encode_matrix: Vec<Vec<u8>>,
+}
+
+impl ReedSolomon {
+    /// Creates a `(k, m)` code.
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::BadParameters`] unless `1 <= k <= m <= 255`.
+    pub fn new(k: usize, m: usize) -> Result<ReedSolomon, RsError> {
+        if k == 0 || m < k || m > 255 {
+            return Err(RsError::BadParameters { k, m });
+        }
+        // Vandermonde at points 1..=m.
+        let vander: Vec<Vec<u8>> = (0..m)
+            .map(|i| {
+                (0..k)
+                    .map(|j| gf256::pow((i + 1) as u8, j as u32))
+                    .collect()
+            })
+            .collect();
+        let top_inv = invert(&vander[..k]).expect("Vandermonde top block is invertible");
+        let encode_matrix: Vec<Vec<u8>> = (0..m)
+            .map(|i| {
+                (0..k)
+                    .map(|j| {
+                        (0..k).fold(0u8, |acc, l| {
+                            gf256::add(acc, gf256::mul(vander[i][l], top_inv[l][j]))
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(ReedSolomon {
+            k,
+            m,
+            encode_matrix,
+        })
+    }
+
+    /// Data shards `k`.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Total shards `m`.
+    pub fn total_shards(&self) -> usize {
+        self.m
+    }
+
+    /// The shard length for a payload of `data_len` bytes.
+    pub fn shard_len(&self, data_len: usize) -> usize {
+        data_len.div_ceil(self.k).max(1)
+    }
+
+    /// Encodes `data` into `m` shards of equal length
+    /// (`ceil(len / k)`, zero-padded).
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = self.shard_len(data.len());
+        let mut shards: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| {
+                let start = (i * shard_len).min(data.len());
+                let end = ((i + 1) * shard_len).min(data.len());
+                let mut s = data[start..end].to_vec();
+                s.resize(shard_len, 0);
+                s
+            })
+            .collect();
+        for row in self.k..self.m {
+            let mut parity = vec![0u8; shard_len];
+            for (j, data_shard) in shards[..self.k].iter().enumerate() {
+                gf256::mul_acc(&mut parity, data_shard, self.encode_matrix[row][j]);
+            }
+            shards.push(parity);
+        }
+        shards
+    }
+
+    /// Reconstructs the original `data_len` bytes from any `k` present
+    /// shards (`shards[i] = Some(...)` if shard `i` is available).
+    ///
+    /// # Errors
+    ///
+    /// * [`RsError::NotEnoughShards`] with fewer than `k` present;
+    /// * [`RsError::ShardSizeMismatch`] on ragged shard lengths;
+    /// * [`RsError::LengthOutOfRange`] if `data_len` does not fit.
+    pub fn decode(&self, shards: &[Option<Vec<u8>>], data_len: usize) -> Result<Vec<u8>, RsError> {
+        let present: Vec<(usize, &Vec<u8>)> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+            .filter(|(i, _)| *i < self.m)
+            .take(self.k)
+            .collect();
+        if present.len() < self.k {
+            return Err(RsError::NotEnoughShards {
+                needed: self.k,
+                got: present.len(),
+            });
+        }
+        let shard_len = present[0].1.len();
+        if present.iter().any(|(_, s)| s.len() != shard_len) {
+            return Err(RsError::ShardSizeMismatch);
+        }
+        if data_len > shard_len * self.k {
+            return Err(RsError::LengthOutOfRange);
+        }
+        // Sub-matrix of the rows we have; its inverse maps shards back
+        // to data shards.
+        let sub: Vec<Vec<u8>> = present
+            .iter()
+            .map(|(i, _)| self.encode_matrix[*i].clone())
+            .collect();
+        let inverse = invert(&sub).expect("any k rows of a Cauchy/Vandermonde-derived matrix are independent");
+        let mut data = Vec::with_capacity(shard_len * self.k);
+        for row in &inverse {
+            let mut shard = vec![0u8; shard_len];
+            for (coef, (_, s)) in row.iter().zip(&present) {
+                gf256::mul_acc(&mut shard, s, *coef);
+            }
+            data.extend_from_slice(&shard);
+        }
+        data.truncate(data_len);
+        Ok(data)
+    }
+}
+
+/// Inverts a square matrix over GF(2^8) by Gauss-Jordan elimination.
+/// Returns `None` if singular.
+fn invert(matrix: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+    let n = matrix.len();
+    let mut a: Vec<Vec<u8>> = matrix.to_vec();
+    let mut inv: Vec<Vec<u8>> = (0..n)
+        .map(|i| (0..n).map(|j| u8::from(i == j)).collect())
+        .collect();
+    for col in 0..n {
+        // Find a pivot.
+        let pivot = (col..n).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        // Normalize the pivot row.
+        let p = gf256::inv(a[col][col]);
+        for j in 0..n {
+            a[col][j] = gf256::mul(a[col][j], p);
+            inv[col][j] = gf256::mul(inv[col][j], p);
+        }
+        // Eliminate the column elsewhere.
+        for r in 0..n {
+            if r != col && a[r][col] != 0 {
+                let factor = a[r][col];
+                for j in 0..n {
+                    a[r][j] = gf256::add(a[r][j], gf256::mul(factor, a[col][j]));
+                    inv[r][j] = gf256::add(inv[r][j], gf256::mul(factor, inv[col][j]));
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn systematic_data_shards_are_verbatim() {
+        let rs = ReedSolomon::new(3, 7).unwrap();
+        let data: Vec<u8> = (0..30).collect();
+        let shards = rs.encode(&data);
+        assert_eq!(shards.len(), 7);
+        assert_eq!(shards[0], data[0..10].to_vec());
+        assert_eq!(shards[1], data[10..20].to_vec());
+        assert_eq!(shards[2], data[20..30].to_vec());
+    }
+
+    #[test]
+    fn decode_from_any_k_shards() {
+        let rs = ReedSolomon::new(3, 7).unwrap();
+        let data: Vec<u8> = (0..100).map(|i| (i * 31 + 7) as u8).collect();
+        let shards = rs.encode(&data);
+        // Try every 3-subset of the 7 shards.
+        for a in 0..7 {
+            for b in (a + 1)..7 {
+                for c in (b + 1)..7 {
+                    let mut opt: Vec<Option<Vec<u8>>> = vec![None; 7];
+                    opt[a] = Some(shards[a].clone());
+                    opt[b] = Some(shards[b].clone());
+                    opt[c] = Some(shards[c].clone());
+                    assert_eq!(rs.decode(&opt, data.len()).unwrap(), data, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_shards_rejected() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let shards = rs.encode(&[1, 2, 3]);
+        let opt = vec![Some(shards[0].clone()), Some(shards[1].clone()), None, None, None];
+        assert_eq!(
+            rs.decode(&opt, 3).unwrap_err(),
+            RsError::NotEnoughShards { needed: 3, got: 2 }
+        );
+    }
+
+    #[test]
+    fn ragged_shards_rejected() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let shards = rs.encode(&[1, 2, 3, 4]);
+        let mut bad = shards[1].clone();
+        bad.push(0);
+        let opt = vec![Some(shards[0].clone()), Some(bad), None, None];
+        assert_eq!(rs.decode(&opt, 4).unwrap_err(), RsError::ShardSizeMismatch);
+    }
+
+    #[test]
+    fn length_out_of_range_rejected() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let shards = rs.encode(&[1, 2, 3, 4]);
+        let opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert_eq!(rs.decode(&opt, 100).unwrap_err(), RsError::LengthOutOfRange);
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(ReedSolomon::new(0, 4).is_err());
+        assert!(ReedSolomon::new(5, 4).is_err());
+        assert!(ReedSolomon::new(2, 256).is_err());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+        assert!(ReedSolomon::new(255, 255).is_ok());
+    }
+
+    #[test]
+    fn single_shard_code_is_replication() {
+        let rs = ReedSolomon::new(1, 4).unwrap();
+        let data = b"hello".to_vec();
+        let shards = rs.encode(&data);
+        for s in &shards {
+            assert_eq!(s, &data);
+        }
+    }
+
+    #[test]
+    fn empty_data_roundtrips() {
+        let rs = ReedSolomon::new(3, 5).unwrap();
+        let shards = rs.encode(&[]);
+        assert!(shards.iter().all(|s| s.len() == 1));
+        let opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert_eq!(rs.decode(&opt, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn icc2_parameters() {
+        // n = 40, t = 13: k = t + 1 = 14 data shards of 40 total.
+        let rs = ReedSolomon::new(14, 40).unwrap();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let shards = rs.encode(&data);
+        // Reconstruct from the *last* 14 shards (all parity).
+        let mut opt: Vec<Option<Vec<u8>>> = vec![None; 40];
+        for i in 26..40 {
+            opt[i] = Some(shards[i].clone());
+        }
+        assert_eq!(rs.decode(&opt, data.len()).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_roundtrip_random_erasures(
+            data in proptest::collection::vec(any::<u8>(), 1..500),
+            k in 1usize..8,
+            extra in 0usize..8,
+            seed in any::<u64>(),
+        ) {
+            let m = k + extra;
+            let rs = ReedSolomon::new(k, m).unwrap();
+            let shards = rs.encode(&data);
+            // Keep a pseudo-random k-subset.
+            let mut idx: Vec<usize> = (0..m).collect();
+            let mut s = seed;
+            for i in (1..idx.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                idx.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+            let mut opt: Vec<Option<Vec<u8>>> = vec![None; m];
+            for &i in &idx[..k] {
+                opt[i] = Some(shards[i].clone());
+            }
+            prop_assert_eq!(rs.decode(&opt, data.len()).unwrap(), data);
+        }
+    }
+}

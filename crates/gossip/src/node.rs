@@ -1,0 +1,440 @@
+//! The gossip dissemination node wrapping a [`ConsensusCore`].
+//!
+//! See the crate docs for the dissemination rules. A node's *outgoing*
+//! consensus artifacts are intercepted here: small ones become flooded
+//! [`GossipMessage::Push`]es, block proposals become
+//! [`GossipMessage::Advert`]s served on demand. Incoming artifacts are
+//! fed to the core exactly as ICC0 would deliver them — the consensus
+//! logic cannot tell the difference.
+
+use icc_core::cluster::CoreAccess;
+use icc_core::consensus::{ConsensusCore, Step};
+use icc_core::events::NodeEvent;
+use icc_crypto::{hash_parts, Hash256};
+use icc_sim::{Context, Node, WireMessage};
+use icc_types::codec::{encode_to_vec, Encode};
+use icc_types::messages::{BlockProposal, ConsensusMessage};
+use icc_types::{Command, NodeIndex, Round, SimDuration};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::overlay::Overlay;
+
+/// Gossip sub-layer tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct GossipConfig {
+    /// Artifacts whose wire size is at most this are flooded inline;
+    /// larger ones go advert/request. Default 4 KiB.
+    pub inline_threshold: usize,
+    /// How long to wait for a requested body before asking another
+    /// advertiser. Default 300 ms.
+    pub request_timeout: SimDuration,
+    /// How many proposal bodies to keep servable; older entries are
+    /// evicted FIFO (a late requester then falls back to another
+    /// advertiser via the retry sweep). Default 128.
+    pub offered_capacity: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            inline_threshold: 4 << 10,
+            request_timeout: SimDuration::from_millis(300),
+            offered_capacity: 128,
+        }
+    }
+}
+
+/// Messages exchanged on the gossip overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GossipMessage {
+    /// A small artifact, flooded hop-by-hop.
+    Push(ConsensusMessage),
+    /// "I hold the block with this hash" (sent to neighbors).
+    Advert {
+        /// The block hash.
+        id: Hash256,
+        /// Body size in bytes (lets receivers budget).
+        size: u64,
+        /// The block's round (lets receivers ignore stale adverts).
+        round: Round,
+    },
+    /// "Send me that block" (unicast to one advertiser).
+    Request {
+        /// The requested block hash.
+        id: Hash256,
+    },
+    /// The requested proposal body (unicast reply).
+    Deliver {
+        /// The delivered block hash.
+        id: Hash256,
+        /// The full proposal.
+        proposal: BlockProposal,
+    },
+}
+
+impl WireMessage for GossipMessage {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            GossipMessage::Push(m) => 1 + m.wire_bytes(),
+            GossipMessage::Advert { .. } => 1 + 32 + 8 + 8,
+            GossipMessage::Request { .. } => 1 + 32,
+            GossipMessage::Deliver { proposal, .. } => 1 + 32 + proposal.encoded_len(),
+        }
+    }
+    fn kind(&self) -> &'static str {
+        match self {
+            GossipMessage::Push(m) => m.kind(),
+            GossipMessage::Advert { .. } => "advert",
+            GossipMessage::Request { .. } => "request",
+            GossipMessage::Deliver { .. } => "deliver",
+        }
+    }
+}
+
+/// Timer tags.
+const TAG_CORE: u64 = 0;
+const TAG_SWEEP: u64 = 1;
+
+/// An outstanding body request.
+#[derive(Debug)]
+struct PendingRequest {
+    advertisers: Vec<NodeIndex>,
+    next_advertiser: usize,
+}
+
+/// An ICC1 party: consensus core + gossip dissemination.
+#[derive(Debug)]
+pub struct GossipNode {
+    core: ConsensusCore,
+    overlay: Arc<Overlay>,
+    config: GossipConfig,
+    /// Flood dedup: ids of small artifacts already forwarded. Two
+    /// generations, rotated when full, bound memory on long runs.
+    seen_pushes: HashSet<Hash256>,
+    seen_pushes_old: HashSet<Hash256>,
+    /// Proposal bodies this node can serve, by block hash, with FIFO
+    /// eviction order.
+    offered: HashMap<Hash256, BlockProposal>,
+    offered_order: std::collections::VecDeque<Hash256>,
+    /// Block hashes already advertised to neighbors.
+    adverted: HashSet<Hash256>,
+    /// Outstanding body requests.
+    pending: HashMap<Hash256, PendingRequest>,
+    sweep_armed: bool,
+    core_wakeups: BTreeSet<u64>,
+}
+
+fn push_id(msg: &ConsensusMessage) -> Hash256 {
+    hash_parts("gossip-push", &[&encode_to_vec(msg)])
+}
+
+impl GossipNode {
+    /// Wraps a consensus core for gossip dissemination.
+    pub fn new(core: ConsensusCore, overlay: Arc<Overlay>, config: GossipConfig) -> GossipNode {
+        GossipNode {
+            core,
+            overlay,
+            config,
+            seen_pushes: HashSet::new(),
+            seen_pushes_old: HashSet::new(),
+            offered: HashMap::new(),
+            offered_order: std::collections::VecDeque::new(),
+            adverted: HashSet::new(),
+            pending: HashMap::new(),
+            sweep_armed: false,
+            core_wakeups: BTreeSet::new(),
+        }
+    }
+
+    /// The wrapped consensus core.
+    pub fn core(&self) -> &ConsensusCore {
+        &self.core
+    }
+
+    /// Number of outstanding body requests (diagnostics).
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn neighbors(&self, me: NodeIndex) -> Vec<NodeIndex> {
+        self.overlay.neighbors(me).to_vec()
+    }
+
+    /// Flood dedup with bounded memory: rotate generations at 100k ids.
+    fn mark_seen(&mut self, id: Hash256) -> bool {
+        if self.seen_pushes.contains(&id) || self.seen_pushes_old.contains(&id) {
+            return false;
+        }
+        if self.seen_pushes.len() >= 100_000 {
+            self.seen_pushes_old = std::mem::take(&mut self.seen_pushes);
+        }
+        self.seen_pushes.insert(id);
+        true
+    }
+
+    /// Stores a servable proposal body, evicting the oldest beyond the
+    /// configured capacity.
+    fn offer(&mut self, id: Hash256, proposal: BlockProposal) {
+        if self.offered.insert(id, proposal).is_none() {
+            self.offered_order.push_back(id);
+            while self.offered.len() > self.config.offered_capacity {
+                if let Some(old) = self.offered_order.pop_front() {
+                    self.offered.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Routes one outgoing consensus artifact into the gossip layer.
+    fn disseminate(
+        &mut self,
+        ctx: &mut Context<'_, GossipMessage, NodeEvent>,
+        msg: ConsensusMessage,
+    ) {
+        let is_large = msg.wire_bytes() > self.config.inline_threshold;
+        match msg {
+            ConsensusMessage::Proposal(p) if is_large => {
+                let id = p.block.hash();
+                let size = p.encoded_len() as u64;
+                let round = p.block.round();
+                self.offer(id, p);
+                if self.adverted.insert(id) {
+                    for nb in self.neighbors(ctx.me()) {
+                        ctx.send(nb, GossipMessage::Advert { id, size, round });
+                    }
+                }
+            }
+            other => {
+                let id = push_id(&other);
+                self.mark_seen(id);
+                for nb in self.neighbors(ctx.me()) {
+                    ctx.send(nb, GossipMessage::Push(other.clone()));
+                }
+            }
+        }
+    }
+
+    fn apply_step(&mut self, ctx: &mut Context<'_, GossipMessage, NodeEvent>, step: Step) {
+        for msg in step.broadcasts {
+            self.disseminate(ctx, msg);
+        }
+        for (to, msg) in step.sends {
+            // Targeted sends (corrupt behaviors) bypass the overlay.
+            ctx.send(to, GossipMessage::Push(msg));
+        }
+        for event in step.events {
+            ctx.output(event);
+        }
+        if let Some(at) = step.next_wakeup {
+            if self.core_wakeups.insert(at.as_micros()) {
+                ctx.set_timer(at.saturating_since(ctx.now()), TAG_CORE);
+            }
+        }
+    }
+
+    /// Feeds an artifact into the core and re-disseminates what the
+    /// core reacts with; also advertises newly learned proposal bodies.
+    fn ingest(
+        &mut self,
+        ctx: &mut Context<'_, GossipMessage, NodeEvent>,
+        msg: &ConsensusMessage,
+    ) {
+        // A proposal body we now hold can be served to neighbors.
+        if let ConsensusMessage::Proposal(p) = msg {
+            if p.encoded_len() > self.config.inline_threshold {
+                let id = p.block.hash();
+                if !self.offered.contains_key(&id) {
+                    self.offer(id, p.clone());
+                }
+                let size = p.encoded_len() as u64;
+                let round = p.block.round();
+                if self.adverted.insert(id) {
+                    for nb in self.neighbors(ctx.me()) {
+                        ctx.send(nb, GossipMessage::Advert { id, size, round });
+                    }
+                }
+            }
+        }
+        let step = self.core.on_message(ctx.now(), msg);
+        self.apply_step(ctx, step);
+    }
+
+    fn arm_sweep(&mut self, ctx: &mut Context<'_, GossipMessage, NodeEvent>) {
+        if !self.sweep_armed && !self.pending.is_empty() {
+            self.sweep_armed = true;
+            ctx.set_timer(self.config.request_timeout, TAG_SWEEP);
+        }
+    }
+
+    fn have_body(&self, id: &Hash256) -> bool {
+        self.offered.contains_key(id) || self.core.pool().block(id).is_some()
+    }
+
+    fn on_advert(
+        &mut self,
+        ctx: &mut Context<'_, GossipMessage, NodeEvent>,
+        from: NodeIndex,
+        id: Hash256,
+    ) {
+        if self.have_body(&id) {
+            return;
+        }
+        match self.pending.get_mut(&id) {
+            Some(req) => req.advertisers.push(from),
+            None => {
+                ctx.send(from, GossipMessage::Request { id });
+                self.pending.insert(
+                    id,
+                    PendingRequest {
+                        advertisers: vec![from],
+                        next_advertiser: 0,
+                    },
+                );
+                self.arm_sweep(ctx);
+            }
+        }
+    }
+
+    fn on_request(
+        &mut self,
+        ctx: &mut Context<'_, GossipMessage, NodeEvent>,
+        from: NodeIndex,
+        id: Hash256,
+    ) {
+        let proposal = self.offered.get(&id).cloned().or_else(|| {
+            // Rebuild from the pool if the body arrived another way.
+            let pool = self.core.pool();
+            let block = pool.block(&id)?.clone();
+            let authenticator = pool.authenticator_of(&id)?;
+            let parent_notarization = if block.round() == Round::new(1) {
+                None
+            } else {
+                Some(pool.notarization_of(&block.parent())?.clone())
+            };
+            Some(BlockProposal {
+                block,
+                authenticator,
+                parent_notarization,
+            })
+        });
+        if let Some(p) = proposal {
+            ctx.send(from, GossipMessage::Deliver { id, proposal: p });
+        }
+    }
+}
+
+impl Node for GossipNode {
+    type Msg = GossipMessage;
+    type External = Command;
+    type Output = NodeEvent;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let step = self.core.start(ctx.now());
+        self.apply_step(ctx, step);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        from: NodeIndex,
+        msg: Self::Msg,
+    ) {
+        match msg {
+            GossipMessage::Push(inner) => {
+                let id = push_id(&inner);
+                if !self.mark_seen(id) {
+                    return;
+                }
+                // Forward the flood to all neighbors except the sender.
+                for nb in self.neighbors(ctx.me()) {
+                    if nb != from {
+                        ctx.send(nb, GossipMessage::Push(inner.clone()));
+                    }
+                }
+                self.ingest(ctx, &inner.clone());
+            }
+            GossipMessage::Advert { id, .. } => self.on_advert(ctx, from, id),
+            GossipMessage::Request { id } => self.on_request(ctx, from, id),
+            GossipMessage::Deliver { id, proposal } => {
+                self.pending.remove(&id);
+                let inner = ConsensusMessage::Proposal(proposal);
+                self.ingest(ctx, &inner);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>, tag: u64) {
+        match tag {
+            TAG_SWEEP => {
+                self.sweep_armed = false;
+                // Drop requests whose body arrived through another path
+                // (e.g. a targeted push); without this the sweep would
+                // re-request them forever.
+                let offered = &self.offered;
+                let pool = self.core.pool();
+                self.pending
+                    .retain(|id, _| !offered.contains_key(id) && pool.block(id).is_none());
+                // Re-request every still-missing body from the next
+                // advertiser in round-robin order.
+                let retries: Vec<(Hash256, NodeIndex)> = self
+                    .pending
+                    .iter_mut()
+                    .map(|(id, req)| {
+                        req.next_advertiser = (req.next_advertiser + 1) % req.advertisers.len();
+                        (*id, req.advertisers[req.next_advertiser])
+                    })
+                    .collect();
+                for (id, peer) in retries {
+                    ctx.send(peer, GossipMessage::Request { id });
+                }
+                self.arm_sweep(ctx);
+            }
+            _ => {
+                let fired: Vec<u64> = self
+                    .core_wakeups
+                    .range(..=ctx.now().as_micros())
+                    .copied()
+                    .collect();
+                for f in fired {
+                    self.core_wakeups.remove(&f);
+                }
+                let step = self.core.on_wakeup(ctx.now());
+                self.apply_step(ctx, step);
+            }
+        }
+    }
+
+    fn on_external(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        input: Self::External,
+    ) {
+        self.core.on_command(input);
+        let _ = ctx;
+    }
+}
+
+impl CoreAccess for GossipNode {
+    fn core(&self) -> &ConsensusCore {
+        GossipNode::core(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_message_sizes() {
+        let advert = GossipMessage::Advert {
+            id: Hash256::ZERO,
+            size: 1000,
+            round: Round::new(1),
+        };
+        assert_eq!(advert.wire_bytes(), 49);
+        assert_eq!(advert.kind(), "advert");
+        let req = GossipMessage::Request { id: Hash256::ZERO };
+        assert_eq!(req.wire_bytes(), 33);
+    }
+}

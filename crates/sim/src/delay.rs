@@ -1,0 +1,237 @@
+//! Network delay models.
+//!
+//! A [`DelayModel`] produces the one-way propagation delay for each
+//! (sender, receiver) pair. The engine adds retransmission delay for
+//! lost messages and then applies the [`policy`](crate::policy) stack
+//! (partitions, asynchrony).
+//!
+//! [`InterDcDelay`] reproduces the deployment environment of the paper's
+//! §5: nodes spread over data centers with inter-DC ping RTTs between
+//! 6 ms and 110 ms and small jitter.
+
+use icc_types::{NodeIndex, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Produces one-way network delays per (sender, receiver) pair.
+pub trait DelayModel {
+    /// One-way delay for a message from `from` to `to`.
+    fn delay(&self, from: NodeIndex, to: NodeIndex, rng: &mut StdRng) -> SimDuration;
+
+    /// An upper bound on the delays this model produces in normal
+    /// operation, used by tests and to pick protocol parameters
+    /// (`Δbnd`). Models without a hard bound return a high quantile.
+    fn bound(&self) -> SimDuration;
+}
+
+impl DelayModel for Box<dyn DelayModel> {
+    fn delay(&self, from: NodeIndex, to: NodeIndex, rng: &mut StdRng) -> SimDuration {
+        (**self).delay(from, to, rng)
+    }
+    fn bound(&self) -> SimDuration {
+        (**self).bound()
+    }
+}
+
+/// The same fixed delay for every pair.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedDelay(SimDuration);
+
+impl FixedDelay {
+    /// A model delivering every message after exactly `d`.
+    pub fn new(d: SimDuration) -> FixedDelay {
+        FixedDelay(d)
+    }
+}
+
+impl DelayModel for FixedDelay {
+    fn delay(&self, _from: NodeIndex, _to: NodeIndex, _rng: &mut StdRng) -> SimDuration {
+        self.0
+    }
+    fn bound(&self) -> SimDuration {
+        self.0
+    }
+}
+
+/// Uniformly random delay in `[min, max]`, independent per message.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDelay {
+    min: SimDuration,
+    max: SimDuration,
+}
+
+impl UniformDelay {
+    /// A model drawing each delay uniformly from `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: SimDuration, max: SimDuration) -> UniformDelay {
+        assert!(min <= max, "min delay exceeds max delay");
+        UniformDelay { min, max }
+    }
+}
+
+impl DelayModel for UniformDelay {
+    fn delay(&self, _from: NodeIndex, _to: NodeIndex, rng: &mut StdRng) -> SimDuration {
+        SimDuration::from_micros(rng.gen_range(self.min.as_micros()..=self.max.as_micros()))
+    }
+    fn bound(&self) -> SimDuration {
+        self.max
+    }
+}
+
+/// An inter-datacenter delay model: each node is assigned to a data
+/// center; one-way delay between two nodes is half the RTT between their
+/// data centers plus small jitter. Intra-DC delay is sub-millisecond.
+///
+/// Matches the environment reported in §5: "ping RTT between nodes in
+/// different data centers varies between 6 ms and 110 ms", at most three
+/// nodes per data center.
+#[derive(Debug, Clone)]
+pub struct InterDcDelay {
+    dc_of: Vec<usize>,
+    /// Symmetric matrix of one-way inter-DC delays (µs).
+    one_way: Vec<Vec<u64>>,
+    jitter_us: u64,
+    bound: SimDuration,
+}
+
+impl InterDcDelay {
+    /// Maximum nodes co-located in one data center (paper §5: "at most
+    /// three are located in the same data center").
+    pub const MAX_PER_DC: usize = 3;
+
+    /// Builds an internet-like topology for `n` nodes from a seed: data
+    /// centers of up to three nodes, inter-DC RTTs drawn uniformly from
+    /// 6–110 ms, 200 µs intra-DC one-way delay, ±10% jitter.
+    pub fn internet_like(n: usize, seed: u64) -> InterDcDelay {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_dcs = n.div_ceil(Self::MAX_PER_DC);
+        let dc_of: Vec<usize> = (0..n).map(|i| i % n_dcs).collect();
+        let mut one_way = vec![vec![0u64; n_dcs]; n_dcs];
+        #[allow(clippy::needless_range_loop)]
+        for a in 0..n_dcs {
+            for b in (a + 1)..n_dcs {
+                // RTT uniform in [6ms, 110ms]; one-way is half.
+                let rtt_us = rng.gen_range(6_000..=110_000u64);
+                one_way[a][b] = rtt_us / 2;
+                one_way[b][a] = rtt_us / 2;
+            }
+            one_way[a][a] = 200; // intra-DC
+        }
+        let max = one_way
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(200);
+        InterDcDelay {
+            dc_of,
+            one_way,
+            jitter_us: max / 10,
+            bound: SimDuration::from_micros(max + max / 10),
+        }
+    }
+
+    /// The data center a node belongs to.
+    pub fn dc_of(&self, node: NodeIndex) -> usize {
+        self.dc_of[node.as_usize()]
+    }
+}
+
+impl DelayModel for InterDcDelay {
+    fn delay(&self, from: NodeIndex, to: NodeIndex, rng: &mut StdRng) -> SimDuration {
+        let base = self.one_way[self.dc_of(from)][self.dc_of(to)];
+        let jitter = if self.jitter_us > 0 {
+            rng.gen_range(0..=self.jitter_us)
+        } else {
+            0
+        };
+        SimDuration::from_micros(base + jitter)
+    }
+    fn bound(&self) -> SimDuration {
+        self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn fixed_delay_is_fixed() {
+        let d = FixedDelay::new(SimDuration::from_millis(5));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                d.delay(NodeIndex::new(0), NodeIndex::new(1), &mut r),
+                SimDuration::from_millis(5)
+            );
+        }
+        assert_eq!(d.bound(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn uniform_delay_within_range() {
+        let d = UniformDelay::new(SimDuration::from_millis(2), SimDuration::from_millis(8));
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = d.delay(NodeIndex::new(0), NodeIndex::new(1), &mut r);
+            assert!(v >= SimDuration::from_millis(2) && v <= SimDuration::from_millis(8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min delay exceeds max")]
+    fn uniform_rejects_inverted_range() {
+        UniformDelay::new(SimDuration::from_millis(8), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn interdc_respects_paper_rtt_envelope() {
+        let d = InterDcDelay::internet_like(40, 7);
+        let mut r = rng();
+        let mut max_seen = SimDuration::ZERO;
+        for a in 0..40u32 {
+            for b in 0..40u32 {
+                let v = d.delay(NodeIndex::new(a), NodeIndex::new(b), &mut r);
+                assert!(v <= d.bound(), "delay {v} above bound {}", d.bound());
+                max_seen = max_seen.max(v);
+                if d.dc_of(NodeIndex::new(a)) != d.dc_of(NodeIndex::new(b)) {
+                    // One-way inter-DC >= 3ms (half of 6ms RTT).
+                    assert!(v >= SimDuration::from_millis(3), "inter-DC delay too small: {v}");
+                }
+            }
+        }
+        // One-way below 55ms + 10% jitter.
+        assert!(max_seen <= SimDuration::from_micros(60_500));
+    }
+
+    #[test]
+    fn interdc_at_most_three_nodes_per_dc() {
+        let d = InterDcDelay::internet_like(40, 3);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..40u32 {
+            *counts.entry(d.dc_of(NodeIndex::new(i))).or_insert(0usize) += 1;
+        }
+        assert!(counts.values().all(|&c| c <= InterDcDelay::MAX_PER_DC));
+    }
+
+    #[test]
+    fn interdc_deterministic_per_seed() {
+        let a = InterDcDelay::internet_like(13, 9);
+        let b = InterDcDelay::internet_like(13, 9);
+        assert_eq!(a.bound(), b.bound());
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(
+            a.delay(NodeIndex::new(1), NodeIndex::new(12), &mut r1),
+            b.delay(NodeIndex::new(1), NodeIndex::new(12), &mut r2)
+        );
+    }
+}

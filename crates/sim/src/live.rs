@@ -1,0 +1,255 @@
+//! A real-time, multi-threaded transport for [`Node`] implementations.
+//!
+//! The protocol state machines are sans-IO, so the same nodes that run
+//! under the deterministic discrete-event engine also run here: one OS
+//! thread per node, crossbeam channels as the network, the wall clock
+//! as time. This is the "it is not coupled to the simulator" proof —
+//! useful for demos and smoke tests, not for measurements (wall-clock
+//! runs are not reproducible; use [`Simulation`](crate::Simulation) for
+//! experiments).
+//!
+//! Message delay is whatever the channels cost (microseconds), so pace
+//! protocols with their own delay parameters (e.g. a positive `ε`).
+
+use crate::engine::OutputRecord;
+use crate::node::{Action, Context, Node};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use icc_types::{NodeIndex, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+enum LiveEvent<M, X> {
+    Msg { from: NodeIndex, msg: M },
+    External(X),
+    Stop,
+}
+
+/// Handle for injecting external inputs into a running live cluster.
+pub struct LiveHandle<X> {
+    inboxes: Vec<Sender<X>>,
+}
+
+impl<X> LiveHandle<X> {
+    /// Sends an external input to `node`. Returns `false` if the node
+    /// has already stopped.
+    pub fn inject(&self, node: NodeIndex, input: X) -> bool {
+        self.inboxes[node.as_usize()].send(input).is_ok()
+    }
+}
+
+/// Runs `nodes` on real threads for `duration` of wall-clock time and
+/// returns every emitted output, stamped with elapsed time since start.
+///
+/// `inject` is called once with a [`LiveHandle`] before the clock
+/// starts, letting the caller feed external inputs from its own thread
+/// while the cluster runs.
+///
+/// # Panics
+///
+/// Panics if a node thread panics.
+pub fn run_live<N>(
+    nodes: Vec<N>,
+    duration: Duration,
+    inject: impl FnOnce(LiveHandle<N::External>),
+) -> Vec<OutputRecord<N::Output>>
+where
+    N: Node + Send + 'static,
+    N::Msg: Send + 'static,
+    N::External: Send + 'static,
+    N::Output: Send + 'static,
+{
+    let n = nodes.len();
+    let mut senders: Vec<Sender<LiveEvent<N::Msg, N::External>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<LiveEvent<N::Msg, N::External>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let (out_tx, out_rx) = unbounded::<OutputRecord<N::Output>>();
+
+    // External-input fan-in: one forwarding channel per node so the
+    // handle does not expose the internal event type.
+    let mut ext_senders = Vec::with_capacity(n);
+    for s in &senders {
+        let (ext_tx, ext_rx) = bounded::<N::External>(1024);
+        ext_senders.push(ext_tx);
+        let s = s.clone();
+        std::thread::spawn(move || {
+            for input in ext_rx {
+                if s.send(LiveEvent::External(input)).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (i, (mut node, inbox)) in nodes.into_iter().zip(receivers).enumerate() {
+        let me = NodeIndex::new(i as u32);
+        let peers = senders.clone();
+        let out = out_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+            let mut actions: Vec<Action<N::Msg, N::Output>> = Vec::new();
+            let now_sim = |start: Instant| SimTime::from_micros(start.elapsed().as_micros() as u64);
+
+            // on_start
+            {
+                let mut ctx = Context {
+                    me,
+                    n,
+                    now: now_sim(start),
+                    actions: &mut actions,
+                };
+                node.on_start(&mut ctx);
+            }
+            loop {
+                // Drain actions from the previous handler.
+                for action in actions.drain(..) {
+                    match action {
+                        Action::Broadcast(msg) => {
+                            for peer in &peers {
+                                let _ = peer.send(LiveEvent::Msg {
+                                    from: me,
+                                    msg: msg.clone(),
+                                });
+                            }
+                        }
+                        Action::Send(to, msg) => {
+                            let _ = peers[to.as_usize()].send(LiveEvent::Msg { from: me, msg });
+                        }
+                        Action::SetTimer { after, tag } => {
+                            timers.push(Reverse((
+                                Instant::now() + Duration::from_micros(after.as_micros()),
+                                tag,
+                            )));
+                        }
+                        Action::Output(output) => {
+                            let _ = out.send(OutputRecord {
+                                at: now_sim(start),
+                                node: me,
+                                output,
+                            });
+                        }
+                    }
+                }
+                // Fire due timers.
+                let now = Instant::now();
+                if let Some(Reverse((deadline, tag))) = timers.peek().copied() {
+                    if deadline <= now {
+                        timers.pop();
+                        let mut ctx = Context {
+                            me,
+                            n,
+                            now: now_sim(start),
+                            actions: &mut actions,
+                        };
+                        node.on_timer(&mut ctx, tag);
+                        continue;
+                    }
+                }
+                // Wait for the next event or timer deadline.
+                let timeout = timers
+                    .peek()
+                    .map(|Reverse((d, _))| d.saturating_duration_since(now))
+                    .unwrap_or(Duration::from_millis(50));
+                match inbox.recv_timeout(timeout) {
+                    Ok(LiveEvent::Msg { from, msg }) => {
+                        let mut ctx = Context {
+                            me,
+                            n,
+                            now: now_sim(start),
+                            actions: &mut actions,
+                        };
+                        node.on_message(&mut ctx, from, msg);
+                    }
+                    Ok(LiveEvent::External(input)) => {
+                        let mut ctx = Context {
+                            me,
+                            n,
+                            now: now_sim(start),
+                            actions: &mut actions,
+                        };
+                        node.on_external(&mut ctx, input);
+                    }
+                    Ok(LiveEvent::Stop) => break,
+                    Err(RecvTimeoutError::Timeout) => {} // loop fires timers
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            node
+        }));
+    }
+    drop(out_tx);
+
+    inject(LiveHandle {
+        inboxes: ext_senders,
+    });
+    std::thread::sleep(duration);
+    for s in &senders {
+        let _ = s.send(LiveEvent::Stop);
+    }
+    for h in handles {
+        h.join().expect("node thread panicked");
+    }
+    out_rx.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icc_types::SimDuration;
+
+    /// Node that relays a token around the ring, counting hops.
+    struct Relay {
+        hops: u32,
+    }
+
+    impl Node for Relay {
+        type Msg = u32;
+        type External = u32;
+        type Output = u32;
+
+        fn on_external(&mut self, ctx: &mut Context<'_, u32, u32>, input: u32) {
+            let next = NodeIndex::new((ctx.me().get() + 1) % ctx.n() as u32);
+            ctx.send(next, input);
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, u32, u32>, _from: NodeIndex, msg: u32) {
+            self.hops += 1;
+            ctx.output(msg);
+            if msg > 0 {
+                let next = NodeIndex::new((ctx.me().get() + 1) % ctx.n() as u32);
+                ctx.send(next, msg - 1);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32, u32>, tag: u64) {
+            ctx.output(tag as u32 + 1000);
+        }
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32, u32>) {
+            if ctx.me() == NodeIndex::new(0) {
+                ctx.set_timer(SimDuration::from_millis(5), 7);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_relay_and_timers_run_live() {
+        let nodes = (0..4).map(|_| Relay { hops: 0 }).collect();
+        let outputs = run_live(nodes, Duration::from_millis(300), |handle| {
+            assert!(handle.inject(NodeIndex::new(0), 10));
+        });
+        // Token visits 11 nodes (10 → 0), each emitting an output.
+        let token_hops = outputs.iter().filter(|o| o.output < 1000).count();
+        assert_eq!(token_hops, 11);
+        // The timer fired on node 0.
+        assert!(outputs
+            .iter()
+            .any(|o| o.output == 1007 && o.node == NodeIndex::new(0)));
+    }
+}

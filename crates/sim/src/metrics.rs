@@ -1,0 +1,136 @@
+//! Per-node traffic metering.
+//!
+//! Two conventions coexist, both from the paper:
+//!
+//! * **message complexity** (§1): "one party broadcasting a message
+//!   contributes a term of n" — so [`NodeMetrics::sent_messages`]
+//!   counts `n` per broadcast (including the self-copy);
+//! * **sent traffic** (Table 1): bytes actually leaving the node's NIC —
+//!   so [`NodeMetrics::sent_bytes`] counts `n − 1` copies per broadcast
+//!   (no bytes for the self-copy).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters for one node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// Messages sent, counting a broadcast as `n` (paper's message
+    /// complexity convention).
+    pub sent_messages: u64,
+    /// Bytes sent over the network (a broadcast counts `n − 1` copies).
+    pub sent_bytes: u64,
+    /// Messages delivered to this node (excluding self-deliveries).
+    pub recv_messages: u64,
+    /// Bytes delivered to this node (excluding self-deliveries).
+    pub recv_bytes: u64,
+    /// Per-kind (messages, bytes) sent breakdown.
+    pub sent_by_kind: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl NodeMetrics {
+    pub(crate) fn record_send(&mut self, kind: &'static str, copies_counted: u64, wire_copies: u64, bytes_each: usize) {
+        self.sent_messages += copies_counted;
+        let bytes = wire_copies * bytes_each as u64;
+        self.sent_bytes += bytes;
+        let e = self.sent_by_kind.entry(kind).or_insert((0, 0));
+        e.0 += copies_counted;
+        e.1 += bytes;
+    }
+
+    pub(crate) fn record_recv(&mut self, bytes: usize) {
+        self.recv_messages += 1;
+        self.recv_bytes += bytes as u64;
+    }
+}
+
+/// Counters for a whole simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    nodes: Vec<NodeMetrics>,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Metrics {
+        Metrics {
+            nodes: vec![NodeMetrics::default(); n],
+        }
+    }
+
+    pub(crate) fn node_mut(&mut self, i: usize) -> &mut NodeMetrics {
+        &mut self.nodes[i]
+    }
+
+    /// Per-node counters, indexed by node.
+    pub fn per_node(&self) -> &[NodeMetrics] {
+        &self.nodes
+    }
+
+    /// Total messages sent by all nodes (paper's per-round message
+    /// complexity sums these over a round).
+    pub fn total_messages(&self) -> u64 {
+        self.nodes.iter().map(|m| m.sent_messages).sum()
+    }
+
+    /// Total bytes sent by all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().map(|m| m.sent_bytes).sum()
+    }
+
+    /// The maximum bytes sent by any single node — the *communication
+    /// bottleneck* measure that \[35\] (and the paper's discussion of it)
+    /// argues is what actually matters.
+    pub fn max_node_bytes(&self) -> u64 {
+        self.nodes.iter().map(|m| m.sent_bytes).max().unwrap_or(0)
+    }
+
+    /// Mean bytes sent per node.
+    pub fn mean_node_bytes(&self) -> f64 {
+        if self.nodes.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.nodes.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "metrics: {} msgs, {} bytes total, max/node {} bytes",
+            self.total_messages(),
+            self.total_bytes(),
+            self.max_node_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_accounting() {
+        let mut m = Metrics::new(3);
+        // Node 0 broadcasts a 100-byte message to 3 nodes (2 wire copies).
+        m.node_mut(0).record_send("proposal", 3, 2, 100);
+        m.node_mut(1).record_recv(100);
+        m.node_mut(2).record_recv(100);
+        assert_eq!(m.per_node()[0].sent_messages, 3);
+        assert_eq!(m.per_node()[0].sent_bytes, 200);
+        assert_eq!(m.per_node()[1].recv_messages, 1);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_bytes(), 200);
+        assert_eq!(m.max_node_bytes(), 200);
+        assert!((m.mean_node_bytes() - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.per_node()[0].sent_by_kind["proposal"], (3, 200));
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = Metrics::default();
+        assert_eq!(m.max_node_bytes(), 0);
+        assert_eq!(m.mean_node_bytes(), 0.0);
+    }
+}

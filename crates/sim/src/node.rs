@@ -1,0 +1,148 @@
+//! The sans-IO node interface.
+//!
+//! A [`Node`] is a deterministic state machine. The engine hands it
+//! events; it reacts by queuing actions on its [`Context`]. All protocol
+//! implementations in this workspace (ICC0/1/2, HotStuff, Tendermint
+//! baselines, Byzantine variants) implement this one trait.
+
+use icc_types::{NodeIndex, SimDuration, SimTime};
+
+/// A message that knows its wire size, which the engine meters to
+/// reproduce the paper's traffic measurements.
+pub trait WireMessage: Clone {
+    /// Encoded size in bytes as it would appear on the wire.
+    fn wire_bytes(&self) -> usize;
+
+    /// A short label for per-kind metrics (e.g. `"proposal"`).
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+}
+
+impl WireMessage for u32 {
+    fn wire_bytes(&self) -> usize {
+        4
+    }
+}
+
+impl WireMessage for Vec<u8> {
+    fn wire_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl WireMessage for icc_types::messages::ConsensusMessage {
+    fn wire_bytes(&self) -> usize {
+        icc_types::messages::ConsensusMessage::wire_bytes(self)
+    }
+    fn kind(&self) -> &'static str {
+        icc_types::messages::ConsensusMessage::kind(self)
+    }
+}
+
+/// A protocol participant driven by the simulation engine.
+///
+/// All handlers receive a [`Context`] used to broadcast or send
+/// messages, set timers, and emit outputs. Handlers must be
+/// deterministic: any randomness a node needs should be derived from
+/// data it was constructed with or received.
+pub trait Node {
+    /// The message type exchanged between nodes.
+    type Msg: WireMessage;
+    /// External inputs injected by the harness (e.g. client commands).
+    type External;
+    /// Outputs the node emits (e.g. finalized batches); collected into
+    /// the simulation trace.
+    type Output;
+
+    /// Called once at simulation start (time zero), in node-index order.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        from: NodeIndex,
+        msg: Self::Msg,
+    );
+
+    /// Called when a timer set via [`Context::set_timer`] fires. `tag`
+    /// is the value passed at set time; stale timers are the node's to
+    /// ignore.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+
+    /// Called when the harness injects an external input.
+    fn on_external(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        input: Self::External,
+    ) {
+        let _ = (ctx, input);
+    }
+}
+
+/// An action queued by a node during one handler invocation; drained by
+/// the engine after the handler returns (the paper's execution model:
+/// the pool is not modified while a clause executes).
+#[derive(Debug)]
+pub(crate) enum Action<M, O> {
+    Broadcast(M),
+    Send(NodeIndex, M),
+    SetTimer { after: SimDuration, tag: u64 },
+    Output(O),
+}
+
+/// The interface through which a node acts on the world.
+#[derive(Debug)]
+pub struct Context<'a, M, O> {
+    pub(crate) me: NodeIndex,
+    pub(crate) n: usize,
+    pub(crate) now: SimTime,
+    pub(crate) actions: &'a mut Vec<Action<M, O>>,
+}
+
+impl<M, O> Context<'_, M, O> {
+    /// This node's index.
+    pub fn me(&self) -> NodeIndex {
+        self.me
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current simulated time — the protocol's `clock()`.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Broadcasts `msg` to **all** parties, including this one (the
+    /// paper's broadcast primitive: a party's pool holds messages
+    /// received from all parties *including itself*). Self-delivery is
+    /// immediate and free; deliveries to the other `n − 1` parties go
+    /// through the network model and are metered.
+    pub fn broadcast(&mut self, msg: M) {
+        self.actions.push(Action::Broadcast(msg));
+    }
+
+    /// Sends `msg` to a single party (used by the gossip and erasure
+    /// sub-layers; plain ICC0 only broadcasts).
+    pub fn send(&mut self, to: NodeIndex, msg: M) {
+        self.actions.push(Action::Send(to, msg));
+    }
+
+    /// Schedules `on_timer(tag)` to fire `after` from now.
+    pub fn set_timer(&mut self, after: SimDuration, tag: u64) {
+        self.actions.push(Action::SetTimer { after, tag });
+    }
+
+    /// Emits an output record into the simulation trace.
+    pub fn output(&mut self, output: O) {
+        self.actions.push(Action::Output(output));
+    }
+}

@@ -1,0 +1,143 @@
+//! Subnet configuration: party count, fault bound, quorum thresholds.
+//!
+//! The paper assumes `t < n/3` corrupt parties. For a given `n` we use
+//! the maximal tolerated `t = ⌈n/3⌉ − 1`, i.e. the largest `t` with
+//! `3t < n`. The protocol's three signature schemes use thresholds
+//! `n − t` (notarization, finalization) and `t + 1` (beacon).
+
+use std::fmt;
+
+/// Static parameters of one subnet (one consensus instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubnetConfig {
+    n: usize,
+    t: usize,
+}
+
+impl SubnetConfig {
+    /// Configuration for `n` parties with the maximal tolerated fault
+    /// bound `t = ⌈n/3⌉ − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 1`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use icc_types::SubnetConfig;
+    /// let c = SubnetConfig::new(13);
+    /// assert_eq!(c.t(), 4);
+    /// assert_eq!(c.notarization_threshold(), 9);  // n - t
+    /// assert_eq!(c.beacon_threshold(), 5);        // t + 1
+    /// ```
+    pub fn new(n: usize) -> SubnetConfig {
+        assert!(n >= 1, "a subnet needs at least one party");
+        let t = n.div_ceil(3) - 1;
+        SubnetConfig { n, t }
+    }
+
+    /// Configuration with an explicit fault bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3t < n`.
+    pub fn with_faults(n: usize, t: usize) -> SubnetConfig {
+        assert!(3 * t < n, "fault bound violated: need 3t < n, got n={n}, t={t}");
+        SubnetConfig { n, t }
+    }
+
+    /// Number of parties `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of corrupt parties `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Quorum size `n − t` for the `(t, n−t, n)` notarization scheme.
+    pub fn notarization_threshold(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Quorum size `n − t` for the `(t, n−t, n)` finalization scheme.
+    pub fn finalization_threshold(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Reconstruction threshold `t + 1` for the beacon scheme.
+    pub fn beacon_threshold(&self) -> usize {
+        self.t + 1
+    }
+
+    /// Iterator over all party indices.
+    pub fn parties(&self) -> impl Iterator<Item = crate::NodeIndex> {
+        (0..self.n as u32).map(crate::NodeIndex::new)
+    }
+}
+
+impl fmt::Display for SubnetConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "subnet(n={}, t={})", self.n, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_fault_bounds() {
+        // 3t < n must hold, and t must be maximal.
+        for n in 1..200 {
+            let c = SubnetConfig::new(n);
+            assert!(3 * c.t() < n, "n={n}");
+            assert!(3 * (c.t() + 1) >= n, "t not maximal for n={n}");
+        }
+    }
+
+    #[test]
+    fn paper_subnet_sizes() {
+        // The deployment in §5 uses 13- and 40-node subnets.
+        let small = SubnetConfig::new(13);
+        assert_eq!((small.t(), small.notarization_threshold(), small.beacon_threshold()), (4, 9, 5));
+        let large = SubnetConfig::new(40);
+        assert_eq!((large.t(), large.notarization_threshold(), large.beacon_threshold()), (13, 27, 14));
+    }
+
+    #[test]
+    fn quorum_intersection_property() {
+        // Two (n-t)-quorums intersect in >= n-2t > t parties, i.e. at
+        // least one honest party — the safety argument's foundation.
+        for n in 4..100 {
+            let c = SubnetConfig::new(n);
+            let q = c.notarization_threshold();
+            let intersection = 2 * q - n;
+            assert!(intersection > c.t(), "quorum intersection too small for n={n}");
+        }
+    }
+
+    #[test]
+    fn explicit_faults_validation() {
+        let c = SubnetConfig::with_faults(10, 2);
+        assert_eq!(c.t(), 2);
+        assert_eq!(c.notarization_threshold(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault bound violated")]
+    fn explicit_faults_rejects_3t_ge_n() {
+        SubnetConfig::with_faults(9, 3);
+    }
+
+    #[test]
+    fn parties_iterator() {
+        let c = SubnetConfig::new(4);
+        let all: Vec<_> = c.parties().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], crate::NodeIndex::new(0));
+        assert_eq!(all[3], crate::NodeIndex::new(3));
+    }
+}

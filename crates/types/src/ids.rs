@@ -1,0 +1,162 @@
+//! Strongly-typed identifiers: party indices, round numbers and ranks.
+//!
+//! The paper indexes parties `P_1 … P_n`; we use 0-based [`NodeIndex`].
+//! A [`Round`] number is also the depth of the round's blocks in the
+//! block tree (§3.3). A [`Rank`] is a party's position in the round
+//! permutation drawn from the random beacon; rank 0 is the leader.
+
+use std::fmt;
+
+/// 0-based index of a party (the paper's `P_{α+1}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeIndex(u32);
+
+impl NodeIndex {
+    /// Wraps a raw index.
+    pub const fn new(i: u32) -> NodeIndex {
+        NodeIndex(i)
+    }
+
+    /// The raw index.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Usable directly as a `Vec` index.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u32> for NodeIndex {
+    fn from(i: u32) -> Self {
+        NodeIndex(i)
+    }
+}
+
+/// A protocol round number, which equals the depth of the round's blocks
+/// in the block tree. Round 0 is the genesis round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Round(u64);
+
+impl Round {
+    /// The genesis round (depth 0; contains only `root`).
+    pub const GENESIS: Round = Round(0);
+
+    /// Wraps a raw round number.
+    pub const fn new(r: u64) -> Round {
+        Round(r)
+    }
+
+    /// The raw round number.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next round.
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The previous round, or `None` at genesis.
+    pub const fn prev(self) -> Option<Round> {
+        match self.0 {
+            0 => None,
+            r => Some(Round(r - 1)),
+        }
+    }
+
+    /// Whether this is the genesis round.
+    pub const fn is_genesis(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(r: u64) -> Self {
+        Round(r)
+    }
+}
+
+/// A party's position in a round's beacon-derived permutation; rank 0 is
+/// the round leader. Lower ranks have higher proposal priority (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Rank(u32);
+
+impl Rank {
+    /// The leader's rank.
+    pub const LEADER: Rank = Rank(0);
+
+    /// Wraps a raw rank.
+    pub const fn new(r: u32) -> Rank {
+        Rank(r)
+    }
+
+    /// The raw rank.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the leader rank.
+    pub const fn is_leader(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+impl From<u32> for Rank {
+    fn from(r: u32) -> Self {
+        Rank(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_arithmetic() {
+        assert_eq!(Round::GENESIS.next(), Round::new(1));
+        assert_eq!(Round::new(5).prev(), Some(Round::new(4)));
+        assert_eq!(Round::GENESIS.prev(), None);
+        assert!(Round::GENESIS.is_genesis());
+        assert!(!Round::new(1).is_genesis());
+    }
+
+    #[test]
+    fn ordering_follows_raw_values() {
+        assert!(Round::new(2) < Round::new(10));
+        assert!(Rank::new(0) < Rank::new(1));
+        assert!(NodeIndex::new(3) < NodeIndex::new(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeIndex::new(7).to_string(), "P7");
+        assert_eq!(Round::new(9).to_string(), "r9");
+        assert_eq!(Rank::new(2).to_string(), "rank2");
+    }
+
+    #[test]
+    fn leader_rank() {
+        assert!(Rank::LEADER.is_leader());
+        assert!(!Rank::new(1).is_leader());
+    }
+}

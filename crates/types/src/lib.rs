@@ -1,0 +1,44 @@
+//! Core data types for the Internet Computer Consensus (ICC)
+//! reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`ids`] — strongly-typed party indices, rounds and ranks;
+//! * [`time`] — the simulated clock ([`SimTime`], [`SimDuration`]);
+//! * [`config`] — subnet parameters (`n`, `t`, quorum thresholds);
+//! * [`block`] — blocks, payloads, commands and the block tree's hash
+//!   links (paper §3.4);
+//! * [`messages`] — the consensus artifact kinds exchanged by the
+//!   protocol (proposals, authenticators, notarization/finalization
+//!   shares and aggregates, beacon shares);
+//! * [`codec`] — a compact deterministic wire codec; every artifact knows
+//!   its encoded size, which is what the simulator meters to reproduce
+//!   the paper's traffic measurements (Table 1).
+//!
+//! # Example
+//!
+//! ```
+//! use icc_types::block::{Block, Payload, Command};
+//! use icc_types::ids::{NodeIndex, Round};
+//! use icc_crypto::Hash256;
+//!
+//! let payload = Payload::from_commands(vec![Command::new(b"transfer 5".to_vec())]);
+//! let block = Block::new(Round::new(1), NodeIndex::new(3), Hash256::ZERO, payload);
+//! assert_eq!(block.round(), Round::new(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod codec;
+pub mod config;
+pub mod ids;
+pub mod messages;
+pub mod time;
+
+pub use block::{Block, Command, HashedBlock, Payload};
+pub use config::SubnetConfig;
+pub use ids::{NodeIndex, Rank, Round};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,73 @@
+//! The ICC2 reliable-broadcast subprotocol on its own ("which may be of
+//! independent interest", paper abstract): disperse a large payload to
+//! `n` parties at ~3× its size per party instead of `n`×.
+//!
+//! ```text
+//! cargo run --release -p icc-examples --bin erasure_broadcast
+//! ```
+
+use icc_erasure::rbc::{Fragment, Rbc};
+
+fn main() {
+    let n = 13;
+    let t = 4;
+    let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+    println!(
+        "dispersing a {} KiB payload to n = {n} parties (t = {t}, k = t+1 = {} data fragments)…",
+        payload.len() / 1024,
+        t + 1
+    );
+
+    // The sender encodes and sends one authenticated fragment per party.
+    let mut parties: Vec<Rbc> = (0..n).map(|i| Rbc::new(i as u32, n, t)).collect();
+    let fragments = parties[0].disperse(&payload);
+    let sender_bytes: usize = fragments.iter().map(Fragment::wire_bytes).sum();
+    println!(
+        "  sender transmits {} fragments, {} KiB total = {:.2}× payload (vs {}× for full broadcast)",
+        fragments.len(),
+        sender_bytes / 1024,
+        sender_bytes as f64 / payload.len() as f64,
+        n - 1
+    );
+
+    // Phase 1: each party receives its fragment and echoes it to all.
+    let mut echoes: Vec<Fragment> = Vec::new();
+    for (i, party) in parties.iter_mut().enumerate().skip(1) {
+        let out = party.on_fragment(fragments[i].clone());
+        echoes.push(out.echo.expect("own fragment triggers an echo"));
+    }
+    let echo_bytes = echoes[0].wire_bytes() * (n - 1);
+    println!(
+        "  each party echoes its {} KiB fragment to all: {} KiB egress = {:.2}× payload",
+        echoes[0].wire_bytes() / 1024,
+        echo_bytes / 1024,
+        echo_bytes as f64 / payload.len() as f64
+    );
+
+    // Phase 2: echoes cross; every party reconstructs from any t+1 of
+    // them — even one that never got its dispersal fragment.
+    let mut straggler = Rbc::new(99 % n as u32, n, t); // fresh state, missed dispersal
+    let mut received = 0;
+    for e in &echoes {
+        received += 1;
+        if let Some(got) = straggler.on_fragment(e.clone()).delivered {
+            assert_eq!(got, payload);
+            println!(
+                "  a party that missed dispersal reconstructed the payload from {received} echoes"
+            );
+            break;
+        }
+    }
+
+    for party in parties.iter_mut().skip(1) {
+        if party.is_delivered(&fragments[0].root) {
+            continue;
+        }
+        for e in &echoes {
+            if party.on_fragment(e.clone()).delivered.is_some() {
+                break;
+            }
+        }
+    }
+    println!("  all {n} parties delivered; per-party cost stays O(S) as n grows — that is ICC2's point.");
+}

@@ -1,0 +1,7 @@
+//! Shared nothing: this crate exists to host the runnable example
+//! binaries in `src/bin/`. Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p icc-examples --bin quickstart
+//! ```
+#![forbid(unsafe_code)]

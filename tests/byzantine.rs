@@ -1,0 +1,130 @@
+//! Byzantine-fault tests: the protocol holds its guarantees with up to
+//! `t` corrupt parties of every implemented behavior profile.
+
+use icc_core::cluster::ClusterBuilder;
+use icc_core::events::NodeEvent;
+use icc_core::Behavior;
+use icc_sim::delay::UniformDelay;
+use icc_tests::assert_chains_consistent;
+use icc_types::{Rank, SimDuration};
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+fn cluster_with(n: usize, f: usize, behavior: Behavior, seed: u64) -> icc_core::Cluster {
+    ClusterBuilder::new(n)
+        .seed(seed)
+        .network(UniformDelay::new(ms(2), ms(15)))
+        .protocol_delays(ms(50), SimDuration::ZERO)
+        .behaviors(Behavior::first_f(n, f, behavior))
+        .build()
+}
+
+#[test]
+fn crash_t_of_7_still_commits() {
+    let mut cluster = cluster_with(7, 2, Behavior::Crash, 1);
+    cluster.run_for(SimDuration::from_secs(4));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 20, "committed {}", chain.len());
+}
+
+#[test]
+fn crash_t_of_13_still_commits() {
+    let mut cluster = cluster_with(13, 4, Behavior::Crash, 2);
+    cluster.run_for(SimDuration::from_secs(4));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 10, "committed {}", chain.len());
+}
+
+#[test]
+fn crashed_leaders_never_produce_committed_blocks() {
+    let mut cluster = cluster_with(7, 2, Behavior::Crash, 3);
+    cluster.run_for(SimDuration::from_secs(4));
+    for block in cluster.committed_chain(2) {
+        assert!(
+            block.proposer().as_usize() >= 2,
+            "a crashed node's block was committed"
+        );
+    }
+}
+
+#[test]
+fn equivocators_get_disqualified_not_forked() {
+    let mut cluster = cluster_with(7, 2, Behavior::Equivocate, 4);
+    cluster.run_for(SimDuration::from_secs(4));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 20);
+    // Rounds led by an equivocator end with a higher-rank block or one
+    // of the equivocating pair — but never two committed blocks (that
+    // is what assert_chains_consistent establishes pairwise).
+}
+
+#[test]
+fn withhold_finalization_below_quorum_is_harmless() {
+    // Finalization needs n − t shares; with f ≤ t withholders the
+    // remaining n − f ≥ n − t honest parties still reach the quorum.
+    let mut cluster = cluster_with(7, 2, Behavior::WithholdFinalization, 5);
+    cluster.run_for(SimDuration::from_secs(3));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 30, "commits must continue: {}", chain.len());
+}
+
+#[test]
+fn withhold_shares_slows_but_does_not_stop_progress() {
+    let mut cluster = cluster_with(7, 2, Behavior::WithholdShares, 6);
+    cluster.run_for(SimDuration::from_secs(3));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 20, "commits: {}", chain.len());
+}
+
+#[test]
+fn empty_proposals_commit_but_carry_nothing() {
+    let mut cluster = cluster_with(7, 2, Behavior::EmptyProposals, 7);
+    cluster.run_for(SimDuration::from_secs(3));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 50);
+    for block in &chain {
+        if block.proposer().as_usize() < 2 {
+            assert!(
+                block.block().payload().is_empty(),
+                "lazy node proposed a non-empty block?"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_byzantine_cocktail() {
+    let mut behaviors = vec![Behavior::Honest; 10];
+    behaviors[0] = Behavior::Crash;
+    behaviors[1] = Behavior::Equivocate;
+    behaviors[2] = Behavior::WithholdFinalization;
+    let mut cluster = ClusterBuilder::new(10)
+        .seed(8)
+        .network(UniformDelay::new(ms(2), ms(15)))
+        .protocol_delays(ms(50), SimDuration::ZERO)
+        .behaviors(behaviors)
+        .build();
+    cluster.run_for(SimDuration::from_secs(4));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 20, "commits: {}", chain.len());
+}
+
+#[test]
+fn honest_rounds_still_leader_won_with_corrupt_minority() {
+    // In rounds whose leader is honest, the leader's block wins even
+    // with corrupt parties around (they cannot outvote the quorum).
+    let mut cluster = cluster_with(7, 2, Behavior::Crash, 9);
+    cluster.run_for(SimDuration::from_secs(3));
+    let observer = cluster.honest_nodes()[0];
+    let mut honest_led = 0;
+    for o in cluster.events_of(observer).collect::<Vec<_>>() {
+        if let NodeEvent::RoundFinished { notarized_rank, .. } = o.output {
+            if notarized_rank == Rank::LEADER {
+                honest_led += 1;
+            }
+        }
+    }
+    assert!(honest_led > 20, "leader-won rounds: {honest_led}");
+}

@@ -1,0 +1,110 @@
+//! Decoder robustness: arbitrary bytes must never panic the codec, and
+//! every decodable value must re-encode canonically (decode ∘ encode =
+//! id, encode ∘ decode = id on valid input).
+
+use icc_types::codec::{decode_from_slice, encode_to_vec};
+use icc_types::messages::ConsensusMessage;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random bytes: decoding may fail, but must never panic, and on
+    /// success must re-encode to a canonical form that decodes to the
+    /// same value.
+    #[test]
+    fn prop_decode_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        if let Ok(msg) = decode_from_slice::<ConsensusMessage>(&data) {
+            let reencoded = encode_to_vec(&msg);
+            let twice: ConsensusMessage = decode_from_slice(&reencoded).unwrap();
+            prop_assert_eq!(msg, twice);
+        }
+    }
+
+    /// Truncation at any point must produce an error, not a panic or a
+    /// silently wrong value.
+    #[test]
+    fn prop_truncated_valid_message_errors(cut_frac in 0.0f64..1.0) {
+        use icc_core::artifacts;
+        use icc_core::keys::generate_keys;
+        use icc_types::block::{Block, Payload};
+        use icc_types::{NodeIndex, Round, SubnetConfig};
+
+        let keys = generate_keys(SubnetConfig::new(4), 1);
+        let block = Block::new(
+            Round::new(1),
+            NodeIndex::new(1),
+            keys[0].setup.genesis.hash(),
+            Payload::synthetic(3, 40, Round::new(1)),
+        )
+        .into_hashed();
+        let msg = ConsensusMessage::Proposal(artifacts::proposal(&keys[1], block, None));
+        let bytes = encode_to_vec(&msg);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_from_slice::<ConsensusMessage>(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Single-byte corruption must never panic; it may still decode
+    /// (e.g. a flipped payload byte) but must not produce the original.
+    #[test]
+    fn prop_bitflip_never_panics(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        use icc_core::artifacts;
+        use icc_core::keys::generate_keys;
+        use icc_types::block::{Block, Payload};
+        use icc_types::{NodeIndex, Round, SubnetConfig};
+
+        let keys = generate_keys(SubnetConfig::new(4), 2);
+        let block = Block::new(
+            Round::new(2),
+            NodeIndex::new(0),
+            icc_crypto::Hash256::ZERO,
+            Payload::synthetic(2, 16, Round::new(2)),
+        )
+        .into_hashed();
+        let msg = ConsensusMessage::Proposal(artifacts::proposal(&keys[0], block, None));
+        let mut bytes = encode_to_vec(&msg);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let _ = decode_from_slice::<ConsensusMessage>(&bytes); // must not panic
+    }
+}
+
+#[test]
+fn corrupted_artifacts_rejected_by_pool_not_crashing_it() {
+    // End-to-end: feed a pool slightly-corrupted (but decodable)
+    // messages; the pool must reject them via signature checks.
+    use icc_core::artifacts;
+    use icc_core::keys::generate_keys;
+    use icc_core::pool::Pool;
+    use icc_types::block::{Block, Payload};
+    use icc_types::{NodeIndex, Round, SubnetConfig};
+    use std::sync::Arc;
+
+    let keys = generate_keys(SubnetConfig::new(4), 3);
+    let mut pool = Pool::new(Arc::clone(&keys[0].setup));
+    let block = Block::new(
+        Round::new(1),
+        NodeIndex::new(1),
+        keys[0].setup.genesis.hash(),
+        Payload::synthetic(2, 32, Round::new(1)),
+    )
+    .into_hashed();
+    let good = ConsensusMessage::Proposal(artifacts::proposal(&keys[1], block, None));
+    let bytes = encode_to_vec(&good);
+    let mut accepted = 0;
+    for pos in (0..bytes.len()).step_by(7) {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0xFF;
+        if let Ok(msg) = decode_from_slice::<ConsensusMessage>(&corrupt) {
+            if pool.insert(&msg) {
+                accepted += 1;
+            }
+        }
+    }
+    // Any mutation must break either the authenticator (header bytes)
+    // or the block hash the authenticator covers (payload bytes).
+    assert_eq!(accepted, 0, "corrupted artifact accepted");
+    assert!(pool.rejected_count() > 0);
+}

@@ -1,0 +1,138 @@
+//! Safety (Property P2 / the Safety lemma): honest parties never commit
+//! conflicting chains — **under any network behavior**, including full
+//! asynchrony, partitions and message loss. "Each of the ICC protocols
+//! provides safety, even in the asynchronous setting."
+
+use icc_core::cluster::ClusterBuilder;
+use icc_sim::delay::UniformDelay;
+use icc_sim::policy::{AsyncWindow, Partition, SlowNodes};
+use icc_tests::assert_chains_consistent;
+use icc_types::{NodeIndex, SimDuration, SimTime};
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+fn at(v: u64) -> SimTime {
+    SimTime::ZERO + ms(v)
+}
+
+#[test]
+fn safety_under_random_jitter_many_seeds() {
+    for seed in 0..8 {
+        let mut cluster = ClusterBuilder::new(4)
+            .seed(seed)
+            .network(UniformDelay::new(ms(1), ms(40)))
+            .protocol_delays(ms(120), SimDuration::ZERO)
+            .build();
+        cluster.run_for(SimDuration::from_secs(3));
+        let chain = assert_chains_consistent(&cluster);
+        assert!(!chain.is_empty(), "seed {seed}: nothing committed");
+    }
+}
+
+#[test]
+fn safety_across_partition_and_heal() {
+    let mut cluster = ClusterBuilder::new(7)
+        .seed(3)
+        .protocol_delays(ms(60), SimDuration::ZERO)
+        .policy(Partition {
+            from: at(500),
+            until: at(1500),
+            group_a: vec![NodeIndex::new(0), NodeIndex::new(1), NodeIndex::new(2)],
+        })
+        .build();
+    // Check safety repeatedly *during* the partition, not only at the end.
+    for step in 1..=6 {
+        cluster.run_until(at(step * 500));
+        assert_chains_consistent(&cluster);
+    }
+    // After healing, everyone catches up past the partition window.
+    assert!(
+        cluster.min_committed_round() > 50,
+        "only {} rounds committed after heal",
+        cluster.min_committed_round()
+    );
+}
+
+#[test]
+fn safety_with_minority_partitioned_repeatedly() {
+    let mut builder = ClusterBuilder::new(7).seed(9).protocol_delays(ms(60), SimDuration::ZERO);
+    // Three successive partitions isolating different minorities.
+    for (i, a) in [(0u64, 0u32), (1, 2), (2, 4)] {
+        builder = builder.policy(Partition {
+            from: at(400 + i * 800),
+            until: at(900 + i * 800),
+            group_a: vec![NodeIndex::new(a), NodeIndex::new(a + 1)],
+        });
+    }
+    let mut cluster = builder.build();
+    cluster.run_for(SimDuration::from_secs(4));
+    assert_chains_consistent(&cluster);
+}
+
+#[test]
+fn safety_during_full_asynchrony_window() {
+    let mut cluster = ClusterBuilder::new(4)
+        .seed(5)
+        .protocol_delays(ms(60), SimDuration::ZERO)
+        .policy(AsyncWindow {
+            from: at(300),
+            until: at(2000),
+        })
+        .build();
+    cluster.run_until(at(1000));
+    assert_chains_consistent(&cluster); // mid-asynchrony
+    cluster.run_until(at(4000));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 20, "liveness after the window: {}", chain.len());
+}
+
+#[test]
+fn safety_with_lossy_network() {
+    let mut cluster = ClusterBuilder::new(4)
+        .seed(6)
+        .loss(0.10, ms(50))
+        .protocol_delays(ms(150), SimDuration::ZERO)
+        .build();
+    cluster.run_for(SimDuration::from_secs(4));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(!chain.is_empty());
+}
+
+#[test]
+fn safety_with_slow_links() {
+    let mut cluster = ClusterBuilder::new(7)
+        .seed(7)
+        .protocol_delays(ms(100), SimDuration::ZERO)
+        .policy(SlowNodes {
+            nodes: vec![NodeIndex::new(1), NodeIndex::new(3)],
+            extra: ms(90),
+        })
+        .build();
+    cluster.run_for(SimDuration::from_secs(4));
+    let chain = assert_chains_consistent(&cluster);
+    assert!(chain.len() > 10);
+}
+
+#[test]
+fn no_conflicting_finalized_blocks_per_round() {
+    // P2 directly: across all nodes, at most one finalized block hash
+    // per round.
+    let mut cluster = ClusterBuilder::new(7)
+        .seed(8)
+        .network(UniformDelay::new(ms(1), ms(30)))
+        .protocol_delays(ms(90), SimDuration::ZERO)
+        .build();
+    cluster.run_for(SimDuration::from_secs(3));
+    let mut by_round = std::collections::HashMap::new();
+    for node in 0..cluster.n() {
+        for block in cluster.committed_chain(node) {
+            let prev = by_round.insert(block.round(), block.hash());
+            if let Some(h) = prev {
+                assert_eq!(h, block.hash(), "two finalized blocks in {}", block.round());
+            }
+        }
+    }
+    assert!(by_round.len() > 30);
+}

@@ -1,0 +1,44 @@
+//! Shared helpers for the workspace integration tests.
+
+#![forbid(unsafe_code)]
+
+use icc_core::cluster::{Cluster, CoreAccess};
+use icc_core::events::NodeEvent;
+use icc_sim::Node;
+use icc_types::block::HashedBlock;
+use icc_types::Command;
+
+/// Asserts the atomic-broadcast contract across every pair of honest
+/// nodes: committed chains are prefix-ordered (safety), and returns the
+/// shortest honest chain (for liveness assertions).
+pub fn assert_chains_consistent<N>(cluster: &Cluster<N>) -> Vec<HashedBlock>
+where
+    N: Node<External = Command, Output = NodeEvent> + CoreAccess,
+{
+    cluster.assert_safety();
+    cluster
+        .honest_nodes()
+        .into_iter()
+        .map(|i| cluster.committed_chain(i))
+        .min_by_key(Vec::len)
+        .unwrap_or_default()
+}
+
+/// Extracts the committed command byte-sequences of one node, in order.
+pub fn committed_commands<N>(cluster: &Cluster<N>, node: usize) -> Vec<Vec<u8>>
+where
+    N: Node<External = Command, Output = NodeEvent> + CoreAccess,
+{
+    cluster
+        .committed_chain(node)
+        .iter()
+        .flat_map(|b| {
+            b.block()
+                .payload()
+                .commands()
+                .iter()
+                .map(|c| c.bytes().to_vec())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
