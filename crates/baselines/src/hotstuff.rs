@@ -149,7 +149,6 @@ pub struct HotStuffNode {
     committed_view: u64,
     /// Whether this node proposed in its current leadership.
     proposed_in_view: HashSet<u64>,
-    genesis: Hash256,
     view_entered_at: SimTime,
 }
 
@@ -176,7 +175,6 @@ impl HotStuffNode {
             last_voted_view: 0,
             committed_view: 0,
             proposed_in_view: HashSet::new(),
-            genesis,
             view_entered_at: SimTime::ZERO,
         }
     }
@@ -483,7 +481,10 @@ mod tests {
             .iter()
             .filter(|o| matches!(o.output, HsEvent::Committed { .. }))
             .count();
-        assert!(commits > 10, "progress resumes after view change, got {commits}");
+        assert!(
+            commits > 10,
+            "progress resumes after view change, got {commits}"
+        );
     }
 
     #[test]

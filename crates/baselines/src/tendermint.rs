@@ -169,7 +169,11 @@ impl Node for TendermintNode {
                     });
                 }
             }
-            TmMessage::Prevote { round, block, voter } => {
+            TmMessage::Prevote {
+                round,
+                block,
+                voter,
+            } => {
                 let e = self.prevotes.entry((round, block)).or_default();
                 e.insert(voter);
                 if e.len() >= self.quorum() && self.precommitted.insert(round) {
@@ -180,7 +184,11 @@ impl Node for TendermintNode {
                     });
                 }
             }
-            TmMessage::Precommit { round, block, voter } => {
+            TmMessage::Precommit {
+                round,
+                block,
+                voter,
+            } => {
                 let e = self.precommits.entry((round, block)).or_default();
                 e.insert(voter);
                 if e.len() >= self.quorum() && self.committed.insert(round) {
@@ -197,7 +205,12 @@ mod tests {
     use icc_sim::delay::FixedDelay;
     use icc_sim::SimulationBuilder;
 
-    fn run(n: usize, delta_ms: u64, interval_ms: u64, secs: u64) -> icc_sim::Simulation<TendermintNode> {
+    fn run(
+        n: usize,
+        delta_ms: u64,
+        interval_ms: u64,
+        secs: u64,
+    ) -> icc_sim::Simulation<TendermintNode> {
         let nodes = (0..n)
             .map(|_| TendermintNode::new(n, SimDuration::from_millis(interval_ms), 1024))
             .collect();
@@ -224,7 +237,10 @@ mod tests {
         let slow = run(4, 50, 200, 4);
         let c_fast = fast.nodes()[0].committed_rounds();
         let c_slow = slow.nodes()[0].committed_rounds();
-        assert_eq!(c_fast, c_slow, "throughput must depend only on the interval");
+        assert_eq!(
+            c_fast, c_slow,
+            "throughput must depend only on the interval"
+        );
     }
 
     #[test]

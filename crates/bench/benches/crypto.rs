@@ -58,7 +58,9 @@ fn bench_threshold(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(3);
         let dealt = Dealer::deal(t + 1, n, &mut rng);
         let msg = b"beacon message";
-        let shares: Vec<_> = (0..t + 1).map(|i| dealt.signer(i).sign_share(msg)).collect();
+        let shares: Vec<_> = (0..t + 1)
+            .map(|i| dealt.signer(i).sign_share(msg))
+            .collect();
         let public = dealt.public();
         g.bench_with_input(BenchmarkId::from_parameter(n), &shares, |b, sh| {
             b.iter(|| public.combine(msg, sh.iter().copied()).unwrap())

@@ -50,7 +50,12 @@ fn main() {
     }
     print_table(
         "Ablation: beacon-share pipelining (n=7, honest, eps=0)",
-        &["delta", "round/delta (pipelined)", "round/delta (ablated)", "slowdown"],
+        &[
+            "delta",
+            "round/delta (pipelined)",
+            "round/delta (ablated)",
+            "slowdown",
+        ],
         &rows,
     );
     println!(

@@ -39,7 +39,10 @@ fn main() {
         "static 5ms (wrong)".into(),
         format!("{}", bad.min_committed_round()),
         format!("{bad_rounds}"),
-        fmt_f(bad.min_committed_round() as f64 / bad_rounds.max(1) as f64, 2),
+        fmt_f(
+            bad.min_committed_round() as f64 / bad_rounds.max(1) as f64,
+            2,
+        ),
         "5".into(),
     ]);
 
@@ -56,7 +59,10 @@ fn main() {
         "static 240ms (right)".into(),
         format!("{}", good.min_committed_round()),
         format!("{good_rounds}"),
-        fmt_f(good.min_committed_round() as f64 / good_rounds.max(1) as f64, 2),
+        fmt_f(
+            good.min_committed_round() as f64 / good_rounds.max(1) as f64,
+            2,
+        ),
         "240".into(),
     ]);
 
@@ -79,7 +85,10 @@ fn main() {
         "adaptive from 5ms".into(),
         format!("{}", adaptive.min_committed_round()),
         format!("{ad_rounds}"),
-        fmt_f(adaptive.min_committed_round() as f64 / ad_rounds.max(1) as f64, 2),
+        fmt_f(
+            adaptive.min_committed_round() as f64 / ad_rounds.max(1) as f64,
+            2,
+        ),
         format!("{}", final_bound.as_micros() / 1000),
     ]);
 

@@ -43,7 +43,12 @@ where
     // blocks still fill; Bytes-backed commands are cheap to clone).
     let cmd_size = 65536.min(block_bytes / 4).max(1024);
     let total = (200 * block_bytes).div_ceil(cmd_size);
-    cluster.inject_commands(SimTime::ZERO, SimDuration::from_millis(100), total, cmd_size);
+    cluster.inject_commands(
+        SimTime::ZERO,
+        SimDuration::from_millis(100),
+        total,
+        cmd_size,
+    );
     cluster.run_for(SimDuration::from_secs(1));
     let r0 = cluster.min_committed_round();
     cluster.sim.reset_metrics();

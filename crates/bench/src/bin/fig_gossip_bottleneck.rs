@@ -84,7 +84,12 @@ fn main() {
 
     print_table(
         "E8: leader/bottleneck egress with 1 MiB blocks (n=40), per round, normalized by S",
-        &["dissemination", "mean bytes/S", "max (bottleneck) bytes/S", "rounds measured"],
+        &[
+            "dissemination",
+            "mean bytes/S",
+            "max (bottleneck) bytes/S",
+            "rounds measured",
+        ],
         &rows,
     );
     println!(

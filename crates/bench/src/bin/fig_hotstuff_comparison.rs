@@ -96,10 +96,7 @@ fn run_hotstuff(n: usize, crashed: usize) -> (f64, f64) {
     let mean_lat = if crashed == 0 {
         let lats: Vec<u64> = commits
             .iter()
-            .map(|(v, at)| {
-                at.as_micros()
-                    .saturating_sub((v - 1) * 2 * DELTA_MS * 1000)
-            })
+            .map(|(v, at)| at.as_micros().saturating_sub((v - 1) * 2 * DELTA_MS * 1000))
             .collect();
         lats.iter().sum::<u64>() as f64 / lats.len().max(1) as f64 / 1000.0
     } else {
@@ -119,7 +116,11 @@ fn main() {
             fmt_f(icc_tps, 1),
             fmt_f(icc_lat, 1),
             fmt_f(hs_tps, 1),
-            if hs_lat.is_nan() { "-".into() } else { fmt_f(hs_lat, 1) },
+            if hs_lat.is_nan() {
+                "-".into()
+            } else {
+                fmt_f(hs_lat, 1)
+            },
         ]);
         eprintln!("done crashed={crashed}");
     }

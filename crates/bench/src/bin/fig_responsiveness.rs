@@ -40,7 +40,9 @@ fn icc_round_time_ms(n: usize, delta_ms: u64) -> f64 {
 fn tendermint_round_time_ms(n: usize, delta_ms: u64) -> f64 {
     // A deployed Tendermint must pace rounds at O(Δbnd): 1 s here.
     let interval = SimDuration::from_secs(1);
-    let nodes = (0..n).map(|_| TendermintNode::new(n, interval, 1024)).collect();
+    let nodes = (0..n)
+        .map(|_| TendermintNode::new(n, interval, 1024))
+        .collect();
     let mut sim = SimulationBuilder::new(9)
         .delay(FixedDelay::new(SimDuration::from_millis(delta_ms)))
         .build(nodes);
@@ -65,7 +67,12 @@ fn main() {
     }
     print_table(
         "E5: round time vs actual network delay (both configured with delta_bnd = 1s)",
-        &["delta (ms)", "ICC round (ms)", "ICC round/delta", "fixed-pace round (ms)"],
+        &[
+            "delta (ms)",
+            "ICC round (ms)",
+            "ICC round/delta",
+            "fixed-pace round (ms)",
+        ],
         &rows,
     );
     println!(

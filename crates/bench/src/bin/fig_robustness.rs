@@ -37,15 +37,17 @@ fn run(n: usize, f: usize, behavior: Behavior, secs: u64) -> Outcome {
         .behaviors(Behavior::first_f(n, f, behavior))
         .build();
     // Continuous light client load so "useful payload" is measurable.
-    cluster.inject_commands(SimTime::ZERO, SimDuration::from_secs(secs), (secs * 50) as usize, 256);
+    cluster.inject_commands(
+        SimTime::ZERO,
+        SimDuration::from_secs(secs),
+        (secs * 50) as usize,
+        256,
+    );
     cluster.run_for(SimDuration::from_secs(secs));
     cluster.assert_safety();
     let observer = cluster.honest_nodes()[0];
     let committed = cluster.committed_chain(observer);
-    let cmds: usize = committed
-        .iter()
-        .map(|b| b.block().payload().len())
-        .sum();
+    let cmds: usize = committed.iter().map(|b| b.block().payload().len()).sum();
     let stats = cluster.round_stats(observer);
     let ds: Vec<u64> = stats
         .iter()
@@ -68,7 +70,11 @@ fn main() {
     let t = 4;
     let mut rows = Vec::new();
     for f in 0..=t {
-        for behavior in [Behavior::Crash, Behavior::Equivocate, Behavior::EmptyProposals] {
+        for behavior in [
+            Behavior::Crash,
+            Behavior::Equivocate,
+            Behavior::EmptyProposals,
+        ] {
             let o = run(n, f, behavior, 20);
             rows.push(vec![
                 format!("{f}"),

@@ -61,7 +61,10 @@ const SCENARIOS: [Scenario; 3] = [
 fn run_cell(n: usize, scenario: &Scenario, warmup: SimDuration, window: SimDuration) -> (f64, f64) {
     // Production-pacing parametrization per subnet size (paper §5).
     let (epsilon, delta_bnd) = if n <= 20 {
-        (SimDuration::from_millis(850), SimDuration::from_millis(2500))
+        (
+            SimDuration::from_millis(850),
+            SimDuration::from_millis(2500),
+        )
     } else {
         (SimDuration::from_millis(2350), SimDuration::from_secs(4))
     };
@@ -113,7 +116,11 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &[13usize, 40] {
         for s in &SCENARIOS {
-            let (paper_rate, paper_mbps) = if n == 13 { s.paper_small } else { s.paper_large };
+            let (paper_rate, paper_mbps) = if n == 13 {
+                s.paper_small
+            } else {
+                s.paper_large
+            };
             let (rate, mbps) = run_cell(n, s, warmup, window);
             rows.push(vec![
                 format!("{n}"),

@@ -35,10 +35,11 @@ pub fn proposal(
 pub fn notarization_share(keys: &NodeKeys, block_ref: BlockRef) -> NotarizationShare {
     NotarizationShare {
         block_ref,
-        share: keys
-            .setup
-            .notary
-            .sign_share(&keys.notary, keys.index.get(), &block_ref.sign_bytes()),
+        share: keys.setup.notary.sign_share(
+            &keys.notary,
+            keys.index.get(),
+            &block_ref.sign_bytes(),
+        ),
     }
 }
 
@@ -46,10 +47,11 @@ pub fn notarization_share(keys: &NodeKeys, block_ref: BlockRef) -> NotarizationS
 pub fn finalization_share(keys: &NodeKeys, block_ref: BlockRef) -> FinalizationShare {
     FinalizationShare {
         block_ref,
-        share: keys
-            .setup
-            .finality
-            .sign_share(&keys.finality, keys.index.get(), &block_ref.sign_bytes()),
+        share: keys.setup.finality.sign_share(
+            &keys.finality,
+            keys.index.get(),
+            &block_ref.sign_bytes(),
+        ),
     }
 }
 
@@ -82,7 +84,11 @@ mod tests {
         .into_hashed();
         let p = proposal(&keys[2], block.clone(), None);
         let r = BlockRef::of_hashed(&block);
-        assert!(keys[0].setup.auth_keys[2].verify(domains::AUTH, &r.sign_bytes(), &p.authenticator));
+        assert!(keys[0].setup.auth_keys[2].verify(
+            domains::AUTH,
+            &r.sign_bytes(),
+            &p.authenticator
+        ));
     }
 
     #[test]
@@ -97,11 +103,20 @@ mod tests {
         .into_hashed();
         let r = BlockRef::of_hashed(&block);
         let ns = notarization_share(&keys[1], r);
-        assert!(keys[0].setup.notary.verify_share(&r.sign_bytes(), &ns.share));
+        assert!(keys[0]
+            .setup
+            .notary
+            .verify_share(&r.sign_bytes(), &ns.share));
         let fs = finalization_share(&keys[1], r);
-        assert!(keys[0].setup.finality.verify_share(&r.sign_bytes(), &fs.share));
+        assert!(keys[0]
+            .setup
+            .finality
+            .verify_share(&r.sign_bytes(), &fs.share));
         // Notary and finality shares are not interchangeable.
-        assert!(!keys[0].setup.finality.verify_share(&r.sign_bytes(), &ns.share));
+        assert!(!keys[0]
+            .setup
+            .finality
+            .verify_share(&r.sign_bytes(), &ns.share));
     }
 
     #[test]

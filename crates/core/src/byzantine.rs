@@ -118,12 +118,15 @@ mod tests {
     #[test]
     fn first_f_assignment() {
         let v = Behavior::first_f(4, 1, Behavior::Equivocate);
-        assert_eq!(v, vec![
-            Behavior::Equivocate,
-            Behavior::Honest,
-            Behavior::Honest,
-            Behavior::Honest
-        ]);
+        assert_eq!(
+            v,
+            vec![
+                Behavior::Equivocate,
+                Behavior::Honest,
+                Behavior::Honest,
+                Behavior::Honest
+            ]
+        );
     }
 
     #[test]

@@ -381,6 +381,28 @@ impl<N: Node<External = Command, Output = NodeEvent> + CoreAccess> Cluster<N> {
             .collect()
     }
 
+    /// A snapshot of `node`'s artifact-pool counters.
+    pub fn pool_stats(&self, node: usize) -> crate::pool::PoolStats {
+        self.sim.node(node).core().pool().stats()
+    }
+
+    /// Copies every node's current pool counters into the simulation's
+    /// [`Metrics`](icc_sim::Metrics), making them visible per node and
+    /// in the aggregate [`summary`](icc_sim::Metrics::summary).
+    pub fn sample_pool_metrics(&mut self) {
+        for i in 0..self.n() {
+            let stats = self.pool_stats(i);
+            self.sim.metrics_mut().set_pool_counters(i, stats.into());
+        }
+    }
+
+    /// Samples pool counters and returns the aggregate metrics summary
+    /// (traffic + pool) for the run so far.
+    pub fn metrics_summary(&mut self) -> icc_sim::MetricsSummary {
+        self.sample_pool_metrics();
+        self.sim.metrics().summary()
+    }
+
     /// Checks the atomic-broadcast safety property across all honest
     /// node pairs: committed chains must be prefix-ordered.
     ///
@@ -392,7 +414,15 @@ impl<N: Node<External = Command, Output = NodeEvent> + CoreAccess> Cluster<N> {
         let honest = self.honest_nodes();
         let chains: Vec<(usize, Vec<Hash256>)> = honest
             .iter()
-            .map(|&i| (i, self.committed_chain(i).iter().map(HashedBlock::hash).collect()))
+            .map(|&i| {
+                (
+                    i,
+                    self.committed_chain(i)
+                        .iter()
+                        .map(HashedBlock::hash)
+                        .collect(),
+                )
+            })
             .collect();
         for (ai, a) in &chains {
             for (bi, b) in &chains {
@@ -424,7 +454,10 @@ mod tests {
         // All honest nodes committed the same chain length eventually
         // modulo in-flight rounds.
         let lens: Vec<usize> = (0..4).map(|i| cluster.committed_chain(i).len()).collect();
-        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 2, "{lens:?}");
+        assert!(
+            lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 2,
+            "{lens:?}"
+        );
     }
 
     #[test]
@@ -437,7 +470,10 @@ mod tests {
         let mut count = 0;
         for b in &chain {
             for c in b.block().payload().commands() {
-                assert!(seen.insert(c.bytes().to_vec()), "duplicate command committed");
+                assert!(
+                    seen.insert(c.bytes().to_vec()),
+                    "duplicate command committed"
+                );
                 count += 1;
             }
         }

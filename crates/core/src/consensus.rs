@@ -282,9 +282,12 @@ impl ConsensusCore {
     }
 
     /// Broadcasts `msg` and inserts it into the local pool immediately
-    /// (a party's own messages reach its own pool, §3.1).
+    /// (a party's own messages reach its own pool, §3.1). Own artifacts
+    /// take the trusted path: they were signed locally a moment ago, so
+    /// the ChangeSet step moves them to the validated section without
+    /// re-verifying.
     fn emit(&mut self, msg: ConsensusMessage, step: &mut Step) {
-        self.pool.insert(&msg);
+        self.pool.insert_owned(&msg);
         step.broadcasts.push(msg);
     }
 
@@ -384,7 +387,9 @@ impl ConsensusCore {
         let notarization = if let Some((_, n)) = self.pool.notarized_block(self.round) {
             n.clone()
         } else if let Some(n) = self.pool.completable_notarization(self.round) {
-            self.pool.insert_notarization(n.clone());
+            // Combined from shares this party already validated: trusted.
+            self.pool
+                .insert_owned(&ConsensusMessage::Notarization(n.clone()));
             n
         } else {
             return false;
@@ -428,7 +433,9 @@ impl ConsensusCore {
         let (parent, parent_notarization) = if self.round == Round::new(1) {
             (self.keys.setup.genesis.clone(), None)
         } else {
-            let Some((b, n)) = self.pool.notarized_block(self.round.prev().expect("round >= 2"))
+            let Some((b, n)) = self
+                .pool
+                .notarized_block(self.round.prev().expect("round >= 2"))
             else {
                 // Unreachable for honest flow: the previous round only
                 // ends with a notarized block in the pool.
@@ -472,7 +479,13 @@ impl ConsensusCore {
                     .as_bytes()
                     .to_vec(),
             );
-            Block::new(round, me, parent.hash(), Payload::from_commands(vec![marker])).into_hashed()
+            Block::new(
+                round,
+                me,
+                parent.hash(),
+                Payload::from_commands(vec![marker]),
+            )
+            .into_hashed()
         };
         let b1 = mk_block(1, self.round, self.keys.index, &parent);
         let b2 = mk_block(2, self.round, self.keys.index, &parent);
@@ -487,8 +500,8 @@ impl ConsensusCore {
         ));
         let p2 =
             ConsensusMessage::Proposal(artifacts::proposal(&self.keys, b2, parent_notarization));
-        self.pool.insert(&p1);
-        self.pool.insert(&p2);
+        self.pool.insert_owned(&p1);
+        self.pool.insert_owned(&p2);
         let n = self.keys.setup.config.n();
         for i in 0..n as u32 {
             let to = icc_types::NodeIndex::new(i);
@@ -558,11 +571,12 @@ impl ConsensusCore {
                         .clone(),
                 )
             };
-            step.broadcasts.push(ConsensusMessage::Proposal(BlockProposal {
-                block: block.clone(),
-                authenticator,
-                parent_notarization,
-            }));
+            step.broadcasts
+                .push(ConsensusMessage::Proposal(BlockProposal {
+                    block: block.clone(),
+                    authenticator,
+                    parent_notarization,
+                }));
         }
         if !already_shared_this_rank && self.behavior.shares_notarization() {
             let share = artifacts::notarization_share(&self.keys, block_ref);
@@ -577,7 +591,9 @@ impl ConsensusCore {
         loop {
             // Case (ii): a completable share set.
             if let Some(f) = self.pool.completable_finalization(self.kmax) {
-                self.pool.insert_finalization(f.clone());
+                // Combined from shares this party already validated.
+                self.pool
+                    .insert_owned(&ConsensusMessage::Finalization(f.clone()));
                 if self.finalizations_broadcast.insert(f.block_ref.hash) {
                     step.broadcasts.push(ConsensusMessage::Finalization(f));
                 }
@@ -638,7 +654,8 @@ impl ConsensusCore {
         let mut commands = Vec::new();
         let mut bytes = 0usize;
         for (cmd, h) in &self.pending {
-            if commands.len() >= self.policy.max_commands || bytes + cmd.len() > self.policy.max_bytes
+            if commands.len() >= self.policy.max_commands
+                || bytes + cmd.len() > self.policy.max_bytes
             {
                 break;
             }

@@ -113,7 +113,10 @@ impl AdaptiveDelays {
     ///
     /// Panics unless `floor <= initial <= cap`.
     pub fn new(initial: SimDuration, floor: SimDuration, cap: SimDuration) -> AdaptiveDelays {
-        assert!(floor <= initial && initial <= cap, "need floor <= initial <= cap");
+        assert!(
+            floor <= initial && initial <= cap,
+            "need floor <= initial <= cap"
+        );
         AdaptiveDelays {
             current: initial,
             floor,
@@ -218,7 +221,11 @@ mod tests {
         for _ in 0..7 {
             d.observe_round(ms(50), true);
         }
-        assert_eq!(d.delta_bound(), ms(100), "no shrink before the streak completes");
+        assert_eq!(
+            d.delta_bound(),
+            ms(100),
+            "no shrink before the streak completes"
+        );
         d.observe_round(ms(50), true);
         assert_eq!(d.delta_bound(), ms(75));
     }

@@ -5,9 +5,9 @@
 //! markers the experiment harnesses use to measure round times,
 //! latencies and leader statistics.
 
+use icc_crypto::Hash256;
 use icc_types::block::HashedBlock;
 use icc_types::{NodeIndex, Rank, Round, SimDuration};
-use icc_crypto::Hash256;
 
 /// One observable event in a node's execution.
 #[derive(Debug, Clone, PartialEq)]

@@ -91,8 +91,12 @@ pub fn generate_keys(config: SubnetConfig, seed: u64) -> Vec<NodeKeys> {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = config.n();
 
-    let (notary, notary_sks) =
-        MultiSigScheme::generate(domains::NOTARY, config.notarization_threshold(), n, &mut rng);
+    let (notary, notary_sks) = MultiSigScheme::generate(
+        domains::NOTARY,
+        config.notarization_threshold(),
+        n,
+        &mut rng,
+    );
     let (finality, finality_sks) =
         MultiSigScheme::generate(domains::FINAL, config.finalization_threshold(), n, &mut rng);
     let beacon_dealt =
@@ -183,7 +187,11 @@ mod tests {
     fn beacon_shares_combine_across_parties() {
         let keys = generate_keys(SubnetConfig::new(4), 3);
         let msg = icc_crypto::beacon::beacon_sign_message(1, &keys[0].setup.genesis_beacon);
-        let shares: Vec<_> = keys.iter().take(2).map(|k| k.beacon.sign_share(&msg)).collect();
+        let shares: Vec<_> = keys
+            .iter()
+            .take(2)
+            .map(|k| k.beacon.sign_share(&msg))
+            .collect();
         let sig = keys[0].setup.beacon.combine(&msg, shares).unwrap();
         assert!(keys[3].setup.beacon.verify(&msg, &sig));
     }

@@ -52,11 +52,7 @@ impl IccNode {
     }
 
     fn prune_fired(&mut self, now: SimTime) {
-        let fired: Vec<u64> = self
-            .scheduled
-            .range(..=now.as_micros())
-            .copied()
-            .collect();
+        let fired: Vec<u64> = self.scheduled.range(..=now.as_micros()).copied().collect();
         for f in fired {
             self.scheduled.remove(&f);
         }

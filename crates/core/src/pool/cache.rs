@@ -1,0 +1,57 @@
+//! The verification cache: artifact hash → "signature already checked".
+//!
+//! Keyed by the canonical [`ArtifactId`](super::unvalidated::ArtifactId)
+//! of each artifact, so a duplicate arriving through any path (direct
+//! re-send, gossip echo, Byzantine replay) never re-runs signature
+//! verification. Each entry remembers the artifact's round so
+//! [`purge_below`](VerificationCache::purge_below) can garbage-collect
+//! in lock-step with the pool sections.
+
+use super::unvalidated::ArtifactId;
+use icc_types::Round;
+use std::collections::HashMap;
+
+/// A round-indexed set of artifact hashes whose signatures verified.
+#[derive(Debug)]
+pub struct VerificationCache {
+    enabled: bool,
+    entries: HashMap<ArtifactId, Round>,
+}
+
+impl VerificationCache {
+    /// An empty cache. A disabled cache never hits and never stores
+    /// (the ablation baseline for the duplicate-heavy benchmark).
+    pub fn new(enabled: bool) -> VerificationCache {
+        VerificationCache {
+            enabled,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Whether `id`'s signature has already been verified.
+    pub fn contains(&self, id: &ArtifactId) -> bool {
+        self.enabled && self.entries.contains_key(id)
+    }
+
+    /// Records a successful verification of `id` (round-tagged for GC).
+    pub fn record(&mut self, id: ArtifactId, round: Round) {
+        if self.enabled {
+            self.entries.insert(id, round);
+        }
+    }
+
+    /// Drops all entries for rounds strictly below `round`.
+    pub fn purge_below(&mut self, round: Round) {
+        self.entries.retain(|_, r| *r >= round);
+    }
+
+    /// Number of cached verifications.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

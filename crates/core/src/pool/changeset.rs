@@ -1,0 +1,171 @@
+//! The ChangeSet step: unvalidated → validated, with batched
+//! verification and the verification cache.
+//!
+//! [`process_changes`] inspects the unvalidated section and decides,
+//! for every queued artifact, whether it moves to the validated
+//! section or is removed. It is the **only** place network artifacts
+//! are cryptographically verified:
+//!
+//! * verification is batched per `(round, block)` — all artifacts over
+//!   the same [`BlockRef`](icc_types::messages::BlockRef)
+//!   (authenticator, notarization/finalization shares and aggregates)
+//!   share one computation of the signed byte string;
+//! * the [`VerificationCache`] is consulted first, so an artifact whose
+//!   hash verified once never verifies again;
+//! * artifacts this party signed itself are trusted outright.
+//!
+//! Beacon shares can only be verified once the previous beacon value is
+//! known (paper §3.4), so they move to the validated section unverified
+//! and are checked at combine time.
+
+use icc_crypto::Hash256;
+use icc_types::messages::domains;
+use icc_types::Round;
+use std::collections::HashMap;
+
+use super::cache::VerificationCache;
+use super::stats::PoolStats;
+use super::unvalidated::{ArtifactId, UnvalidatedArtifact, UnvalidatedEntry, UnvalidatedSection};
+use crate::keys::PublicSetup;
+
+/// Why an artifact was removed without entering the validated section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// A block authenticator failed `S_auth` verification (or the
+    /// proposer index was unknown).
+    BadAuthenticator,
+    /// An aggregate or share signature failed verification.
+    BadSignature,
+}
+
+/// One mutation of the two-tier pool, produced by [`process_changes`]
+/// and executed by [`Pool::apply_changes`](super::Pool::apply_changes).
+#[derive(Debug, Clone)]
+pub enum ChangeAction {
+    /// The artifact verified (or was cached/trusted): move it into the
+    /// validated section.
+    MoveToValidated(UnvalidatedArtifact),
+    /// The artifact failed verification: drop it from the unvalidated
+    /// section.
+    RemoveFromUnvalidated {
+        /// The artifact's id.
+        id: ArtifactId,
+        /// Why it was dropped.
+        reason: RejectReason,
+    },
+    /// Garbage-collect all sections (and the cache) below `round`.
+    PurgeBelow(Round),
+}
+
+/// A batch of pool mutations.
+pub type ChangeSet = Vec<ChangeAction>;
+
+/// Computes the ChangeSet for everything currently queued in the
+/// unvalidated section. Pure with respect to the pool sections; only
+/// the cache and counters are updated.
+pub(crate) fn process_changes(
+    unvalidated: &UnvalidatedSection,
+    setup: &PublicSetup,
+    cache: &mut VerificationCache,
+    stats: &mut PoolStats,
+) -> ChangeSet {
+    // Batch key: the block hash. All signatures over the same
+    // (round, block) verify against the same canonical byte string, so
+    // it is computed once per batch, not once per artifact.
+    let mut sign_bytes_memo: HashMap<Hash256, Vec<u8>> = HashMap::new();
+    let mut changes = ChangeSet::new();
+    for entry in unvalidated.entries() {
+        changes.push(process_entry(
+            entry,
+            setup,
+            cache,
+            stats,
+            &mut sign_bytes_memo,
+        ));
+    }
+    changes
+}
+
+fn process_entry(
+    entry: &UnvalidatedEntry,
+    setup: &PublicSetup,
+    cache: &mut VerificationCache,
+    stats: &mut PoolStats,
+    sign_bytes_memo: &mut HashMap<Hash256, Vec<u8>>,
+) -> ChangeAction {
+    let artifact = &entry.artifact;
+    let round = artifact.round();
+
+    // Own artifacts were signed locally a moment ago: trusted.
+    if entry.trusted {
+        cache.record(entry.id, round);
+        return ChangeAction::MoveToValidated(artifact.clone());
+    }
+    // Cache hit: this exact artifact verified before.
+    if cache.contains(&entry.id) {
+        stats.verify_cache_hits += 1;
+        return ChangeAction::MoveToValidated(artifact.clone());
+    }
+    // Beacon shares are verified lazily at combine time (§3.4).
+    let Some(block_ref) = artifact.block_ref() else {
+        return ChangeAction::MoveToValidated(artifact.clone());
+    };
+    let sign_bytes = sign_bytes_memo
+        .entry(block_ref.hash)
+        .or_insert_with(|| block_ref.sign_bytes());
+
+    let (ok, reason) = match artifact {
+        UnvalidatedArtifact::Block {
+            block,
+            authenticator,
+        } => {
+            let verified = setup
+                .auth_keys
+                .get(block.proposer().as_usize())
+                .is_some_and(|pk| {
+                    stats.verify_calls += 1;
+                    pk.verify(domains::AUTH, sign_bytes, authenticator)
+                });
+            (verified, RejectReason::BadAuthenticator)
+        }
+        UnvalidatedArtifact::Notarization(n) => {
+            stats.verify_calls += 1;
+            (
+                setup.notary.verify(sign_bytes, &n.sig),
+                RejectReason::BadSignature,
+            )
+        }
+        UnvalidatedArtifact::Finalization(f) => {
+            stats.verify_calls += 1;
+            (
+                setup.finality.verify(sign_bytes, &f.sig),
+                RejectReason::BadSignature,
+            )
+        }
+        UnvalidatedArtifact::NotarizationShare(s) => {
+            stats.verify_calls += 1;
+            (
+                setup.notary.verify_share(sign_bytes, &s.share),
+                RejectReason::BadSignature,
+            )
+        }
+        UnvalidatedArtifact::FinalizationShare(s) => {
+            stats.verify_calls += 1;
+            (
+                setup.finality.verify_share(sign_bytes, &s.share),
+                RejectReason::BadSignature,
+            )
+        }
+        UnvalidatedArtifact::BeaconShare(_) => unreachable!("handled above: no block_ref"),
+    };
+    if ok {
+        cache.record(entry.id, round);
+        ChangeAction::MoveToValidated(artifact.clone())
+    } else {
+        stats.rejected += 1;
+        ChangeAction::RemoveFromUnvalidated {
+            id: entry.id,
+            reason,
+        }
+    }
+}

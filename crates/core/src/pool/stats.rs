@@ -1,0 +1,55 @@
+//! Pool observability counters.
+
+/// Counters maintained by the two-tier pool, exposed through
+/// [`Pool::stats`](super::Pool::stats) and surfaced per node (and in
+/// aggregate) by `icc-sim`'s metrics.
+///
+/// The headline invariant these counters make checkable: re-inserting
+/// an artifact that is already pooled (or whose signature was already
+/// checked once) performs **zero** signature verifications —
+/// `verify_calls` stays flat while `duplicates_dropped` /
+/// `verify_cache_hits` grow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Cryptographic signature verifications actually performed
+    /// (authenticators, aggregate multi-signatures, signature shares,
+    /// beacon shares at combine time).
+    pub verify_calls: u64,
+    /// Verifications skipped because the artifact hash was found in the
+    /// [`VerificationCache`](super::cache::VerificationCache).
+    pub verify_cache_hits: u64,
+    /// Artifacts dropped at admission because an identical artifact is
+    /// already held (in either section) — dropped *before* any
+    /// signature verification.
+    pub duplicates_dropped: u64,
+    /// Artifacts evicted from the bounded unvalidated section because a
+    /// peer exceeded its per-peer quota.
+    pub unvalidated_evictions: u64,
+    /// Artifacts rejected for failing structural checks or signature
+    /// verification.
+    pub rejected: u64,
+}
+
+impl PoolStats {
+    /// Adds every counter of `other` into `self` (aggregation across
+    /// nodes).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.verify_calls += other.verify_calls;
+        self.verify_cache_hits += other.verify_cache_hits;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.unvalidated_evictions += other.unvalidated_evictions;
+        self.rejected += other.rejected;
+    }
+}
+
+impl From<PoolStats> for icc_sim::PoolCounters {
+    fn from(s: PoolStats) -> icc_sim::PoolCounters {
+        icc_sim::PoolCounters {
+            verify_calls: s.verify_calls,
+            verify_cache_hits: s.verify_cache_hits,
+            duplicates_dropped: s.duplicates_dropped,
+            unvalidated_evictions: s.unvalidated_evictions,
+            rejected: s.rejected,
+        }
+    }
+}

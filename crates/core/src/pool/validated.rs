@@ -1,0 +1,524 @@
+//! The validated section: §3.4 classification over verified artifacts.
+//!
+//! Everything in this section has already passed signature verification
+//! in the ChangeSet step (beacon shares excepted — they verify at
+//! combine time, when the previous beacon value is finally known), so
+//! the classifier here does **no** signature checks on insertion: it
+//! only maintains the authentic / valid / notarized / finalized sets of
+//! §3.4 and the share accumulators the combine paths read.
+
+use icc_crypto::beacon::{beacon_sign_message, BeaconValue};
+use icc_crypto::threshold::ThresholdSigShare;
+use icc_crypto::Hash256;
+use icc_types::block::HashedBlock;
+use icc_types::messages::{
+    BlockRef, Finalization, FinalizationShare, Notarization, NotarizationShare,
+};
+use icc_types::Round;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use super::cache::VerificationCache;
+use super::stats::PoolStats;
+use super::unvalidated::{beacon_share_id, UnvalidatedArtifact};
+use crate::keys::PublicSetup;
+
+/// The classified store of verified artifacts.
+#[derive(Debug)]
+pub(crate) struct ValidatedSection {
+    setup: Arc<PublicSetup>,
+    blocks: HashMap<Hash256, HashedBlock>,
+    by_round: BTreeMap<Round, Vec<Hash256>>,
+    authentic: HashSet<Hash256>,
+    valid: HashSet<Hash256>,
+    notarized: HashSet<Hash256>,
+    finalized: HashSet<Hash256>,
+    authenticators: HashMap<Hash256, icc_crypto::sig::Signature>,
+    notarizations: HashMap<Hash256, Notarization>,
+    finalizations: HashMap<Hash256, Finalization>,
+    notarization_shares: HashMap<Hash256, BTreeMap<u32, NotarizationShare>>,
+    finalization_shares: HashMap<Hash256, BTreeMap<u32, FinalizationShare>>,
+    /// Round index over finalization-share targets, so the Fig. 2 scan
+    /// is O(active rounds), not O(history).
+    finalization_share_rounds: BTreeMap<Round, HashSet<Hash256>>,
+    /// Aggregates whose block is not yet valid, awaiting promotion.
+    pending_notarized: HashSet<Hash256>,
+    pending_finalized: HashSet<Hash256>,
+    refs: HashMap<Hash256, BlockRef>,
+    beacon_shares: BTreeMap<Round, BTreeMap<u32, ThresholdSigShare>>,
+    beacons: BTreeMap<Round, BeaconValue>,
+    /// Blocks that are authentic but not yet valid (awaiting ancestors).
+    pending_validity: HashSet<Hash256>,
+    /// Finalized blocks indexed by round (P2 guarantees at most one).
+    finalized_by_round: BTreeMap<Round, Hash256>,
+}
+
+impl ValidatedSection {
+    /// An empty section with the genesis block pre-classified as valid,
+    /// notarized and finalized (§3.4: `root` serves as its own
+    /// authenticator, notarization and finalization), and `R_0` as the
+    /// round-0 beacon.
+    pub fn new(setup: Arc<PublicSetup>) -> ValidatedSection {
+        let genesis = setup.genesis.clone();
+        let ghash = genesis.hash();
+        let mut v = ValidatedSection {
+            setup,
+            blocks: HashMap::new(),
+            by_round: BTreeMap::new(),
+            authentic: HashSet::new(),
+            authenticators: HashMap::new(),
+            valid: HashSet::new(),
+            notarized: HashSet::new(),
+            finalized: HashSet::new(),
+            notarizations: HashMap::new(),
+            finalizations: HashMap::new(),
+            notarization_shares: HashMap::new(),
+            finalization_shares: HashMap::new(),
+            finalization_share_rounds: BTreeMap::new(),
+            pending_notarized: HashSet::new(),
+            pending_finalized: HashSet::new(),
+            refs: HashMap::new(),
+            beacon_shares: BTreeMap::new(),
+            beacons: BTreeMap::new(),
+            pending_validity: HashSet::new(),
+            finalized_by_round: BTreeMap::new(),
+        };
+        v.beacons.insert(Round::GENESIS, v.setup.genesis_beacon);
+        v.blocks.insert(ghash, genesis);
+        v.by_round.insert(Round::GENESIS, vec![ghash]);
+        v.authentic.insert(ghash);
+        v.valid.insert(ghash);
+        v.notarized.insert(ghash);
+        v.finalized.insert(ghash);
+        v.finalized_by_round.insert(Round::GENESIS, ghash);
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Duplicate probes (admission-time, before any verification)
+    // ------------------------------------------------------------------
+
+    pub fn has_block(&self, hash: &Hash256) -> bool {
+        self.authentic.contains(hash)
+    }
+
+    pub fn has_notarization(&self, hash: &Hash256) -> bool {
+        self.notarizations.contains_key(hash)
+    }
+
+    pub fn has_finalization(&self, hash: &Hash256) -> bool {
+        self.finalizations.contains_key(hash)
+    }
+
+    pub fn has_notarization_share(&self, hash: &Hash256, signer: u32) -> bool {
+        self.notarization_shares
+            .get(hash)
+            .is_some_and(|m| m.contains_key(&signer))
+    }
+
+    pub fn has_finalization_share(&self, hash: &Hash256, signer: u32) -> bool {
+        self.finalization_shares
+            .get(hash)
+            .is_some_and(|m| m.contains_key(&signer))
+    }
+
+    pub fn has_beacon_share(&self, round: Round, signer: u32) -> bool {
+        self.beacon_shares
+            .get(&round)
+            .is_some_and(|m| m.contains_key(&signer))
+    }
+
+    // ------------------------------------------------------------------
+    // Inserts (artifacts already verified by the ChangeSet step)
+    // ------------------------------------------------------------------
+
+    /// Inserts a verified artifact. The caller runs
+    /// [`recheck_validity`](Self::recheck_validity) once per batch.
+    pub fn insert_verified(&mut self, artifact: UnvalidatedArtifact) -> bool {
+        match artifact {
+            UnvalidatedArtifact::Block {
+                block,
+                authenticator,
+            } => self.insert_block(block, authenticator),
+            UnvalidatedArtifact::Notarization(n) => self.insert_notarization(n),
+            UnvalidatedArtifact::Finalization(f) => self.insert_finalization(f),
+            UnvalidatedArtifact::NotarizationShare(s) => self.insert_notarization_share(s),
+            UnvalidatedArtifact::FinalizationShare(s) => self.insert_finalization_share(s),
+            UnvalidatedArtifact::BeaconShare(b) => self
+                .beacon_shares
+                .entry(b.round)
+                .or_default()
+                .insert(b.share.signer, b.share)
+                .is_none(),
+        }
+    }
+
+    fn insert_block(
+        &mut self,
+        block: HashedBlock,
+        authenticator: icc_crypto::sig::Signature,
+    ) -> bool {
+        let hash = block.hash();
+        if self.authentic.contains(&hash) {
+            return false;
+        }
+        let block_ref = BlockRef::of_hashed(&block);
+        self.refs.insert(hash, block_ref);
+        self.blocks.insert(hash, block.clone());
+        self.by_round.entry(block.round()).or_default().push(hash);
+        self.authentic.insert(hash);
+        self.authenticators.insert(hash, authenticator);
+        self.pending_validity.insert(hash);
+        true
+    }
+
+    fn insert_notarization(&mut self, n: Notarization) -> bool {
+        if self.notarizations.contains_key(&n.block_ref.hash) {
+            return false;
+        }
+        let hash = n.block_ref.hash;
+        self.refs.insert(hash, n.block_ref);
+        self.notarizations.insert(hash, n);
+        if self.valid.contains(&hash) {
+            self.notarized.insert(hash);
+        } else {
+            self.pending_notarized.insert(hash);
+        }
+        true
+    }
+
+    fn insert_finalization(&mut self, f: Finalization) -> bool {
+        if self.finalizations.contains_key(&f.block_ref.hash) {
+            return false;
+        }
+        let hash = f.block_ref.hash;
+        self.refs.insert(hash, f.block_ref);
+        self.finalizations.insert(hash, f);
+        if self.valid.contains(&hash) {
+            self.mark_finalized(hash);
+        } else {
+            self.pending_finalized.insert(hash);
+        }
+        true
+    }
+
+    fn insert_notarization_share(&mut self, s: NotarizationShare) -> bool {
+        self.refs.insert(s.block_ref.hash, s.block_ref);
+        self.notarization_shares
+            .entry(s.block_ref.hash)
+            .or_default()
+            .insert(s.share.signer, s)
+            .is_none()
+    }
+
+    fn insert_finalization_share(&mut self, s: FinalizationShare) -> bool {
+        self.refs.insert(s.block_ref.hash, s.block_ref);
+        self.finalization_share_rounds
+            .entry(s.block_ref.round)
+            .or_default()
+            .insert(s.block_ref.hash);
+        self.finalization_shares
+            .entry(s.block_ref.hash)
+            .or_default()
+            .insert(s.share.signer, s)
+            .is_none()
+    }
+
+    /// Recomputes the valid / notarized / finalized classification to a
+    /// fixpoint (§3.4). Cheap: only blocks whose status can still change
+    /// are revisited.
+    pub fn recheck_validity(&mut self) {
+        let genesis_hash = self.setup.genesis.hash();
+        loop {
+            let mut newly_valid = Vec::new();
+            for &hash in &self.pending_validity {
+                let block = &self.blocks[&hash];
+                let parent_ok = if block.round() == Round::new(1) {
+                    block.parent() == genesis_hash
+                } else {
+                    self.notarized.contains(&block.parent())
+                };
+                // The parent must sit exactly one round below; the hash
+                // link plus per-round bookkeeping guarantees this when
+                // the parent is known, but a malicious proposer could
+                // reference a notarized block of the wrong round.
+                let depth_ok = parent_ok
+                    && self
+                        .blocks
+                        .get(&block.parent())
+                        .is_some_and(|p| p.round().next() == block.round());
+                if depth_ok {
+                    newly_valid.push(hash);
+                }
+            }
+            if newly_valid.is_empty() {
+                break;
+            }
+            for hash in newly_valid {
+                self.pending_validity.remove(&hash);
+                self.valid.insert(hash);
+                // Promote aggregates that arrived before validity; a
+                // newly notarized parent may validate children on the
+                // next fixpoint iteration.
+                if self.pending_notarized.remove(&hash) {
+                    self.notarized.insert(hash);
+                }
+                if self.pending_finalized.remove(&hash) {
+                    self.mark_finalized(hash);
+                }
+            }
+        }
+    }
+
+    fn mark_finalized(&mut self, hash: Hash256) {
+        if self.finalized.insert(hash) {
+            let round = self.blocks[&hash].round();
+            self.finalized_by_round.insert(round, hash);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    pub fn block(&self, hash: &Hash256) -> Option<&HashedBlock> {
+        self.blocks.get(hash)
+    }
+
+    pub fn authenticator_of(&self, hash: &Hash256) -> Option<icc_crypto::sig::Signature> {
+        self.authenticators.get(hash).copied()
+    }
+
+    pub fn is_valid(&self, hash: &Hash256) -> bool {
+        self.valid.contains(hash)
+    }
+
+    pub fn is_notarized(&self, hash: &Hash256) -> bool {
+        self.notarized.contains(hash)
+    }
+
+    pub fn is_finalized(&self, hash: &Hash256) -> bool {
+        self.finalized.contains(hash)
+    }
+
+    pub fn valid_blocks(&self, round: Round) -> Vec<&HashedBlock> {
+        self.by_round
+            .get(&round)
+            .into_iter()
+            .flatten()
+            .filter(|h| self.valid.contains(*h))
+            .map(|h| &self.blocks[h])
+            .collect()
+    }
+
+    pub fn notarized_block(&self, round: Round) -> Option<(&HashedBlock, &Notarization)> {
+        self.by_round
+            .get(&round)
+            .into_iter()
+            .flatten()
+            .find_map(|h| {
+                if self.notarized.contains(h) {
+                    Some((&self.blocks[h], &self.notarizations[h]))
+                } else {
+                    None
+                }
+            })
+    }
+
+    pub fn notarized_blocks(&self, round: Round) -> Vec<&HashedBlock> {
+        self.by_round
+            .get(&round)
+            .into_iter()
+            .flatten()
+            .filter(|h| self.notarized.contains(*h))
+            .map(|h| &self.blocks[h])
+            .collect()
+    }
+
+    pub fn notarization_of(&self, hash: &Hash256) -> Option<&Notarization> {
+        self.notarizations.get(hash)
+    }
+
+    pub fn finalization_of(&self, hash: &Hash256) -> Option<&Finalization> {
+        self.finalizations.get(hash)
+    }
+
+    /// A *valid but non-notarized* block of `round` holding a full set
+    /// of `n − t` notarization shares; combines them (Fig. 1 clause (a)).
+    pub fn completable_notarization(&self, round: Round) -> Option<Notarization> {
+        let need = self.setup.config.notarization_threshold();
+        for h in self.by_round.get(&round).into_iter().flatten() {
+            if !self.valid.contains(h) || self.notarized.contains(h) {
+                continue;
+            }
+            if let Some(shares) = self.notarization_shares.get(h) {
+                if shares.len() >= need {
+                    let block_ref = self.refs[h];
+                    let sig = self
+                        .setup
+                        .notary
+                        .combine(&block_ref.sign_bytes(), shares.values().map(|s| s.share))
+                        .expect("shares were verified in the ChangeSet step");
+                    return Some(Notarization { block_ref, sig });
+                }
+            }
+        }
+        None
+    }
+
+    /// A *valid but non-finalized* block of round > `above` holding a
+    /// full set of finalization shares; combines them (Fig. 2 case ii).
+    pub fn completable_finalization(&self, above: Round) -> Option<Finalization> {
+        let need = self.setup.config.finalization_threshold();
+        for hashes in self
+            .finalization_share_rounds
+            .range(above.next()..)
+            .map(|(_, hs)| hs)
+        {
+            for h in hashes {
+                let shares = &self.finalization_shares[h];
+                if shares.len() < need || !self.valid.contains(h) || self.finalized.contains(h) {
+                    continue;
+                }
+                let block_ref = self.refs[h];
+                let sig = self
+                    .setup
+                    .finality
+                    .combine(&block_ref.sign_bytes(), shares.values().map(|s| s.share))
+                    .expect("shares were verified in the ChangeSet step");
+                return Some(Finalization { block_ref, sig });
+            }
+        }
+        None
+    }
+
+    /// The highest finalized block with round > `above`, if any
+    /// (Fig. 2 case i).
+    pub fn finalized_above(&self, above: Round) -> Option<&HashedBlock> {
+        self.finalized_by_round
+            .range(above.next()..)
+            .next_back()
+            .map(|(_, h)| &self.blocks[h])
+    }
+
+    /// The chain of blocks `(above, k]` ending at `block` (ancestors
+    /// first). Returns `None` if any ancestor body is missing — which
+    /// cannot happen for a block that is valid for this party.
+    pub fn chain_back_to(&self, block: &HashedBlock, above: Round) -> Option<Vec<HashedBlock>> {
+        let mut chain = Vec::new();
+        let mut cur = block.clone();
+        while cur.round() > above {
+            let parent = cur.parent();
+            let next = if cur.round() == Round::new(1) {
+                None
+            } else {
+                Some(self.blocks.get(&parent)?.clone())
+            };
+            chain.push(cur);
+            match next {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    // ------------------------------------------------------------------
+    // Beacon
+    // ------------------------------------------------------------------
+
+    pub fn beacon(&self, round: Round) -> Option<&BeaconValue> {
+        self.beacons.get(&round)
+    }
+
+    /// Attempts to compute the round-`round` beacon from held shares.
+    /// Requires `R_{round−1}`. This is where beacon shares are finally
+    /// verified — through the cache, so a share checked on an earlier
+    /// (below-threshold) attempt is not re-verified on the next one.
+    pub fn try_compute_beacon(
+        &mut self,
+        round: Round,
+        cache: &mut VerificationCache,
+        stats: &mut PoolStats,
+    ) -> Option<BeaconValue> {
+        if self.beacons.contains_key(&round) {
+            return None;
+        }
+        let prev = *self.beacons.get(&round.prev()?)?;
+        let msg = beacon_sign_message(round.get(), &prev);
+        let shares = self.beacon_shares.entry(round).or_default();
+        let setup = &self.setup;
+        // Drop shares that fail verification now that we can check them.
+        let mut dropped = 0u64;
+        shares.retain(|_, s| {
+            let id = beacon_share_id(round, s);
+            if cache.contains(&id) {
+                stats.verify_cache_hits += 1;
+                return true;
+            }
+            stats.verify_calls += 1;
+            let ok = setup.beacon.verify_share(&msg, s);
+            if ok {
+                cache.record(id, round);
+            } else {
+                dropped += 1;
+            }
+            ok
+        });
+        stats.rejected += dropped;
+        if shares.len() < self.setup.config.beacon_threshold() {
+            return None;
+        }
+        let sig = self
+            .setup
+            .beacon
+            .combine(&msg, shares.values().copied())
+            .expect("verified shares combine");
+        let value = BeaconValue::Signature(sig);
+        self.beacons.insert(round, value);
+        Some(value)
+    }
+
+    pub fn beacon_share_count(&self, round: Round) -> usize {
+        self.beacon_shares.get(&round).map_or(0, BTreeMap::len)
+    }
+
+    /// Discards artifacts strictly below `round` — the garbage-collection
+    /// optimization §3.1 alludes to. Never discards finalized chain
+    /// entries' bodies at or below the bar that later rounds reference.
+    pub fn purge_below(&mut self, round: Round) {
+        let keep: HashSet<Hash256> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.round() >= round || b.round().is_genesis())
+            .map(|(h, _)| *h)
+            .collect();
+        self.blocks.retain(|h, _| keep.contains(h));
+        self.by_round.retain(|r, _| *r >= round || r.is_genesis());
+        self.authentic.retain(|h| keep.contains(h));
+        self.authenticators.retain(|h, _| keep.contains(h));
+        self.valid.retain(|h| keep.contains(h));
+        self.notarized.retain(|h| keep.contains(h));
+        self.finalized.retain(|h| keep.contains(h));
+        self.notarizations.retain(|h, _| keep.contains(h));
+        self.finalizations.retain(|h, _| keep.contains(h));
+        self.notarization_shares.retain(|h, _| keep.contains(h));
+        self.finalization_shares.retain(|h, _| keep.contains(h));
+        self.finalization_share_rounds.retain(|r, _| *r >= round);
+        self.pending_notarized.retain(|h| keep.contains(h));
+        self.pending_finalized.retain(|h| keep.contains(h));
+        self.pending_validity.retain(|h| keep.contains(h));
+        self.finalized_by_round
+            .retain(|r, _| *r >= round || r.is_genesis());
+        self.beacon_shares.retain(|r, _| *r >= round);
+        // Keep the last beacon below the bar: the next round's message
+        // chains from it.
+        let last_needed = round.prev().unwrap_or(Round::GENESIS);
+        self.beacons.retain(|r, _| *r >= last_needed);
+    }
+
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}

@@ -232,15 +232,13 @@ impl StateMachine for Ledger {
                     _ => self.rejected += 1,
                 }
             }
-            ["xfer", from, to, amount] => {
-                match amount.parse::<u64>() {
-                    Ok(v) if self.balance(from) >= v && from != to => {
-                        *self.balances.get_mut(*from).expect("checked balance") -= v;
-                        *self.balances.entry((*to).to_string()).or_insert(0) += v;
-                    }
-                    _ => self.rejected += 1,
+            ["xfer", from, to, amount] => match amount.parse::<u64>() {
+                Ok(v) if self.balance(from) >= v && from != to => {
+                    *self.balances.get_mut(*from).expect("checked balance") -= v;
+                    *self.balances.entry((*to).to_string()).or_insert(0) += v;
                 }
-            }
+                _ => self.rejected += 1,
+            },
             _ => self.rejected += 1,
         }
     }
@@ -374,7 +372,10 @@ mod tests {
     fn same_commits_same_digest() {
         let events = vec![
             commit_event(vec![KvStore::set_command("a", "1")]),
-            commit_event(vec![KvStore::set_command("b", "2"), KvStore::del_command("a")]),
+            commit_event(vec![
+                KvStore::set_command("b", "2"),
+                KvStore::del_command("a"),
+            ]),
         ];
         let mut r1 = Replica::new(KvStore::new());
         let mut r2 = Replica::new(KvStore::new());

@@ -30,7 +30,11 @@ fn t(v: u64) -> SimTime {
 fn setup() -> (Vec<NodeKeys>, ConsensusCore) {
     let mut keys = generate_keys(SubnetConfig::new(N), 5);
     let k0 = keys.remove(0);
-    let core = ConsensusCore::new(k0, StaticDelays::new(ms(100), SimDuration::ZERO), Behavior::Honest);
+    let core = ConsensusCore::new(
+        k0,
+        StaticDelays::new(ms(100), SimDuration::ZERO),
+        Behavior::Honest,
+    );
     let keys = generate_keys(SubnetConfig::new(N), 5);
     (keys, core)
 }
@@ -45,15 +49,23 @@ fn round1_perm(keys: &[NodeKeys]) -> RankPermutation {
     // Compute beacon 1 from two shares.
     let prev = keys[0].setup.genesis_beacon;
     let msg = icc_crypto::beacon::beacon_sign_message(1, &prev);
-    let shares = vec![keys[0].beacon.sign_share(&msg), keys[1].beacon.sign_share(&msg)];
+    let shares = vec![
+        keys[0].beacon.sign_share(&msg),
+        keys[1].beacon.sign_share(&msg),
+    ];
     let sig = keys[0].setup.beacon.combine(&msg, shares).unwrap();
     RankPermutation::derive(&BeaconValue::Signature(sig), N)
 }
 
-fn feed_beacon_round1(core: &mut ConsensusCore, keys: &[NodeKeys], now: SimTime) -> Vec<ConsensusMessage> {
+fn feed_beacon_round1(
+    core: &mut ConsensusCore,
+    keys: &[NodeKeys],
+    now: SimTime,
+) -> Vec<ConsensusMessage> {
     let prev = keys[0].setup.genesis_beacon;
     let share = artifacts::beacon_share(&keys[1], Round::new(1), &prev);
-    core.on_message(now, &ConsensusMessage::BeaconShare(share)).broadcasts
+    core.on_message(now, &ConsensusMessage::BeaconShare(share))
+        .broadcasts
 }
 
 fn block_from(keys: &NodeKeys, round: u64, parent: icc_crypto::Hash256, tag: u8) -> HashedBlock {
@@ -74,7 +86,11 @@ fn notarize(keys: &[NodeKeys], block: &HashedBlock) -> Notarization {
         .map(|k| artifacts::notarization_share(k, r).share);
     Notarization {
         block_ref: r,
-        sig: keys[0].setup.notary.combine(&r.sign_bytes(), shares).unwrap(),
+        sig: keys[0]
+            .setup
+            .notary
+            .combine(&r.sign_bytes(), shares)
+            .unwrap(),
     }
 }
 
@@ -128,7 +144,11 @@ fn leader_proposes_immediately_nonleader_waits_2_delta_bnd_per_rank() {
         // The wakeup must be exactly t0 + 200ms·rank.
         let step2 = core.on_wakeup(t(10) + ms(200 * u64::from(my_rank)));
         assert_eq!(
-            step2.broadcasts.iter().filter(|m| m.kind() == "proposal").count(),
+            step2
+                .broadcasts
+                .iter()
+                .filter(|m| m.kind() == "proposal")
+                .count(),
             1,
             "proposes once its Δprop elapses"
         );
@@ -157,7 +177,10 @@ fn supports_valid_block_and_finishes_round_at_quorum() {
     let r = BlockRef::of_hashed(&block);
     for (i, k) in keys.iter().enumerate().skip(1).take(2) {
         let share = artifacts::notarization_share(k, r);
-        let step = core.on_message(t(25 + i as u64), &ConsensusMessage::NotarizationShare(share));
+        let step = core.on_message(
+            t(25 + i as u64),
+            &ConsensusMessage::NotarizationShare(share),
+        );
         let ks = kinds(&step.broadcasts);
         if i == 2 {
             assert!(ks.contains(&"notarization"), "combined at quorum: {ks:?}");
@@ -176,7 +199,10 @@ fn supports_valid_block_and_finishes_round_at_quorum() {
 fn higher_rank_block_gated_until_its_ntry_and_blocked_by_better() {
     let (keys, mut core) = setup();
     core.start(SimTime::ZERO);
-    feed_beacon_round1(&mut core, &keys, t(10));
+    // Keep the beacon-step broadcasts: when the core itself is the
+    // round-1 leader its self-support share is emitted right here
+    // (Δntry(0) = 0), not in any of the later steps.
+    let step0 = feed_beacon_round1(&mut core, &keys, t(10));
     let perm = round1_perm(&keys);
     // Find the non-core parties of best and worst rank.
     let mut ranked: Vec<usize> = (1..N).collect();
@@ -207,17 +233,23 @@ fn higher_rank_block_gated_until_its_ntry_and_blocked_by_better() {
         &ConsensusMessage::Proposal(artifacts::proposal(&keys[best], bb, None)),
     );
     let step3 = core.on_wakeup(t(10) + ms(200 * u64::from(worst_rank)) + ms(1));
-    let shares: Vec<_> = [&step1, &step2, &step3]
+    let shares: Vec<_> = step0
         .iter()
-        .flat_map(|s| &s.broadcasts)
+        .chain([&step1, &step2, &step3].iter().flat_map(|s| &s.broadcasts))
         .filter_map(|m| match m {
             ConsensusMessage::NotarizationShare(s) => Some(s.block_ref.hash),
             _ => None,
         })
         .collect();
-    assert!(!shares.contains(&wb_hash), "worst-ranked block must never be supported");
+    assert!(
+        !shares.contains(&wb_hash),
+        "worst-ranked block must never be supported"
+    );
     if perm.rank_of(best as u32) < perm.rank_of(0) {
-        assert!(shares.contains(&bb_hash), "best peer block supported: {shares:?}");
+        assert!(
+            shares.contains(&bb_hash),
+            "best peer block supported: {shares:?}"
+        );
     } else {
         // The core itself outranks the best peer: it supports its own
         // proposal instead.
@@ -297,7 +329,11 @@ fn commands_queue_and_commit_via_finalization() {
         .map(|k| artifacts::finalization_share(k, r).share);
     let finalization = icc_types::messages::Finalization {
         block_ref: r,
-        sig: keys[0].setup.finality.combine(&r.sign_bytes(), fin_shares).unwrap(),
+        sig: keys[0]
+            .setup
+            .finality
+            .combine(&r.sign_bytes(), fin_shares)
+            .unwrap(),
     };
     core.on_message(
         t(20),
@@ -305,7 +341,11 @@ fn commands_queue_and_commit_via_finalization() {
     );
     core.on_message(t(21), &ConsensusMessage::Notarization(notarize(&keys, &b)));
     let step = core.on_message(t(22), &ConsensusMessage::Finalization(finalization));
-    let commits: Vec<_> = step.events.iter().filter_map(NodeEvent::as_committed).collect();
+    let commits: Vec<_> = step
+        .events
+        .iter()
+        .filter_map(NodeEvent::as_committed)
+        .collect();
     assert_eq!(commits.len(), 1);
     assert_eq!(commits[0].hash(), b.hash());
     assert_eq!(core.committed_round(), Round::new(1));

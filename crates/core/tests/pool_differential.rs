@@ -1,0 +1,229 @@
+//! Differential property test: the two-tier pipeline pool must reach
+//! exactly the classification (§3.4: valid / notarized / finalized) of
+//! the seed's eager-verification pool on arbitrary artifact streams —
+//! any interleaving, duplicates, forged artifacts, and blocks arriving
+//! before the parent notarization that makes them valid (pending
+//! promotions).
+//!
+//! The eager model ([`EagerPool`]) is the pre-refactor implementation
+//! kept verbatim in `pool::reference`; the pipeline ([`Pool`]) admits
+//! into an unvalidated section, verifies in the ChangeSet step and only
+//! then classifies. Equal final classification on random streams is the
+//! refactor's correctness argument; the verification-count comparison
+//! at the bottom is its performance argument.
+
+use icc_core::artifacts;
+use icc_core::keys::{generate_keys, NodeKeys};
+use icc_core::pool::{EagerPool, Pool};
+use icc_crypto::Hash256;
+use icc_types::block::{Block, Payload};
+use icc_types::messages::{BlockRef, ConsensusMessage, Finalization, Notarization};
+use icc_types::{NodeIndex, Round, SubnetConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Block tree: two forks per round for three rounds, both children of
+/// the previous round's first fork (so fork B of each round exercises
+/// the valid-but-not-extended paths).
+struct Universe {
+    keys: Vec<NodeKeys>,
+    /// Every message in the universe, duplicated freely by the stream.
+    messages: Vec<ConsensusMessage>,
+    /// Hashes of all real (non-forged) blocks.
+    block_hashes: Vec<Hash256>,
+}
+
+fn notarization_of(keys: &[NodeKeys], block_ref: BlockRef) -> Notarization {
+    let setup = &keys[0].setup;
+    let shares = (0..setup.config.notarization_threshold())
+        .map(|i| artifacts::notarization_share(&keys[i], block_ref).share);
+    Notarization {
+        block_ref,
+        sig: setup
+            .notary
+            .combine(&block_ref.sign_bytes(), shares)
+            .expect("threshold shares combine"),
+    }
+}
+
+fn finalization_of(keys: &[NodeKeys], block_ref: BlockRef) -> Finalization {
+    let setup = &keys[0].setup;
+    let shares = (0..setup.config.finalization_threshold())
+        .map(|i| artifacts::finalization_share(&keys[i], block_ref).share);
+    Finalization {
+        block_ref,
+        sig: setup
+            .finality
+            .combine(&block_ref.sign_bytes(), shares)
+            .expect("threshold shares combine"),
+    }
+}
+
+fn build_universe(seed: u64) -> Universe {
+    let n = 4usize;
+    let keys = generate_keys(SubnetConfig::new(n), seed);
+    let setup = keys[0].setup.clone();
+    let mut messages = Vec::new();
+    let mut block_hashes = Vec::new();
+
+    let mut parent = setup.genesis.clone();
+    let mut parent_notarization: Option<Notarization> = None;
+    for round in 1..=3u64 {
+        let round = Round::new(round);
+        // Two forks per round by different proposers.
+        let forks: Vec<_> = (0..2usize)
+            .map(|f| {
+                let proposer = (round.get() as usize + f) % n;
+                let block = Block::new(
+                    round,
+                    NodeIndex::new(proposer as u32),
+                    parent.hash(),
+                    Payload::empty(),
+                )
+                .into_hashed();
+                let proposal = artifacts::proposal(
+                    &keys[proposer],
+                    block.clone(),
+                    parent_notarization.clone(),
+                );
+                (block, proposal)
+            })
+            .collect();
+        for (block, proposal) in &forks {
+            let block_ref = BlockRef::of_hashed(block);
+            block_hashes.push(block.hash());
+            messages.push(ConsensusMessage::Proposal(proposal.clone()));
+            // Shares from every party over both forks.
+            for k in &keys {
+                messages.push(ConsensusMessage::NotarizationShare(
+                    artifacts::notarization_share(k, block_ref),
+                ));
+                messages.push(ConsensusMessage::FinalizationShare(
+                    artifacts::finalization_share(k, block_ref),
+                ));
+            }
+        }
+        // Aggregates for fork A only; fork B stays share-only (so the
+        // completable-aggregate path differs from the aggregate path).
+        let (block_a, _) = &forks[0];
+        let ref_a = BlockRef::of_hashed(block_a);
+        let notarization = notarization_of(&keys, ref_a);
+        messages.push(ConsensusMessage::Notarization(notarization.clone()));
+        messages.push(ConsensusMessage::Finalization(finalization_of(
+            &keys, ref_a,
+        )));
+        // Beacon shares for this round from every party (verified at
+        // combine time only — §3.4).
+        if round == Round::new(1) {
+            for k in &keys {
+                messages.push(ConsensusMessage::BeaconShare(artifacts::beacon_share(
+                    k,
+                    round,
+                    &setup.genesis_beacon,
+                )));
+            }
+        }
+        parent = block_a.clone();
+        parent_notarization = Some(notarization);
+    }
+
+    // Forged artifacts: both pools must reject them identically.
+    // (1) A proposal whose authenticator was produced by the wrong key.
+    let forged_block = Block::new(
+        Round::new(1),
+        NodeIndex::new(0),
+        setup.genesis.hash(),
+        Payload::from_commands(vec![icc_types::Command::new(b"forged".to_vec())]),
+    )
+    .into_hashed();
+    let mut forged_proposal = artifacts::proposal(&keys[1], forged_block, None);
+    // keys[1] signed, but the block names proposer 0: S_auth must fail.
+    forged_proposal.parent_notarization = None;
+    messages.push(ConsensusMessage::Proposal(forged_proposal));
+    // (2) A notarization share transplanted onto a different block ref.
+    let real_share = artifacts::notarization_share(
+        &keys[2],
+        BlockRef {
+            round: Round::new(2),
+            proposer: NodeIndex::new(9),
+            hash: Hash256([0xAB; 32]),
+        },
+    );
+    let mut transplanted = real_share;
+    transplanted.block_ref = BlockRef {
+        round: Round::new(1),
+        proposer: NodeIndex::new(1),
+        hash: block_hashes[0],
+    };
+    messages.push(ConsensusMessage::NotarizationShare(transplanted));
+
+    Universe {
+        keys,
+        messages,
+        block_hashes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Same classification as the eager reference on random streams.
+    #[test]
+    fn prop_two_tier_matches_eager_classification(
+        seed in 0u64..500,
+        picks in proptest::collection::vec(any::<u16>(), 10..160),
+        beacon_probe in any::<u16>(),
+    ) {
+        let universe = build_universe(seed);
+        let setup = universe.keys[0].setup.clone();
+        let mut pipeline = Pool::new(Arc::clone(&setup));
+        let mut eager = EagerPool::new(Arc::clone(&setup));
+
+        for (i, pick) in picks.iter().enumerate() {
+            let msg = &universe.messages[*pick as usize % universe.messages.len()];
+            pipeline.insert(msg);
+            eager.insert(msg);
+            // Occasionally try combining the beacon mid-stream, so
+            // partial share sets are exercised on both sides.
+            if i as u16 % 13 == beacon_probe % 13 {
+                pipeline.try_compute_beacon(Round::new(1));
+                eager.try_compute_beacon(Round::new(1));
+            }
+        }
+        pipeline.try_compute_beacon(Round::new(1));
+        eager.try_compute_beacon(Round::new(1));
+
+        for hash in &universe.block_hashes {
+            prop_assert_eq!(
+                pipeline.is_valid(hash), eager.is_valid(hash),
+                "valid mismatch for {:?}", hash
+            );
+            prop_assert_eq!(
+                pipeline.is_notarized(hash), eager.is_notarized(hash),
+                "notarized mismatch for {:?}", hash
+            );
+            prop_assert_eq!(
+                pipeline.is_finalized(hash), eager.is_finalized(hash),
+                "finalized mismatch for {:?}", hash
+            );
+        }
+        prop_assert_eq!(
+            pipeline.beacon(Round::new(1)).copied(),
+            eager.beacon(Round::new(1)).copied(),
+            "beacon mismatch"
+        );
+        prop_assert_eq!(pipeline.block_count(), eager.block_count());
+
+        // The performance half of the argument: the pipeline never
+        // verifies more than the eager pool, and any duplicate in the
+        // stream must have been absorbed without crypto.
+        prop_assert!(
+            pipeline.stats().verify_calls <= eager.verify_calls(),
+            "pipeline verified {} > eager {}",
+            pipeline.stats().verify_calls, eager.verify_calls()
+        );
+    }
+}

@@ -136,7 +136,10 @@ mod tests {
     #[test]
     fn permutation_is_deterministic() {
         let b = BeaconValue::Genesis(sha256(b"seed"));
-        assert_eq!(RankPermutation::derive(&b, 13), RankPermutation::derive(&b, 13));
+        assert_eq!(
+            RankPermutation::derive(&b, 13),
+            RankPermutation::derive(&b, 13)
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct Dealing {
 
 impl fmt::Debug for Dealing {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Dealing(dealer {}, {} shares)", self.dealer, self.shares.len())
+        write!(
+            f,
+            "Dealing(dealer {}, {} shares)",
+            self.dealer,
+            self.shares.len()
+        )
     }
 }
 
@@ -261,7 +266,10 @@ mod tests {
         // Only 2 of 5 parties deal (the rest crashed): outputs built
         // from the qualified subset still form a working threshold key.
         let mut r = rng();
-        let dealings = vec![Dealing::deal(0, 2, 5, &mut r), Dealing::deal(3, 2, 5, &mut r)];
+        let dealings = vec![
+            Dealing::deal(0, 2, 5, &mut r),
+            Dealing::deal(3, 2, 5, &mut r),
+        ];
         let outs: Vec<DkgOutput> = (0..5)
             .map(|i| aggregate(i, 2, &dealings).unwrap())
             .collect();

@@ -258,7 +258,7 @@ mod tests {
         assert_eq!(Fp::new(5).pow(0), Fp::ONE);
         assert_eq!(Fp::new(5).pow(1), Fp::new(5));
         assert_eq!(Fp::ZERO.pow(0), Fp::ONE); // convention 0^0 = 1
-        // Fermat: a^(p-1) = 1 for a != 0.
+                                              // Fermat: a^(p-1) = 1 for a != 0.
         assert_eq!(Fp::new(123456789).pow(P - 1), Fp::ONE);
     }
 

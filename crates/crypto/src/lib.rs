@@ -123,10 +123,16 @@ impl fmt::Display for CryptoError {
                 write!(f, "duplicate signature share from party {signer}")
             }
             CryptoError::InsufficientShares { needed, got } => {
-                write!(f, "insufficient signature shares: needed {needed}, got {got}")
+                write!(
+                    f,
+                    "insufficient signature shares: needed {needed}, got {got}"
+                )
             }
             CryptoError::UnknownSigner { signer, n } => {
-                write!(f, "share from unknown party {signer} (scheme has {n} parties)")
+                write!(
+                    f,
+                    "share from unknown party {signer} (scheme has {n} parties)"
+                )
             }
             CryptoError::VerificationFailed => write!(f, "signature verification failed"),
         }

@@ -168,7 +168,11 @@ impl MultiSigScheme {
             });
         }
         seen.sort_by_key(|s| s.signer);
-        let agg = seen.iter().map(|s| s.signature.value()).map(Fp::new).sum::<Fp>();
+        let agg = seen
+            .iter()
+            .map(|s| s.signature.value())
+            .map(Fp::new)
+            .sum::<Fp>();
         Ok(MultiSig {
             signature: Signature::from_value(agg.value()),
             signers: seen.iter().map(|s| s.signer).collect(),
@@ -207,7 +211,12 @@ mod tests {
         MultiSigScheme::generate("test", h, n, &mut rng)
     }
 
-    fn shares(s: &MultiSigScheme, keys: &[SecretKey], idx: &[u32], msg: &[u8]) -> Vec<MultiSigShare> {
+    fn shares(
+        s: &MultiSigScheme,
+        keys: &[SecretKey],
+        idx: &[u32],
+        msg: &[u8],
+    ) -> Vec<MultiSigShare> {
         idx.iter()
             .map(|&i| s.sign_share(&keys[i as usize], i, msg))
             .collect()
@@ -216,7 +225,9 @@ mod tests {
     #[test]
     fn combine_and_verify() {
         let (s, keys) = scheme(3, 4);
-        let agg = s.combine(b"m", shares(&s, &keys, &[0, 2, 3], b"m")).unwrap();
+        let agg = s
+            .combine(b"m", shares(&s, &keys, &[0, 2, 3], b"m"))
+            .unwrap();
         assert!(s.verify(b"m", &agg));
         assert_eq!(agg.signers, vec![0, 2, 3]);
     }
@@ -224,7 +235,9 @@ mod tests {
     #[test]
     fn combine_with_more_than_threshold() {
         let (s, keys) = scheme(3, 5);
-        let agg = s.combine(b"m", shares(&s, &keys, &[0, 1, 2, 3, 4], b"m")).unwrap();
+        let agg = s
+            .combine(b"m", shares(&s, &keys, &[0, 1, 2, 3, 4], b"m"))
+            .unwrap();
         assert!(s.verify(b"m", &agg));
         assert_eq!(agg.signers.len(), 5);
     }
@@ -232,7 +245,9 @@ mod tests {
     #[test]
     fn insufficient_shares_error() {
         let (s, keys) = scheme(3, 4);
-        let err = s.combine(b"m", shares(&s, &keys, &[0, 1], b"m")).unwrap_err();
+        let err = s
+            .combine(b"m", shares(&s, &keys, &[0, 1], b"m"))
+            .unwrap_err();
         assert_eq!(err, CryptoError::InsufficientShares { needed: 3, got: 2 });
     }
 
@@ -312,7 +327,9 @@ mod tests {
         // n = 7, t = 2, h = n - t = 5: a valid aggregate implies at least
         // n - 2t = 3 honest signatories.
         let (s, keys) = scheme(5, 7);
-        let agg = s.combine(b"b", shares(&s, &keys, &[0, 1, 2, 3, 4], b"b")).unwrap();
+        let agg = s
+            .combine(b"b", shares(&s, &keys, &[0, 1, 2, 3, 4], b"b"))
+            .unwrap();
         assert!(s.verify(b"b", &agg));
         assert!(agg.signers.len() >= 5);
     }

@@ -41,7 +41,10 @@ pub struct Share {
 /// ```
 pub fn split(secret: Fp, threshold: usize, n: usize, rng: &mut impl Rng) -> Vec<Share> {
     assert!(threshold >= 1, "threshold must be at least 1");
-    assert!(threshold <= n, "threshold {threshold} exceeds share count {n}");
+    assert!(
+        threshold <= n,
+        "threshold {threshold} exceeds share count {n}"
+    );
     // f(x) = secret + c1 x + ... + c_{h-1} x^{h-1}
     let mut coeffs = Vec::with_capacity(threshold);
     coeffs.push(secret);
@@ -98,13 +101,7 @@ pub fn reconstruct(shares: &[Share]) -> Option<Fp> {
     }
     let indices: Vec<u32> = shares.iter().map(|s| s.index).collect();
     let lambdas = lagrange_at_zero(&indices)?;
-    Some(
-        shares
-            .iter()
-            .zip(&lambdas)
-            .map(|(s, &l)| s.value * l)
-            .sum(),
-    )
+    Some(shares.iter().zip(&lambdas).map(|(s, &l)| s.value * l).sum())
 }
 
 #[cfg(test)]

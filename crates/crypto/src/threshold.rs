@@ -265,7 +265,10 @@ mod tests {
     fn combine_exact_threshold() {
         let d = deal(3, 7);
         let msg = b"beacon round 1";
-        let shares: Vec<_> = [1usize, 4, 6].iter().map(|&i| d.signer(i).sign_share(msg)).collect();
+        let shares: Vec<_> = [1usize, 4, 6]
+            .iter()
+            .map(|&i| d.signer(i).sign_share(msg))
+            .collect();
         let sig = d.public().combine(msg, shares).unwrap();
         assert!(d.public().verify(msg, &sig));
     }
@@ -354,7 +357,10 @@ mod tests {
         // (t, t+1, n) with n = 10, t = 3: any 4 shares suffice.
         let d = deal(4, 10);
         let msg = b"R_0";
-        let shares: Vec<_> = [9usize, 2, 5, 7].iter().map(|&i| d.signer(i).sign_share(msg)).collect();
+        let shares: Vec<_> = [9usize, 2, 5, 7]
+            .iter()
+            .map(|&i| d.signer(i).sign_share(msg))
+            .collect();
         assert!(d.public().combine(msg, shares).is_ok());
     }
 

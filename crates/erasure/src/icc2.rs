@@ -17,12 +17,12 @@ use crate::rbc::{Fragment, Rbc};
 use icc_core::cluster::CoreAccess;
 use icc_core::consensus::{ConsensusCore, Step};
 use icc_core::events::NodeEvent;
+use icc_crypto::Hash256;
 use icc_sim::{Context, Node, WireMessage};
 use icc_types::codec::{decode_from_slice, encode_to_vec};
 use icc_types::messages::ConsensusMessage;
 use icc_types::{Command, NodeIndex, SimTime};
 use std::collections::{BTreeSet, HashMap, HashSet};
-use icc_crypto::Hash256;
 
 /// ICC2 tuning.
 #[derive(Debug, Clone, Copy)]
@@ -101,7 +101,11 @@ impl Icc2Node {
         &self.core
     }
 
-    fn disseminate(&mut self, ctx: &mut Context<'_, Icc2Message, NodeEvent>, msg: ConsensusMessage) {
+    fn disseminate(
+        &mut self,
+        ctx: &mut Context<'_, Icc2Message, NodeEvent>,
+        msg: ConsensusMessage,
+    ) {
         match &msg {
             ConsensusMessage::Proposal(p) if msg.wire_bytes() > self.config.inline_threshold => {
                 let block_hash = p.block.hash();
@@ -159,7 +163,9 @@ impl Icc2Node {
     ) {
         // A dispersal that does not decode to a proposal is junk from a
         // corrupt sender; drop it.
-        if let Ok(msg @ ConsensusMessage::Proposal(_)) = decode_from_slice::<ConsensusMessage>(&payload) {
+        if let Ok(msg @ ConsensusMessage::Proposal(_)) =
+            decode_from_slice::<ConsensusMessage>(&payload)
+        {
             if let ConsensusMessage::Proposal(p) = &msg {
                 self.root_of_block.insert(p.block.hash(), root);
             }

@@ -376,7 +376,10 @@ mod tests {
         let frags = sender.disperse(&payload);
         let total: usize = frags.iter().map(Fragment::wire_bytes).sum();
         // n/k = 13/5 = 2.6 → within 3.5x of S including proofs.
-        assert!(total < payload.len() * 7 / 2, "sender sends {total} for S=100000");
+        assert!(
+            total < payload.len() * 7 / 2,
+            "sender sends {total} for S=100000"
+        );
         let per_frag = frags[1].wire_bytes();
         assert!(per_frag < payload.len() / (t + 1) + 400);
     }

@@ -42,7 +42,10 @@ impl fmt::Display for RsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RsError::BadParameters { k, m } => {
-                write!(f, "invalid reed-solomon parameters k={k}, m={m} (need 1 <= k <= m <= 255)")
+                write!(
+                    f,
+                    "invalid reed-solomon parameters k={k}, m={m} (need 1 <= k <= m <= 255)"
+                )
             }
             RsError::NotEnoughShards { needed, got } => {
                 write!(f, "not enough shards to decode: needed {needed}, got {got}")
@@ -174,7 +177,8 @@ impl ReedSolomon {
             .iter()
             .map(|(i, _)| self.encode_matrix[*i].clone())
             .collect();
-        let inverse = invert(&sub).expect("any k rows of a Cauchy/Vandermonde-derived matrix are independent");
+        let inverse = invert(&sub)
+            .expect("any k rows of a Cauchy/Vandermonde-derived matrix are independent");
         let mut data = Vec::with_capacity(shard_len * self.k);
         for row in &inverse {
             let mut shard = vec![0u8; shard_len];
@@ -250,7 +254,11 @@ mod tests {
                     opt[a] = Some(shards[a].clone());
                     opt[b] = Some(shards[b].clone());
                     opt[c] = Some(shards[c].clone());
-                    assert_eq!(rs.decode(&opt, data.len()).unwrap(), data, "subset {a},{b},{c}");
+                    assert_eq!(
+                        rs.decode(&opt, data.len()).unwrap(),
+                        data,
+                        "subset {a},{b},{c}"
+                    );
                 }
             }
         }
@@ -260,7 +268,13 @@ mod tests {
     fn too_few_shards_rejected() {
         let rs = ReedSolomon::new(3, 5).unwrap();
         let shards = rs.encode(&[1, 2, 3]);
-        let opt = vec![Some(shards[0].clone()), Some(shards[1].clone()), None, None, None];
+        let opt = vec![
+            Some(shards[0].clone()),
+            Some(shards[1].clone()),
+            None,
+            None,
+            None,
+        ];
         assert_eq!(
             rs.decode(&opt, 3).unwrap_err(),
             RsError::NotEnoughShards { needed: 3, got: 2 }

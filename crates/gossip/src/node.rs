@@ -99,6 +99,11 @@ const TAG_SWEEP: u64 = 1;
 /// An outstanding body request.
 #[derive(Debug)]
 struct PendingRequest {
+    /// The advertised block's round: retries are issued lowest-round
+    /// first (the blocks gating consensus progress), and requests whose
+    /// round falls below this node's committed round are dropped as
+    /// stale at the next sweep.
+    round: Round,
     advertisers: Vec<NodeIndex>,
     next_advertiser: usize,
 }
@@ -235,11 +240,7 @@ impl GossipNode {
 
     /// Feeds an artifact into the core and re-disseminates what the
     /// core reacts with; also advertises newly learned proposal bodies.
-    fn ingest(
-        &mut self,
-        ctx: &mut Context<'_, GossipMessage, NodeEvent>,
-        msg: &ConsensusMessage,
-    ) {
+    fn ingest(&mut self, ctx: &mut Context<'_, GossipMessage, NodeEvent>, msg: &ConsensusMessage) {
         // A proposal body we now hold can be served to neighbors.
         if let ConsensusMessage::Proposal(p) = msg {
             if p.encoded_len() > self.config.inline_threshold {
@@ -276,7 +277,14 @@ impl GossipNode {
         ctx: &mut Context<'_, GossipMessage, NodeEvent>,
         from: NodeIndex,
         id: Hash256,
+        round: Round,
     ) {
+        // Stale adverts: a block below this node's committed round can
+        // no longer gate progress (honest parties only extend notarized
+        // blocks at or above it), so it is not worth a request.
+        if round < self.core.committed_round() {
+            return;
+        }
         if self.have_body(&id) {
             return;
         }
@@ -287,6 +295,7 @@ impl GossipNode {
                 self.pending.insert(
                     id,
                     PendingRequest {
+                        round,
                         advertisers: vec![from],
                         next_advertiser: 0,
                     },
@@ -354,7 +363,7 @@ impl Node for GossipNode {
                 }
                 self.ingest(ctx, &inner.clone());
             }
-            GossipMessage::Advert { id, .. } => self.on_advert(ctx, from, id),
+            GossipMessage::Advert { id, round, .. } => self.on_advert(ctx, from, id, round),
             GossipMessage::Request { id } => self.on_request(ctx, from, id),
             GossipMessage::Deliver { id, proposal } => {
                 self.pending.remove(&id);
@@ -369,23 +378,29 @@ impl Node for GossipNode {
             TAG_SWEEP => {
                 self.sweep_armed = false;
                 // Drop requests whose body arrived through another path
-                // (e.g. a targeted push); without this the sweep would
-                // re-request them forever.
+                // (e.g. a targeted push) — the validated section is the
+                // source of truth for held bodies — and requests gone
+                // stale (round below the committed round): without this
+                // the sweep would re-request them forever.
                 let offered = &self.offered;
                 let pool = self.core.pool();
-                self.pending
-                    .retain(|id, _| !offered.contains_key(id) && pool.block(id).is_none());
+                let committed = self.core.committed_round();
+                self.pending.retain(|id, req| {
+                    req.round >= committed && !offered.contains_key(id) && pool.block(id).is_none()
+                });
                 // Re-request every still-missing body from the next
-                // advertiser in round-robin order.
-                let retries: Vec<(Hash256, NodeIndex)> = self
+                // advertiser in round-robin order, lowest round first:
+                // the earliest missing block is the one gating progress.
+                let mut retries: Vec<(Round, Hash256, NodeIndex)> = self
                     .pending
                     .iter_mut()
                     .map(|(id, req)| {
                         req.next_advertiser = (req.next_advertiser + 1) % req.advertisers.len();
-                        (*id, req.advertisers[req.next_advertiser])
+                        (req.round, *id, req.advertisers[req.next_advertiser])
                     })
                     .collect();
-                for (id, peer) in retries {
+                retries.sort_by_key(|(round, id, _)| (*round, *id));
+                for (_, id, peer) in retries {
                     ctx.send(peer, GossipMessage::Request { id });
                 }
                 self.arm_sweep(ctx);

@@ -40,7 +40,10 @@ impl Overlay {
     /// Panics if `n < 2` or `degree < 2`.
     pub fn random_regular(n: usize, degree: usize, seed: u64) -> Overlay {
         assert!(n >= 2, "overlay needs at least two nodes");
-        assert!(degree >= 2, "degree must be at least 2 for a connected ring");
+        assert!(
+            degree >= 2,
+            "degree must be at least 2 for a connected ring"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
         // Ring for connectivity.
@@ -124,13 +127,15 @@ mod tests {
         for n in [4usize, 13, 40] {
             let o = Overlay::random_regular(n, 4, 7);
             assert!(o.diameter() < n, "connected");
-            assert!(o.max_degree() <= 7, "degree bounded, got {}", o.max_degree());
+            assert!(
+                o.max_degree() <= 7,
+                "degree bounded, got {}",
+                o.max_degree()
+            );
             // Symmetry.
             for i in 0..n {
                 for j in o.neighbors(NodeIndex::new(i as u32)) {
-                    assert!(o
-                        .neighbors(*j)
-                        .contains(&NodeIndex::new(i as u32)));
+                    assert!(o.neighbors(*j).contains(&NodeIndex::new(i as u32)));
                 }
             }
         }
@@ -147,7 +152,10 @@ mod tests {
         let a = Overlay::random_regular(13, 4, 9);
         let b = Overlay::random_regular(13, 4, 9);
         for i in 0..13 {
-            assert_eq!(a.neighbors(NodeIndex::new(i)), b.neighbors(NodeIndex::new(i)));
+            assert_eq!(
+                a.neighbors(NodeIndex::new(i)),
+                b.neighbors(NodeIndex::new(i))
+            );
         }
     }
 

@@ -120,12 +120,7 @@ impl InterDcDelay {
             }
             one_way[a][a] = 200; // intra-DC
         }
-        let max = one_way
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(200);
+        let max = one_way.iter().flatten().copied().max().unwrap_or(200);
         InterDcDelay {
             dc_of,
             one_way,
@@ -204,7 +199,10 @@ mod tests {
                 max_seen = max_seen.max(v);
                 if d.dc_of(NodeIndex::new(a)) != d.dc_of(NodeIndex::new(b)) {
                     // One-way inter-DC >= 3ms (half of 6ms RTT).
-                    assert!(v >= SimDuration::from_millis(3), "inter-DC delay too small: {v}");
+                    assert!(
+                        v >= SimDuration::from_millis(3),
+                        "inter-DC delay too small: {v}"
+                    );
                 }
             }
         }

@@ -107,7 +107,10 @@ impl SimulationBuilder {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn loss(mut self, p: f64, rto: SimDuration) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1)"
+        );
         self.loss_prob = p;
         self.rto = rto;
         self
@@ -201,6 +204,12 @@ impl<N: Node> Simulation<N> {
     /// Accumulated traffic metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Mutable metrics access, for harnesses that push node-level
+    /// counters sampled outside the engine (e.g. artifact-pool stats).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
     }
 
     /// Resets traffic metrics (e.g. after a warm-up period, so a
@@ -482,11 +491,8 @@ mod tests {
     fn broadcast_reaches_everyone_including_self() {
         let mut sim = echo_sim(4, 1);
         sim.run_until_idle();
-        let broadcast_outputs: Vec<_> = sim
-            .outputs()
-            .iter()
-            .filter(|o| o.output.1 == 100)
-            .collect();
+        let broadcast_outputs: Vec<_> =
+            sim.outputs().iter().filter(|o| o.output.1 == 100).collect();
         assert_eq!(broadcast_outputs.len(), 4);
         // Self-delivery at t=0; remote at t=10ms.
         assert_eq!(broadcast_outputs[0].at, SimTime::ZERO);
@@ -553,9 +559,15 @@ mod tests {
         let mut sim = SimulationBuilder::new(0).build(vec![TimerNode]);
         sim.run_until_idle();
         assert_eq!(sim.outputs()[0].output, 43);
-        assert_eq!(sim.outputs()[0].at, SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(
+            sim.outputs()[0].at,
+            SimTime::ZERO + SimDuration::from_millis(10)
+        );
         assert_eq!(sim.outputs()[1].output, 42);
-        assert_eq!(sim.outputs()[1].at, SimTime::ZERO + SimDuration::from_millis(30));
+        assert_eq!(
+            sim.outputs()[1].at,
+            SimTime::ZERO + SimDuration::from_millis(30)
+        );
     }
 
     #[test]
@@ -569,7 +581,9 @@ mod tests {
         sim.run_until_idle();
         let hits: Vec<_> = sim.outputs().iter().filter(|o| o.output.1 == 55).collect();
         assert_eq!(hits.len(), 3);
-        assert!(hits.iter().all(|o| o.at >= SimTime::ZERO + SimDuration::from_secs(1)));
+        assert!(hits
+            .iter()
+            .all(|o| o.at >= SimTime::ZERO + SimDuration::from_secs(1)));
     }
 
     #[test]
@@ -612,8 +626,14 @@ mod tests {
             .build((0..2).map(|_| Echo { replied: false }).collect());
         sim.run_until_idle();
         // Both the broadcast and the reply still arrive eventually.
-        assert!(sim.outputs().iter().any(|o| o.output.1 == 100 && o.node == NodeIndex::new(1)));
-        assert!(sim.outputs().iter().any(|o| o.output.1 == 10 && o.node == NodeIndex::new(0)));
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|o| o.output.1 == 100 && o.node == NodeIndex::new(1)));
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|o| o.output.1 == 10 && o.node == NodeIndex::new(0)));
     }
 
     #[test]

@@ -58,12 +58,12 @@
 #![warn(missing_docs)]
 
 pub mod delay;
-pub mod live;
 pub mod engine;
+pub mod live;
 pub mod metrics;
 pub mod node;
 pub mod policy;
 
 pub use engine::{Simulation, SimulationBuilder};
-pub use metrics::{Metrics, NodeMetrics};
+pub use metrics::{Metrics, MetricsSummary, NodeMetrics, PoolCounters};
 pub use node::{Context, Node, WireMessage};

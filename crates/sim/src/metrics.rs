@@ -12,6 +12,48 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// A snapshot of one node's artifact-pool counters, sampled from the
+/// consensus layer (the sim crate cannot see the pool type itself, so
+/// the harness converts and pushes plain counters here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Signature verifications actually performed.
+    pub verify_calls: u64,
+    /// Verifications skipped because the artifact hash was cached.
+    pub verify_cache_hits: u64,
+    /// Artifacts dropped as exact duplicates before any verification.
+    pub duplicates_dropped: u64,
+    /// Artifacts evicted from the unvalidated section by per-peer quota.
+    pub unvalidated_evictions: u64,
+    /// Artifacts rejected (structural or failed verification).
+    pub rejected: u64,
+}
+
+impl PoolCounters {
+    /// Adds `other`'s counters into `self` (for aggregate summaries).
+    pub fn merge(&mut self, other: &PoolCounters) {
+        self.verify_calls += other.verify_calls;
+        self.verify_cache_hits += other.verify_cache_hits;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.unvalidated_evictions += other.unvalidated_evictions;
+        self.rejected += other.rejected;
+    }
+}
+
+impl fmt::Display for PoolCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} verifies, {} cache hits, {} dups dropped, {} evicted, {} rejected",
+            self.verify_calls,
+            self.verify_cache_hits,
+            self.duplicates_dropped,
+            self.unvalidated_evictions,
+            self.rejected
+        )
+    }
+}
+
 /// Counters for one node.
 #[derive(Debug, Clone, Default)]
 pub struct NodeMetrics {
@@ -26,10 +68,18 @@ pub struct NodeMetrics {
     pub recv_bytes: u64,
     /// Per-kind (messages, bytes) sent breakdown.
     pub sent_by_kind: BTreeMap<&'static str, (u64, u64)>,
+    /// Latest artifact-pool counter snapshot for this node.
+    pub pool: PoolCounters,
 }
 
 impl NodeMetrics {
-    pub(crate) fn record_send(&mut self, kind: &'static str, copies_counted: u64, wire_copies: u64, bytes_each: usize) {
+    pub(crate) fn record_send(
+        &mut self,
+        kind: &'static str,
+        copies_counted: u64,
+        wire_copies: u64,
+        bytes_each: usize,
+    ) {
         self.sent_messages += copies_counted;
         let bytes = wire_copies * bytes_each as u64;
         self.sent_bytes += bytes;
@@ -92,6 +142,67 @@ impl Metrics {
             self.total_bytes() as f64 / self.nodes.len() as f64
         }
     }
+
+    /// Stores `node`'s latest artifact-pool counter snapshot (pushed by
+    /// the cluster harness, which can see the consensus cores).
+    pub fn set_pool_counters(&mut self, node: usize, counters: PoolCounters) {
+        if let Some(m) = self.nodes.get_mut(node) {
+            m.pool = counters;
+        }
+    }
+
+    /// Aggregate pool counters over all nodes.
+    pub fn pool_totals(&self) -> PoolCounters {
+        let mut total = PoolCounters::default();
+        for m in &self.nodes {
+            total.merge(&m.pool);
+        }
+        total
+    }
+
+    /// One-struct aggregate of everything an experiment usually prints.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            nodes: self.nodes.len(),
+            total_messages: self.total_messages(),
+            total_bytes: self.total_bytes(),
+            max_node_bytes: self.max_node_bytes(),
+            mean_node_bytes: self.mean_node_bytes(),
+            pool: self.pool_totals(),
+        }
+    }
+}
+
+/// Aggregate counters over a whole run ([`Metrics::summary`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSummary {
+    /// Number of nodes metered.
+    pub nodes: usize,
+    /// Total messages sent (message-complexity convention).
+    pub total_messages: u64,
+    /// Total bytes sent on the wire.
+    pub total_bytes: u64,
+    /// Bytes sent by the busiest node (the bottleneck measure).
+    pub max_node_bytes: u64,
+    /// Mean bytes sent per node.
+    pub mean_node_bytes: f64,
+    /// Pool counters summed over all nodes.
+    pub pool: PoolCounters,
+}
+
+impl fmt::Display for MetricsSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} nodes: {} msgs, {} bytes total, max/node {} bytes, mean/node {:.0} bytes",
+            self.nodes,
+            self.total_messages,
+            self.total_bytes,
+            self.max_node_bytes,
+            self.mean_node_bytes
+        )?;
+        write!(f, "pool: {}", self.pool)
+    }
 }
 
 impl fmt::Display for Metrics {
@@ -132,5 +243,42 @@ mod tests {
         let m = Metrics::default();
         assert_eq!(m.max_node_bytes(), 0);
         assert_eq!(m.mean_node_bytes(), 0.0);
+    }
+
+    #[test]
+    fn pool_counters_aggregate_in_summary() {
+        let mut m = Metrics::new(2);
+        m.set_pool_counters(
+            0,
+            PoolCounters {
+                verify_calls: 10,
+                verify_cache_hits: 4,
+                duplicates_dropped: 3,
+                unvalidated_evictions: 1,
+                rejected: 2,
+            },
+        );
+        m.set_pool_counters(
+            1,
+            PoolCounters {
+                verify_calls: 5,
+                verify_cache_hits: 1,
+                duplicates_dropped: 0,
+                unvalidated_evictions: 0,
+                rejected: 0,
+            },
+        );
+        // Out-of-range node indices are ignored, not a panic.
+        m.set_pool_counters(9, PoolCounters::default());
+        let s = m.summary();
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.pool.verify_calls, 15);
+        assert_eq!(s.pool.verify_cache_hits, 5);
+        assert_eq!(s.pool.duplicates_dropped, 3);
+        assert_eq!(s.pool.unvalidated_evictions, 1);
+        assert_eq!(s.pool.rejected, 2);
+        let text = s.to_string();
+        assert!(text.contains("15 verifies"), "{text}");
+        assert!(text.contains("5 cache hits"), "{text}");
     }
 }

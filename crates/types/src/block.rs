@@ -127,7 +127,10 @@ impl Payload {
             .map(|i| {
                 let mut bytes = vec![0u8; size];
                 // Tag each command so payload bytes differ across rounds.
-                let tag = hash_parts("synthetic-cmd", &[&round.get().to_le_bytes(), &(i as u64).to_le_bytes()]);
+                let tag = hash_parts(
+                    "synthetic-cmd",
+                    &[&round.get().to_le_bytes(), &(i as u64).to_le_bytes()],
+                );
                 let n = size.min(32);
                 bytes[..n].copy_from_slice(&tag.as_bytes()[..n]);
                 Command::new(bytes)
@@ -159,7 +162,12 @@ impl Payload {
 
 impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Payload({} cmds, {} B)", self.commands.len(), self.total_bytes())
+        write!(
+            f,
+            "Payload({} cmds, {} B)",
+            self.commands.len(),
+            self.total_bytes()
+        )
     }
 }
 
@@ -367,10 +375,30 @@ mod tests {
         let base = sample_block();
         let h = base.hash();
         let variants = [
-            Block::new(Round::new(4), base.proposer(), base.parent(), base.payload().clone()),
-            Block::new(base.round(), NodeIndex::new(2), base.parent(), base.payload().clone()),
-            Block::new(base.round(), base.proposer(), Hash256([8u8; 32]), base.payload().clone()),
-            Block::new(base.round(), base.proposer(), base.parent(), Payload::empty()),
+            Block::new(
+                Round::new(4),
+                base.proposer(),
+                base.parent(),
+                base.payload().clone(),
+            ),
+            Block::new(
+                base.round(),
+                NodeIndex::new(2),
+                base.parent(),
+                base.payload().clone(),
+            ),
+            Block::new(
+                base.round(),
+                base.proposer(),
+                Hash256([8u8; 32]),
+                base.payload().clone(),
+            ),
+            Block::new(
+                base.round(),
+                base.proposer(),
+                base.parent(),
+                Payload::empty(),
+            ),
         ];
         for v in variants {
             assert_ne!(v.hash(), h);

@@ -59,7 +59,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::InvalidTag { tag, ty } => write!(f, "invalid tag {tag} for {ty}"),
             CodecError::TrailingBytes { count } => write!(f, "{count} trailing bytes after decode"),
@@ -512,7 +515,13 @@ mod tests {
     #[test]
     fn eof_reports_counts() {
         let err = decode_from_slice::<u64>(&[1, 2, 3]).unwrap_err();
-        assert_eq!(err, CodecError::UnexpectedEof { needed: 8, remaining: 3 });
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEof {
+                needed: 8,
+                remaining: 3
+            }
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl SubnetConfig {
     ///
     /// Panics unless `3t < n`.
     pub fn with_faults(n: usize, t: usize) -> SubnetConfig {
-        assert!(3 * t < n, "fault bound violated: need 3t < n, got n={n}, t={t}");
+        assert!(
+            3 * t < n,
+            "fault bound violated: need 3t < n, got n={n}, t={t}"
+        );
         SubnetConfig { n, t }
     }
 
@@ -102,9 +105,23 @@ mod tests {
     fn paper_subnet_sizes() {
         // The deployment in §5 uses 13- and 40-node subnets.
         let small = SubnetConfig::new(13);
-        assert_eq!((small.t(), small.notarization_threshold(), small.beacon_threshold()), (4, 9, 5));
+        assert_eq!(
+            (
+                small.t(),
+                small.notarization_threshold(),
+                small.beacon_threshold()
+            ),
+            (4, 9, 5)
+        );
         let large = SubnetConfig::new(40);
-        assert_eq!((large.t(), large.notarization_threshold(), large.beacon_threshold()), (13, 27, 14));
+        assert_eq!(
+            (
+                large.t(),
+                large.notarization_threshold(),
+                large.beacon_threshold()
+            ),
+            (13, 27, 14)
+        );
     }
 
     #[test]
@@ -115,7 +132,10 @@ mod tests {
             let c = SubnetConfig::new(n);
             let q = c.notarization_threshold();
             let intersection = 2 * q - n;
-            assert!(intersection > c.t(), "quorum intersection too small for n={n}");
+            assert!(
+                intersection > c.t(),
+                "quorum intersection too small for n={n}"
+            );
         }
     }
 

@@ -333,9 +333,13 @@ impl Decode for ConsensusMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match u8::decode(r)? {
             0 => Ok(ConsensusMessage::Proposal(BlockProposal::decode(r)?)),
-            1 => Ok(ConsensusMessage::NotarizationShare(NotarizationShare::decode(r)?)),
+            1 => Ok(ConsensusMessage::NotarizationShare(
+                NotarizationShare::decode(r)?,
+            )),
             2 => Ok(ConsensusMessage::Notarization(Notarization::decode(r)?)),
-            3 => Ok(ConsensusMessage::FinalizationShare(FinalizationShare::decode(r)?)),
+            3 => Ok(ConsensusMessage::FinalizationShare(
+                FinalizationShare::decode(r)?,
+            )),
             4 => Ok(ConsensusMessage::Finalization(Finalization::decode(r)?)),
             5 => Ok(ConsensusMessage::BeaconShare(BeaconShare::decode(r)?)),
             tag => Err(CodecError::InvalidTag {

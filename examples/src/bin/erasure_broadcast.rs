@@ -69,5 +69,7 @@ fn main() {
             }
         }
     }
-    println!("  all {n} parties delivered; per-party cost stays O(S) as n grows — that is ICC2's point.");
+    println!(
+        "  all {n} parties delivered; per-party cost stays O(S) as n grows — that is ICC2's point."
+    );
 }

@@ -65,9 +65,11 @@ fn main() {
                 a_commit_times.push((cmd.bytes().to_vec(), at));
                 let deliver_at = at + xnet_delay;
                 for node in 0..subnet_b.n() {
-                    subnet_b
-                        .sim
-                        .schedule_external(deliver_at, NodeIndex::new(node as u32), cmd.clone());
+                    subnet_b.sim.schedule_external(
+                        deliver_at,
+                        NodeIndex::new(node as u32),
+                        cmd.clone(),
+                    );
                 }
             }
         }
@@ -103,7 +105,12 @@ fn main() {
         "\nsubnet A committed {} rounds, subnet B {} rounds ({} blocks carrying xnet messages);",
         subnet_a.min_committed_round(),
         subnet_b.min_committed_round(),
-        b_chain.iter().filter(|b| !b.block().payload().is_empty()).count()
+        b_chain
+            .iter()
+            .filter(|b| !b.block().payload().is_empty())
+            .count()
     );
-    println!("each subnet ran its own independent ICC instance — consensus never crossed the boundary.");
+    println!(
+        "each subnet ran its own independent ICC instance — consensus never crossed the boundary."
+    );
 }

@@ -15,9 +15,15 @@ fn main() {
     let mut cluster = ClusterBuilder::new(4).seed(7).build();
 
     // Submit five client commands over the first 100 ms.
-    for (i, cmd) in ["pay alice 5", "pay bob 3", "mint 100", "burn 4", "pay carol 9"]
-        .iter()
-        .enumerate()
+    for (i, cmd) in [
+        "pay alice 5",
+        "pay bob 3",
+        "mint 100",
+        "burn 4",
+        "pay carol 9",
+    ]
+    .iter()
+    .enumerate()
     {
         let at = SimTime::ZERO + SimDuration::from_millis(20 * i as u64);
         for node in 0..cluster.n() {

@@ -38,8 +38,12 @@ fn main() -> Result<(), CryptoError> {
         ));
 
         // Two disjoint quorums produce the identical beacon value.
-        let q1: Vec<_> = (0..t + 1).map(|i| dealt.signer(i).sign_share(&msg)).collect();
-        let q2: Vec<_> = (n - t - 1..n).map(|i| dealt.signer(i).sign_share(&msg)).collect();
+        let q1: Vec<_> = (0..t + 1)
+            .map(|i| dealt.signer(i).sign_share(&msg))
+            .collect();
+        let q2: Vec<_> = (n - t - 1..n)
+            .map(|i| dealt.signer(i).sign_share(&msg))
+            .collect();
         let sig = public.combine(&msg, q1)?;
         assert_eq!(sig, public.combine(&msg, q2)?, "uniqueness");
 

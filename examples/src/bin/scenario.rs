@@ -79,24 +79,48 @@ fn parse() -> Opts {
                 .clone()
         };
         match flag.as_str() {
-            "--nodes" => opts.nodes = val("--nodes").parse().unwrap_or_else(|_| usage("bad --nodes")),
+            "--nodes" => {
+                opts.nodes = val("--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --nodes"))
+            }
             "--protocol" => opts.protocol = val("--protocol"),
             "--delta-ms" => {
-                opts.delta_ms = val("--delta-ms").parse().unwrap_or_else(|_| usage("bad --delta-ms"))
+                opts.delta_ms = val("--delta-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --delta-ms"))
             }
             "--delta-bnd-ms" => {
-                opts.delta_bnd_ms =
-                    Some(val("--delta-bnd-ms").parse().unwrap_or_else(|_| usage("bad --delta-bnd-ms")))
+                opts.delta_bnd_ms = Some(
+                    val("--delta-bnd-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --delta-bnd-ms")),
+                )
             }
             "--epsilon-ms" => {
-                opts.epsilon_ms = val("--epsilon-ms").parse().unwrap_or_else(|_| usage("bad --epsilon-ms"))
+                opts.epsilon_ms = val("--epsilon-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --epsilon-ms"))
             }
-            "--secs" => opts.secs = val("--secs").parse().unwrap_or_else(|_| usage("bad --secs")),
-            "--seed" => opts.seed = val("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
-            "--crash" => opts.crash = val("--crash").parse().unwrap_or_else(|_| usage("bad --crash")),
+            "--secs" => {
+                opts.secs = val("--secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --secs"))
+            }
+            "--seed" => {
+                opts.seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--crash" => {
+                opts.crash = val("--crash")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --crash"))
+            }
             "--equivocate" => {
-                opts.equivocate =
-                    val("--equivocate").parse().unwrap_or_else(|_| usage("bad --equivocate"))
+                opts.equivocate = val("--equivocate")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --equivocate"))
             }
             "--load" => {
                 let v = val("--load");
@@ -160,14 +184,16 @@ where
     let leader_won = stats.iter().filter(|(_, _, r)| r.is_leader()).count();
     let m = cluster.sim.metrics();
     let lats = cluster.command_latencies(observer);
-    let mean_lat = lats.iter().map(|d| d.as_micros()).sum::<u64>() as f64
-        / lats.len().max(1) as f64
-        / 1000.0;
+    let mean_lat =
+        lats.iter().map(|d| d.as_micros()).sum::<u64>() as f64 / lats.len().max(1) as f64 / 1000.0;
 
     println!("scenario: {opts:?}");
     println!("─────────────────────────────────────────────");
     println!("committed blocks        {}", committed.len());
-    println!("blocks per second       {:.2}", committed.len() as f64 / opts.secs as f64);
+    println!(
+        "blocks per second       {:.2}",
+        committed.len() as f64 / opts.secs as f64
+    );
     println!("mean round duration     {:.1} ms", mean_round_us / 1000.0);
     println!(
         "leader-won rounds       {leader_won}/{} ({:.0}%)",
@@ -186,6 +212,12 @@ where
         "bottleneck egress       {:.3} Mb/s",
         m.max_node_bytes() as f64 * 8.0 / 1e6 / opts.secs as f64
     );
+    let pool = cluster.metrics_summary().pool;
+    println!("pool verifications      {}", pool.verify_calls);
+    println!("pool cache hits         {}", pool.verify_cache_hits);
+    println!("pool duplicates dropped {}", pool.duplicates_dropped);
+    println!("pool evictions          {}", pool.unvalidated_evictions);
+    println!("pool rejected           {}", pool.rejected);
     println!("safety                  OK (all honest chains prefix-consistent)");
 }
 
@@ -214,8 +246,12 @@ fn main() {
     match opts.protocol.as_str() {
         "icc0" => report(builder.build(), &opts),
         "icc1" => {
-            let overlay = Overlay::random_regular(opts.nodes, 6.min(opts.nodes - 1).max(2), opts.seed);
-            report(gossip_cluster(builder, overlay, GossipConfig::default()), &opts)
+            let overlay =
+                Overlay::random_regular(opts.nodes, 6.min(opts.nodes - 1).max(2), opts.seed);
+            report(
+                gossip_cluster(builder, overlay, GossipConfig::default()),
+                &opts,
+            )
         }
         "icc2" => report(icc2_cluster(builder, Icc2Config::default()), &opts),
         _ => unreachable!("validated in parse()"),

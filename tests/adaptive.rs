@@ -68,5 +68,8 @@ fn adaptive_does_not_overshoot_on_a_fast_network() {
         "bound should decay from the inflated start: {bound}"
     );
     let committed = cluster.min_committed_round();
-    assert!(committed > 500, "fast network must commit fast: {committed}");
+    assert!(
+        committed > 500,
+        "fast network must commit fast: {committed}"
+    );
 }

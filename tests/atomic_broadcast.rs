@@ -29,7 +29,11 @@ fn identical_command_order_across_nodes() {
     for node in 1..4 {
         let other = committed_commands(&cluster, node);
         let common = reference.len().min(other.len());
-        assert_eq!(reference[..common], other[..common], "order differs at node {node}");
+        assert_eq!(
+            reference[..common],
+            other[..common],
+            "order differs at node {node}"
+        );
     }
 }
 
@@ -115,7 +119,7 @@ fn ledger_conservation_across_byzantine_cluster() {
     // mint/transfer traffic (including deterministic overdraft
     // rejections), every honest replica's ledger satisfies
     // total_supply == total_minted and all digests agree.
-    use icc_core::replica::{Ledger, Replica, StateMachine};
+    use icc_core::replica::{Ledger, Replica};
     let mut behaviors = vec![icc_core::Behavior::Honest; 7];
     behaviors[0] = icc_core::Behavior::Equivocate;
     let mut cluster = ClusterBuilder::new(7)
@@ -158,7 +162,10 @@ fn ledger_conservation_across_byzantine_cluster() {
             "conservation violated at node {node}"
         );
         assert!(ledger.total_minted() > 0, "mints committed");
-        assert!(ledger.rejected() > 0, "overdrafts were deterministically rejected");
+        assert!(
+            ledger.rejected() > 0,
+            "overdrafts were deterministically rejected"
+        );
         digests.push(replica.state_digest());
     }
     for d in &digests[1..] {

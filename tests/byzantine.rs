@@ -128,3 +128,167 @@ fn honest_rounds_still_leader_won_with_corrupt_minority() {
     }
     assert!(honest_led > 20, "leader-won rounds: {honest_led}");
 }
+
+// ---------------------------------------------------------------------
+// Re-gossip economics: an equivocator replaying artifacts cannot make
+// an honest pool re-do signature verification (the two-tier pipeline's
+// acceptance criterion, observable via the pool counters).
+// ---------------------------------------------------------------------
+
+mod regossip {
+    use icc_core::artifacts;
+    use icc_core::keys::generate_keys;
+    use icc_core::pool::Pool;
+    use icc_types::block::{Block, Payload};
+    use icc_types::messages::{BlockRef, ConsensusMessage};
+    use icc_types::{NodeIndex, Round, SubnetConfig};
+    use std::sync::Arc;
+
+    /// The stream an equivocator would capture off the wire in round 1:
+    /// two equivocating proposals, everyone's shares on both forks, and
+    /// the round-1 beacon shares.
+    fn captured_stream() -> (Vec<ConsensusMessage>, Arc<icc_core::keys::PublicSetup>) {
+        let keys = generate_keys(SubnetConfig::new(4), 77);
+        let setup = keys[0].setup.clone();
+        let mut stream = Vec::new();
+        for tag in [1u8, 2] {
+            // Two different round-1 blocks by the same proposer.
+            let block = Block::new(
+                Round::new(1),
+                NodeIndex::new(1),
+                setup.genesis.hash(),
+                Payload::from_commands(vec![icc_types::Command::new(vec![tag])]),
+            )
+            .into_hashed();
+            let r = BlockRef::of_hashed(&block);
+            stream.push(ConsensusMessage::Proposal(artifacts::proposal(
+                &keys[1], block, None,
+            )));
+            for k in &keys {
+                stream.push(ConsensusMessage::NotarizationShare(
+                    artifacts::notarization_share(k, r),
+                ));
+                stream.push(ConsensusMessage::FinalizationShare(
+                    artifacts::finalization_share(k, r),
+                ));
+            }
+        }
+        for k in &keys {
+            stream.push(ConsensusMessage::BeaconShare(artifacts::beacon_share(
+                k,
+                Round::new(1),
+                &setup.genesis_beacon,
+            )));
+        }
+        (stream, setup)
+    }
+
+    #[test]
+    fn replayed_artifacts_never_reverify() {
+        let (stream, setup) = captured_stream();
+        let mut pool = Pool::new(setup);
+        for msg in &stream {
+            pool.insert(msg);
+        }
+        pool.try_compute_beacon(Round::new(1));
+        let baseline = pool.stats();
+        assert!(baseline.verify_calls > 0);
+
+        // The equivocator re-gossips the whole captured stream, over
+        // and over, with combine attempts in between.
+        const REPLAYS: u64 = 10;
+        for _ in 0..REPLAYS {
+            for msg in &stream {
+                pool.insert(msg);
+            }
+            pool.try_compute_beacon(Round::new(2));
+        }
+        let after = pool.stats();
+        assert_eq!(
+            after.verify_calls, baseline.verify_calls,
+            "replay caused re-verification"
+        );
+        assert_eq!(
+            after.duplicates_dropped,
+            baseline.duplicates_dropped + REPLAYS * stream.len() as u64,
+            "every replayed artifact must be dropped as a duplicate"
+        );
+        assert!(
+            after.verify_cache_hits >= baseline.verify_cache_hits,
+            "cache hits must not regress"
+        );
+    }
+
+    #[test]
+    fn beacon_combine_attempts_hit_cache_not_crypto() {
+        let (stream, setup) = captured_stream();
+        let mut pool = Pool::new(setup);
+        // Hold only one beacon share: below the t+1 = 2 threshold, so
+        // every combine attempt re-examines it.
+        for msg in &stream {
+            if matches!(msg, ConsensusMessage::BeaconShare(_)) {
+                pool.insert(msg);
+                break;
+            }
+        }
+        assert!(pool.try_compute_beacon(Round::new(1)).is_none());
+        let baseline = pool.stats();
+        for _ in 0..5 {
+            assert!(pool.try_compute_beacon(Round::new(1)).is_none());
+        }
+        let after = pool.stats();
+        assert_eq!(
+            after.verify_calls, baseline.verify_calls,
+            "no re-verification"
+        );
+        assert_eq!(
+            after.verify_cache_hits,
+            baseline.verify_cache_hits + 5,
+            "each attempt reuses the cached verification"
+        );
+    }
+
+    /// End-to-end: a full equivocating cluster accumulates duplicate
+    /// drops (each party hears every artifact n − 1 extra times under
+    /// full broadcast + echoes) while verification work stays bounded
+    /// by the number of *distinct* artifacts.
+    #[test]
+    fn equivocating_cluster_verification_economics() {
+        use icc_core::cluster::ClusterBuilder;
+        use icc_core::Behavior;
+        use icc_sim::delay::UniformDelay;
+        use icc_types::SimDuration;
+
+        let mut cluster = ClusterBuilder::new(4)
+            .seed(21)
+            .network(UniformDelay::new(
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(15),
+            ))
+            .protocol_delays(SimDuration::from_millis(50), SimDuration::ZERO)
+            .behaviors(Behavior::first_f(4, 1, Behavior::Equivocate))
+            .build();
+        cluster.run_for(SimDuration::from_secs(3));
+        cluster.assert_safety();
+        let pool = cluster.metrics_summary().pool;
+        assert!(pool.verify_calls > 0);
+        assert!(
+            pool.duplicates_dropped > 0,
+            "echoed artifacts must be deduplicated"
+        );
+        assert!(
+            pool.verify_cache_hits > 0,
+            "combine attempts must reuse cached verifications"
+        );
+        // The economic claim: the pipeline absorbed more duplicate work
+        // than it performed crypto work only when gossip amplification
+        // exceeds 1; at minimum the skipped work is material.
+        assert!(
+            pool.duplicates_dropped + pool.verify_cache_hits > pool.verify_calls / 2,
+            "skipped work (dups {} + hits {}) not material vs verifies {}",
+            pool.duplicates_dropped,
+            pool.verify_cache_hits,
+            pool.verify_calls
+        );
+    }
+}

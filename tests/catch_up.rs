@@ -32,7 +32,10 @@ fn isolated_node_catches_up_completely() {
     cluster.run_until(at(2400));
     let majority = cluster.committed_round(0);
     let isolated = cluster.committed_round(6);
-    assert!(majority > isolated + 30, "majority must run ahead: {majority} vs {isolated}");
+    assert!(
+        majority > isolated + 30,
+        "majority must run ahead: {majority} vs {isolated}"
+    );
     // Heal and allow catch-up.
     cluster.run_until(at(4000));
     assert_chains_consistent(&cluster);
@@ -66,7 +69,10 @@ fn catch_up_works_within_purge_window() {
     assert_chains_consistent(&cluster);
     let behind = cluster.committed_round(3);
     let ahead = cluster.committed_round(0);
-    assert!(ahead - behind <= 2, "within-window catch-up: {behind} vs {ahead}");
+    assert!(
+        ahead - behind <= 2,
+        "within-window catch-up: {behind} vs {ahead}"
+    );
 }
 
 #[test]

@@ -77,7 +77,11 @@ fn gossip_cuts_leader_bottleneck_for_large_blocks() {
     let max0 = icc0.sim.metrics().max_node_bytes();
 
     let overlay = Overlay::random_regular(10, 3, 5);
-    let mut icc1 = gossip_cluster(builder(10, 4).block_policy(policy), overlay, GossipConfig::default());
+    let mut icc1 = gossip_cluster(
+        builder(10, 4).block_policy(policy),
+        overlay,
+        GossipConfig::default(),
+    );
     icc1.inject_commands(SimTime::ZERO, ms(500), 30, 65536);
     icc1.run_for(SimDuration::from_secs(3));
     let max1 = icc1.sim.metrics().max_node_bytes();

@@ -23,7 +23,12 @@ fn builder(n: usize, seed: u64) -> ClusterBuilder {
 
 #[test]
 fn commits_with_rbc_dissemination() {
-    let mut cluster = icc2_cluster(builder(7, 1), Icc2Config { inline_threshold: 0 });
+    let mut cluster = icc2_cluster(
+        builder(7, 1),
+        Icc2Config {
+            inline_threshold: 0,
+        },
+    );
     cluster.run_for(SimDuration::from_secs(3));
     let chain = assert_chains_consistent(&cluster);
     assert!(chain.len() > 20, "committed {}", chain.len());
@@ -31,7 +36,12 @@ fn commits_with_rbc_dissemination() {
 
 #[test]
 fn round_time_is_3_delta_latency_4_delta() {
-    let mut cluster = icc2_cluster(builder(4, 2), Icc2Config { inline_threshold: 0 });
+    let mut cluster = icc2_cluster(
+        builder(4, 2),
+        Icc2Config {
+            inline_threshold: 0,
+        },
+    );
     cluster.run_for(SimDuration::from_secs(2));
     assert_chains_consistent(&cluster);
     let stats = cluster.round_stats(0);
@@ -60,7 +70,11 @@ fn large_commands_commit_through_rbc() {
     assert_chains_consistent(&cluster);
     assert_eq!(committed_commands(&cluster, 0).len(), 15);
     let sent = &cluster.sim.metrics().per_node()[0].sent_by_kind;
-    assert!(sent.contains_key("rbc-fragment"), "kinds: {:?}", sent.keys());
+    assert!(
+        sent.contains_key("rbc-fragment"),
+        "kinds: {:?}",
+        sent.keys()
+    );
 }
 
 #[test]
@@ -89,7 +103,12 @@ fn per_party_traffic_beats_full_broadcast() {
 #[test]
 fn crash_faults_tolerated_with_rbc() {
     let b = builder(7, 5).behaviors(Behavior::first_f(7, 2, Behavior::Crash));
-    let mut cluster = icc2_cluster(b, Icc2Config { inline_threshold: 0 });
+    let mut cluster = icc2_cluster(
+        b,
+        Icc2Config {
+            inline_threshold: 0,
+        },
+    );
     cluster.run_for(SimDuration::from_secs(4));
     let chain = assert_chains_consistent(&cluster);
     assert!(chain.len() > 10, "committed {}", chain.len());
@@ -98,7 +117,12 @@ fn crash_faults_tolerated_with_rbc() {
 #[test]
 fn equivocating_dispersals_are_contained() {
     let b = builder(7, 6).behaviors(Behavior::first_f(7, 2, Behavior::Equivocate));
-    let mut cluster = icc2_cluster(b, Icc2Config { inline_threshold: 0 });
+    let mut cluster = icc2_cluster(
+        b,
+        Icc2Config {
+            inline_threshold: 0,
+        },
+    );
     cluster.run_for(SimDuration::from_secs(4));
     let chain = assert_chains_consistent(&cluster);
     assert!(chain.len() > 10, "committed {}", chain.len());

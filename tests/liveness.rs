@@ -61,7 +61,9 @@ fn commits_catch_up_after_intermittent_synchrony() {
     // "Even if the network is only intermittently synchronous, the
     // system will maintain a constant throughput": two async windows,
     // then compare the total committed rounds with elapsed time.
-    let mut builder = ClusterBuilder::new(4).seed(3).protocol_delays(ms(60), SimDuration::ZERO);
+    let mut builder = ClusterBuilder::new(4)
+        .seed(3)
+        .protocol_delays(ms(60), SimDuration::ZERO);
     for i in 0..2u64 {
         builder = builder.policy(AsyncWindow {
             from: SimTime::ZERO + ms(300 + i * 1000),
@@ -143,7 +145,12 @@ fn commit_latency_is_3_delta_in_steady_state() {
             }
             let p = proposed_at[&block.hash()];
             let latency = o.at.as_micros() - p;
-            assert_eq!(latency, 30_000, "round {}: latency {latency}µs ≠ 3δ", block.round());
+            assert_eq!(
+                latency,
+                30_000,
+                "round {}: latency {latency}µs ≠ 3δ",
+                block.round()
+            );
             checked += 1;
         }
     }

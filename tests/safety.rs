@@ -57,7 +57,9 @@ fn safety_across_partition_and_heal() {
 
 #[test]
 fn safety_with_minority_partitioned_repeatedly() {
-    let mut builder = ClusterBuilder::new(7).seed(9).protocol_delays(ms(60), SimDuration::ZERO);
+    let mut builder = ClusterBuilder::new(7)
+        .seed(9)
+        .protocol_delays(ms(60), SimDuration::ZERO);
     // Three successive partitions isolating different minorities.
     for (i, a) in [(0u64, 0u32), (1, 2), (2, 4)] {
         builder = builder.policy(Partition {
@@ -85,7 +87,11 @@ fn safety_during_full_asynchrony_window() {
     assert_chains_consistent(&cluster); // mid-asynchrony
     cluster.run_until(at(4000));
     let chain = assert_chains_consistent(&cluster);
-    assert!(chain.len() > 20, "liveness after the window: {}", chain.len());
+    assert!(
+        chain.len() > 20,
+        "liveness after the window: {}",
+        chain.len()
+    );
 }
 
 #[test]

@@ -1,0 +1,418 @@
+//! Offline, API-compatible subset of `proptest` 1.x.
+//!
+//! Implements the surface this workspace uses: the [`proptest!`],
+//! [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`] macros,
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map`, range
+//! and [`any`](arbitrary::any) strategies, [`Just`](strategy::Just),
+//! [`collection::vec`] / [`collection::btree_set`], and
+//! [`ProptestConfig`](test_runner::Config).
+//!
+//! Unlike upstream, cases are generated **deterministically** (the RNG
+//! seed is derived from the case index), so failures reproduce without
+//! a regression file; there is no shrinking — the failing inputs are
+//! printed instead. See `vendor/README.md`.
+
+/// Test-runner configuration and RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Mirror of `proptest::test_runner::Config` (the fields used).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// The deterministic case RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for one case, derived from the case index.
+        pub fn deterministic(case: u64) -> TestRng {
+            TestRng {
+                inner: StdRng::seed_from_u64(case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x5EED),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies ([`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union of `options`, sampled uniformly.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, Standard};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Standard> Arbitrary for T {
+        fn arbitrary_value(rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Size specifications accepted by [`vec`] / [`btree_set`].
+    pub trait IntoSizeRange {
+        /// The `[lo, hi)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end.max(self.start + 1))
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.lo..self.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` strategy of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; like upstream, the target
+    /// size is best-effort when the element domain is small.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.lo..self.hi);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 10 + 16 {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// A `BTreeSet` strategy of `element` values with size in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        let (lo, hi) = size.bounds();
+        BTreeSetStrategy { element, lo, hi }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(case);
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<$crate::strategy::BoxedStrategy<_>> =
+            vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+/// Asserts a condition inside a property (plain panic on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_parity() -> impl Strategy<Value = u64> {
+        prop_oneof![Just(0u64), Just(2), (2u64..100).prop_map(|v| v * 2)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..17, b in 0u32..=4, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_map(v in arb_parity()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn collections_sized(
+            xs in crate::collection::vec(any::<u8>(), 2..10),
+            set in crate::collection::btree_set(0u32..1000, 0..8),
+        ) {
+            prop_assert!((2..10).contains(&xs.len()));
+            prop_assert!(set.len() < 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(any::<u64>(), 5..6);
+        let mut r1 = crate::test_runner::TestRng::deterministic(9);
+        let mut r2 = crate::test_runner::TestRng::deterministic(9);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+}
