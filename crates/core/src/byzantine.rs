@@ -22,6 +22,16 @@ pub enum Behavior {
     #[default]
     Honest,
     /// Sends nothing at all (crash / refuses to participate).
+    ///
+    /// Operationally this is the *degenerate fault plan* "down from
+    /// time zero, never restarted": the cluster harness translates it
+    /// into an [`icc_sim::FaultPlan`] crash at `t = 0`, so a `Crash`
+    /// node neither sends nor receives (nor burns CPU on verification).
+    /// For crash–*recovery* schedules — nodes that go down mid-run and
+    /// come back — use
+    /// [`ClusterBuilder::fault_plan`](crate::cluster::ClusterBuilder::fault_plan)
+    /// directly; `Behavior` stays orthogonal (a node can be Byzantine
+    /// while up and still be churned by the plan).
     Crash,
     /// When proposing, broadcasts two different blocks for the same
     /// round and rank (equivocation).

@@ -29,6 +29,8 @@ use crate::delays::Delays;
 use crate::events::NodeEvent;
 use crate::keys::{NodeKeys, PublicSetup};
 use crate::pool::Pool;
+use crate::recovery::{CatchUpError, CatchUpPackage, RecoveryStats};
+use crate::storage::{Checkpoint, DurableStore, WalEntry};
 use icc_crypto::beacon::RankPermutation;
 use icc_crypto::{hash_parts, Hash256};
 use icc_types::block::{Block, HashedBlock, Payload};
@@ -131,6 +133,12 @@ pub struct ConsensusCore {
     pending_digests: HashSet<Hash256>,
     committed_cmds: HashSet<Hash256>,
     started: bool,
+    /// The replica's "disk": checkpoint + WAL surviving `crash()`.
+    store: DurableStore,
+    /// Recovery observability counters (restarts, catch-ups, …).
+    recovery: RecoveryStats,
+    /// Take a checkpoint every this many committed rounds.
+    checkpoint_interval: u64,
     /// Ablation switch: when set, the beacon share for round `k + 1` is
     /// only broadcast on *entering* round `k + 1` instead of the moment
     /// beacon `k` is computed. Costs one extra δ per round (see the
@@ -173,6 +181,9 @@ impl ConsensusCore {
             pending_digests: HashSet::new(),
             committed_cmds: HashSet::new(),
             started: false,
+            store: DurableStore::new(),
+            recovery: RecoveryStats::default(),
+            checkpoint_interval: 8,
             disable_beacon_pipelining: false,
         }
     }
@@ -186,6 +197,14 @@ impl ConsensusCore {
     /// Overrides the block payload limits.
     pub fn with_block_policy(mut self, policy: BlockPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Overrides how many committed rounds elapse between checkpoints
+    /// (default 8). Checkpoints compact the WAL; a huge interval means
+    /// longer restores, a tiny one more checkpoint work.
+    pub fn with_checkpoint_interval(mut self, rounds: u64) -> Self {
+        self.checkpoint_interval = rounds.max(1);
         self
     }
 
@@ -281,6 +300,234 @@ impl ConsensusCore {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Crash recovery
+    // ------------------------------------------------------------------
+
+    /// Simulates a process crash: every volatile field is dropped (the
+    /// pool, round state, input queue, dedup sets). Only the
+    /// [`DurableStore`] — the replica's "disk" — and the recovery
+    /// counters survive. [`restore`](Self::restore) brings the replica
+    /// back.
+    pub fn crash(&mut self) {
+        self.pool = Pool::new(Arc::clone(&self.keys.setup));
+        self.round = Round::new(1);
+        self.rstate = None;
+        self.beacon_share_sent_upto = Round::GENESIS;
+        self.kmax = Round::GENESIS;
+        self.notarizations_broadcast.clear();
+        self.finalizations_broadcast.clear();
+        self.pending.clear();
+        self.pending_digests.clear();
+        self.committed_cmds.clear();
+        self.started = false;
+    }
+
+    /// Restarts the replica from its durable state: installs the
+    /// checkpoint as a certified root, replays the WAL through the
+    /// pool's *trusted* path (zero signature verifications — everything
+    /// in the store was verified before it was appended), and resumes
+    /// at the round after the highest restored notarization. A replica
+    /// that fell far behind while down still needs the catch-up
+    /// protocol (gossip layer) to rejoin; plain ICC0 restore alone
+    /// leaves it waiting for beacon shares of a long-past round.
+    pub fn restore(&mut self, now: SimTime) -> Step {
+        let mut step = Step::default();
+        if !self.behavior.participates() {
+            return step;
+        }
+        self.crash(); // fresh volatile state even on a cold call
+        self.started = true;
+        self.recovery.restarts += 1;
+        if let Some(cp) = self.store.checkpoint().cloned() {
+            self.pool.install_checkpoint(&cp);
+            self.committed_cmds.extend(cp.committed.iter().copied());
+            self.kmax = cp.round();
+        }
+        let entries: Vec<WalEntry> = self.store.wal().to_vec();
+        for entry in entries {
+            match entry {
+                WalEntry::Beacon(r, v) => self.pool.install_beacon_trusted(r, v),
+                WalEntry::Notarized {
+                    proposal,
+                    notarization,
+                } => {
+                    self.pool
+                        .insert_owned(&ConsensusMessage::Proposal(proposal));
+                    if let Some(n) = notarization {
+                        self.pool.insert_owned(&ConsensusMessage::Notarization(n));
+                    }
+                }
+                WalEntry::Finalization(f) => {
+                    self.pool.insert_owned(&ConsensusMessage::Finalization(f));
+                }
+                WalEntry::Committed { digests, .. } => {
+                    self.committed_cmds.extend(digests);
+                }
+            }
+        }
+        self.kmax = self.kmax.max(self.pool.latest_finalized_round());
+        let resume = self
+            .kmax
+            .next()
+            .max(self.pool.highest_notarized_round().next());
+        self.round = resume;
+        // Do not re-broadcast beacon shares for rounds the restored
+        // chain already covers; receivers would dedup them anyway.
+        self.beacon_share_sent_upto = self.pool.latest_beacon_round();
+        self.progress(now, &mut step);
+        step
+    }
+
+    /// The round up to which this replica can actually *operate*: the
+    /// lower of its committed tip (`kmax`) and its beacon-chain
+    /// frontier. The two can diverge after a restart — flooded
+    /// finalizations keep `kmax` current while the beacon of the round
+    /// the replica resumed in is gone for good (peers broadcast each
+    /// beacon share exactly once). A catch-up request must report this
+    /// horizon, not `kmax`, so the serving peer's beacon segment chains
+    /// from a value the requester actually holds.
+    pub fn catch_up_horizon(&self) -> Round {
+        Round::new(self.kmax.get().min(self.pool.latest_beacon_round().get()))
+    }
+
+    /// Verifies and applies a certified catch-up package fetched from a
+    /// peer (gossip layer). On success the replica fast-forwards: the
+    /// package block becomes the new committed tip (`kmax`), its beacon
+    /// segment lets the replica enter the next round, and the package
+    /// is journaled so a re-crash recovers past it. Intermediate blocks
+    /// between the old and new `kmax` are *not* emitted as `Committed`
+    /// events — the finalization certificate pins them, and state sync
+    /// jumps over them (see `DESIGN.md` §5b); per-round safety across
+    /// the cluster is unaffected.
+    ///
+    /// A package whose block this replica has already committed can
+    /// still be useful: its beacon segment un-sticks a replica whose
+    /// round is parked behind a beacon it can no longer obtain (see
+    /// [`catch_up_horizon`](Self::catch_up_horizon)). Only a package
+    /// that advances *neither* frontier is `Stale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CatchUpError`] if the package is stale, forged or
+    /// truncated; nothing is installed in that case.
+    pub fn apply_catch_up(
+        &mut self,
+        pkg: &CatchUpPackage,
+        now: SimTime,
+    ) -> Result<Step, CatchUpError> {
+        let pkg_round = pkg.round();
+        let advances_chain = pkg_round > self.kmax;
+        let advances_beacons = self.pool.beacon(self.round).is_none()
+            && pkg.beacons.last().map(|(r, _)| *r) > Some(self.pool.latest_beacon_round());
+        if !advances_chain && !advances_beacons {
+            return Err(CatchUpError::Stale);
+        }
+        self.pool.verify_and_install_catch_up(pkg)?;
+        let mut step = Step::default();
+        // Journal the package: a re-crash restores past this point.
+        for &(r, v) in &pkg.beacons {
+            self.store.append_beacon(r, v);
+        }
+        self.store
+            .append_block(pkg.proposal.clone(), Some(pkg.notarization.clone()));
+        self.store.append_finalization(pkg.finalization.clone());
+        step.events.push(NodeEvent::CaughtUp {
+            from_round: self.kmax,
+            to_round: pkg_round,
+        });
+        if advances_chain {
+            let digests: Vec<Hash256> = pkg
+                .proposal
+                .block
+                .block()
+                .payload()
+                .commands()
+                .iter()
+                .map(command_hash)
+                .collect();
+            for d in &digests {
+                self.committed_cmds.insert(*d);
+            }
+            self.store.append_committed(pkg_round, digests);
+            self.recovery.rounds_behind_total += pkg_round.get() - self.kmax.get();
+            step.events.push(NodeEvent::Committed {
+                block: pkg.proposal.block.clone(),
+            });
+            self.kmax = pkg_round;
+        }
+        self.recovery.catch_up_applied += 1;
+        self.finalizations_broadcast
+            .insert(pkg.proposal.block.hash());
+        if self.round <= pkg_round {
+            self.round = pkg_round.next();
+            self.rstate = None;
+        }
+        self.maybe_checkpoint();
+        self.progress(now, &mut step);
+        Ok(step)
+    }
+
+    /// Builds a catch-up package for a peer that reports knowing the
+    /// beacon chain up to `have_round`. Returns `None` when this
+    /// replica cannot help: it has nothing finalized past `have_round`,
+    /// or its beacon chain no longer reaches back to `have_round + 1`
+    /// (purged) — the requester then rotates to another peer.
+    pub fn build_catch_up_package(&self, have_round: Round) -> Option<CatchUpPackage> {
+        let block = self.pool.latest_finalized_block()?.clone();
+        let round = block.round();
+        if round <= have_round {
+            return None;
+        }
+        let hash = block.hash();
+        let authenticator = self.pool.authenticator_of(&hash)?;
+        let notarization = self.pool.notarization_of(&hash)?.clone();
+        let finalization = self.pool.finalization_of(&hash)?.clone();
+        let beacons = self.pool.beacons_from(have_round.next());
+        // The segment must chain from the requester's tip and cover
+        // entering `round + 1`.
+        let mut expected = have_round.next();
+        for (r, _) in &beacons {
+            if *r != expected {
+                return None;
+            }
+            expected = expected.next();
+        }
+        if beacons.last().map(|(r, _)| *r) < Some(round.next()) {
+            return None;
+        }
+        Some(CatchUpPackage {
+            proposal: BlockProposal {
+                block,
+                authenticator,
+                parent_notarization: None,
+            },
+            notarization,
+            finalization,
+            beacons,
+        })
+    }
+
+    /// Recovery counters: core-owned (restarts, catch-ups) composed
+    /// with store-owned (WAL appends, checkpoints).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut s = self.recovery;
+        s.wal_appends = self.store.wal_appends();
+        s.checkpoints = self.store.checkpoints_taken();
+        s
+    }
+
+    /// Mutable access for the dissemination layer's counters
+    /// (rejected packages, catch-up bytes and latency).
+    pub fn recovery_stats_mut(&mut self) -> &mut RecoveryStats {
+        &mut self.recovery
+    }
+
+    /// The replica's durable store (tests, diagnostics).
+    pub fn store(&self) -> &DurableStore {
+        &self.store
+    }
+
     /// Broadcasts `msg` and inserts it into the local pool immediately
     /// (a party's own messages reach its own pool, §3.1). Own artifacts
     /// take the trusted path: they were signed locally a moment ago, so
@@ -358,6 +605,10 @@ impl ConsensusCore {
         let Some(beacon) = self.pool.beacon(self.round).copied() else {
             return false;
         };
+        // WAL: the beacon chain must survive a crash — restored rounds
+        // re-derive their permutations from it, and catch-up segments
+        // chain from its tip.
+        self.store.append_beacon(self.round, beacon);
         let n = self.keys.setup.config.n();
         let perm = RankPermutation::derive(&beacon, n);
         let my_rank = Rank::new(perm.rank_of(self.keys.index.get()));
@@ -395,6 +646,21 @@ impl ConsensusCore {
             return false;
         };
         let block_ref = notarization.block_ref;
+        // WAL: the round's notarized block (body + certificate) is what
+        // replay rebuilds the validated chain from.
+        if let (Some(b), Some(auth)) = (
+            self.pool.block(&block_ref.hash).cloned(),
+            self.pool.authenticator_of(&block_ref.hash),
+        ) {
+            self.store.append_block(
+                BlockProposal {
+                    block: b,
+                    authenticator: auth,
+                    parent_notarization: None,
+                },
+                Some(notarization.clone()),
+            );
+        }
         if self.notarizations_broadcast.insert(block_ref.hash) {
             self.emit(ConsensusMessage::Notarization(notarization), step);
         }
@@ -608,6 +874,10 @@ impl ConsensusCore {
                 .finalization_of(&block.hash())
                 .expect("finalized blocks have finalizations")
                 .clone();
+            // WAL: the finalization certificate plus the finalized chain
+            // bodies (the finalized branch is what replay must rebuild;
+            // the branch logged in `try_finish_round` may differ).
+            self.store.append_finalization(finalization.clone());
             if self.finalizations_broadcast.insert(block.hash()) {
                 step.broadcasts
                     .push(ConsensusMessage::Finalization(finalization));
@@ -617,9 +887,27 @@ impl ConsensusCore {
                 .chain_back_to(&block, self.kmax)
                 .expect("finalized blocks have complete chains");
             for b in chain {
-                for cmd in b.block().payload().commands() {
-                    self.committed_cmds.insert(command_hash(cmd));
+                if let Some(auth) = self.pool.authenticator_of(&b.hash()) {
+                    self.store.append_block(
+                        BlockProposal {
+                            block: b.clone(),
+                            authenticator: auth,
+                            parent_notarization: None,
+                        },
+                        self.pool.notarization_of(&b.hash()).cloned(),
+                    );
                 }
+                let digests: Vec<Hash256> = b
+                    .block()
+                    .payload()
+                    .commands()
+                    .iter()
+                    .map(command_hash)
+                    .collect();
+                for d in &digests {
+                    self.committed_cmds.insert(*d);
+                }
+                self.store.append_committed(b.round(), digests);
                 step.events.push(NodeEvent::Committed { block: b });
             }
             // Trim committed commands from the head of the input queue.
@@ -632,12 +920,55 @@ impl ConsensusCore {
                 }
             }
             self.kmax = block.round();
+            self.maybe_checkpoint();
             if let Some(depth) = self.policy.purge_depth {
                 if self.kmax.get() > depth {
                     self.pool.purge_below(Round::new(self.kmax.get() - depth));
                 }
             }
         }
+    }
+
+    /// Takes a checkpoint (and compacts the WAL) once enough rounds
+    /// have committed since the last one. Skipped — and retried at the
+    /// next commit — if any certificate for the latest finalized block
+    /// is not yet pooled (e.g. a finalization that raced ahead of the
+    /// notarization).
+    fn maybe_checkpoint(&mut self) {
+        let base = self
+            .store
+            .checkpoint()
+            .map_or(Round::GENESIS, Checkpoint::round);
+        if self.kmax.get().saturating_sub(base.get()) < self.checkpoint_interval {
+            return;
+        }
+        let Some(block) = self.pool.latest_finalized_block().cloned() else {
+            return;
+        };
+        let hash = block.hash();
+        let round = block.round();
+        let (Some(auth), Some(notarization), Some(finalization), Some(beacon)) = (
+            self.pool.authenticator_of(&hash),
+            self.pool.notarization_of(&hash).cloned(),
+            self.pool.finalization_of(&hash).cloned(),
+            self.pool.beacon(round).copied(),
+        ) else {
+            return;
+        };
+        // Deterministic order for the committed-digest set.
+        let mut committed: Vec<Hash256> = self.committed_cmds.iter().copied().collect();
+        committed.sort();
+        self.store.install_checkpoint(Checkpoint {
+            proposal: BlockProposal {
+                block,
+                authenticator: auth,
+                parent_notarization: None,
+            },
+            notarization,
+            finalization,
+            beacon,
+            committed,
+        });
     }
 
     /// `getPayload(Bp)` (§3.5): pending commands not already in the

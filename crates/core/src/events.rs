@@ -46,6 +46,15 @@ pub enum NodeEvent {
         /// The committed block.
         block: HashedBlock,
     },
+    /// The node fast-forwarded via a certified catch-up package: rounds
+    /// in `(from_round, to_round)` were skipped over (state sync), the
+    /// package block of `to_round` was committed.
+    CaughtUp {
+        /// `kmax` before the catch-up.
+        from_round: Round,
+        /// `kmax` after (the package block's round).
+        to_round: Round,
+    },
 }
 
 impl NodeEvent {
@@ -64,6 +73,7 @@ impl NodeEvent {
             | NodeEvent::Proposed { round, .. }
             | NodeEvent::RoundFinished { round, .. } => *round,
             NodeEvent::Committed { block } => block.round(),
+            NodeEvent::CaughtUp { to_round, .. } => *to_round,
         }
     }
 }

@@ -27,6 +27,8 @@
 //! * [`events`] — the observable output trace;
 //! * [`node`] — the `icc-sim` adapter (this is ICC0's full-broadcast
 //!   dissemination);
+//! * [`storage`] — durable replica state: checkpoints + write-ahead log;
+//! * [`recovery`] — certified catch-up packages and recovery counters;
 //! * [`cluster`] — multi-node simulation harness with safety checks;
 //! * [`replica`] — state-machine replication on top of atomic broadcast.
 //!
@@ -54,10 +56,14 @@ pub mod events;
 pub mod keys;
 pub mod node;
 pub mod pool;
+pub mod recovery;
 pub mod replica;
+pub mod storage;
 
 pub use byzantine::Behavior;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use consensus::{BlockPolicy, ConsensusCore, Step};
 pub use events::NodeEvent;
 pub use node::IccNode;
+pub use recovery::{CatchUpError, CatchUpPackage, RecoveryStats};
+pub use storage::{Checkpoint, DurableStore, WalEntry};

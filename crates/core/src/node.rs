@@ -95,4 +95,15 @@ impl Node for IccNode {
         // the next proposal. No wake-up needed.
         let _ = ctx;
     }
+
+    fn on_crash(&mut self) {
+        self.core.crash();
+        // Pending engine timers were discarded; forget them.
+        self.scheduled.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let step = self.core.restore(ctx.now());
+        self.apply(ctx, step);
+    }
 }

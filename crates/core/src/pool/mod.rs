@@ -67,11 +67,13 @@ pub use stats::PoolStats;
 pub use unvalidated::{ArtifactId, UnvalidatedArtifact};
 
 use crate::keys::PublicSetup;
+use crate::recovery::{CatchUpError, CatchUpPackage};
+use crate::storage::Checkpoint;
 use cache::VerificationCache;
-use icc_crypto::beacon::BeaconValue;
+use icc_crypto::beacon::{beacon_sign_message, BeaconValue};
 use icc_crypto::Hash256;
 use icc_types::block::HashedBlock;
-use icc_types::messages::{ConsensusMessage, Finalization, Notarization};
+use icc_types::messages::{domains, BlockRef, ConsensusMessage, Finalization, Notarization};
 use icc_types::Round;
 use std::sync::Arc;
 use unvalidated::UnvalidatedSection;
@@ -379,6 +381,203 @@ impl Pool {
         self.validated.chain_back_to(block, above)
     }
 
+    /// The highest finalized non-genesis block, if any.
+    pub fn latest_finalized_block(&self) -> Option<&HashedBlock> {
+        self.validated.latest_finalized_block()
+    }
+
+    /// The highest finalized round (genesis if nothing finalized).
+    pub fn latest_finalized_round(&self) -> Round {
+        self.validated.latest_finalized_round()
+    }
+
+    /// The highest round holding a notarized block (genesis if none).
+    pub fn highest_notarized_round(&self) -> Round {
+        self.validated.highest_notarized_round()
+    }
+
+    // ------------------------------------------------------------------
+    // Certified installs (checkpoint restore and catch-up)
+    // ------------------------------------------------------------------
+
+    /// Installs a checkpoint this replica took itself: its block becomes
+    /// a certified root (valid + notarized + finalized without the
+    /// parent chain — the finalization vouches for the prefix) and its
+    /// beacon value anchors the restored beacon chain. Trusted path —
+    /// no verification; the certificates were verified (or produced)
+    /// before the checkpoint was written. The artifacts are recorded in
+    /// the verification cache so network echoes of them never verify.
+    pub fn install_checkpoint(&mut self, cp: &Checkpoint) {
+        let round = cp.round();
+        self.record_certified(cp.proposal.clone(), &cp.notarization, &cp.finalization);
+        self.validated.install_certified_root(
+            cp.proposal.block.clone(),
+            cp.proposal.authenticator,
+            cp.notarization.clone(),
+            cp.finalization.clone(),
+        );
+        self.validated.install_beacon(round, cp.beacon);
+        self.validated.recheck_validity();
+    }
+
+    /// Installs an already-known-good beacon value (WAL replay).
+    pub fn install_beacon_trusted(&mut self, round: Round, value: BeaconValue) {
+        self.validated.install_beacon(round, value);
+    }
+
+    /// Records a certified block + certificates in the verification
+    /// cache, so later network copies are cache hits.
+    fn record_certified(
+        &mut self,
+        proposal: icc_types::messages::BlockProposal,
+        notarization: &Notarization,
+        finalization: &Finalization,
+    ) {
+        let round = proposal.block.round();
+        let block_art = UnvalidatedArtifact::Block {
+            block: proposal.block,
+            authenticator: proposal.authenticator,
+        };
+        self.cache.record(block_art.id(), round);
+        self.cache.record(
+            UnvalidatedArtifact::Notarization(notarization.clone()).id(),
+            round,
+        );
+        self.cache.record(
+            UnvalidatedArtifact::Finalization(finalization.clone()).id(),
+            round,
+        );
+    }
+
+    /// Verifies a [`CatchUpPackage`] against the subnet's public keys
+    /// and, on success, installs its block as a certified root and its
+    /// beacon segment. Verification goes through the two-tier pipeline's
+    /// cache semantics: certificates already verified once are cache
+    /// hits, everything else counts into `verify_calls`, and any failure
+    /// rejects the whole package with nothing installed.
+    pub fn verify_and_install_catch_up(
+        &mut self,
+        pkg: &CatchUpPackage,
+    ) -> Result<(), CatchUpError> {
+        let block = &pkg.proposal.block;
+        let round = block.round();
+        let bref = BlockRef::of_hashed(block);
+        if pkg.notarization.block_ref != bref || pkg.finalization.block_ref != bref {
+            self.stats.rejected += 1;
+            return Err(CatchUpError::Mismatched);
+        }
+        let sign_bytes = bref.sign_bytes();
+
+        // Authenticator (S_auth by the claimed proposer).
+        let block_id = UnvalidatedArtifact::Block {
+            block: block.clone(),
+            authenticator: pkg.proposal.authenticator,
+        }
+        .id();
+        if self.cache.contains(&block_id) {
+            self.stats.verify_cache_hits += 1;
+        } else {
+            self.stats.verify_calls += 1;
+            let ok = self
+                .setup
+                .auth_keys
+                .get(bref.proposer.as_usize())
+                .is_some_and(|pk| {
+                    pk.verify(domains::AUTH, &sign_bytes, &pkg.proposal.authenticator)
+                });
+            if !ok {
+                self.stats.rejected += 1;
+                return Err(CatchUpError::BadAuthenticator);
+            }
+            self.cache.record(block_id, round);
+        }
+
+        // Notarization aggregate.
+        let notz_id = UnvalidatedArtifact::Notarization(pkg.notarization.clone()).id();
+        if self.cache.contains(&notz_id) {
+            self.stats.verify_cache_hits += 1;
+        } else {
+            self.stats.verify_calls += 1;
+            if !self.setup.notary.verify(&sign_bytes, &pkg.notarization.sig) {
+                self.stats.rejected += 1;
+                return Err(CatchUpError::BadNotarization);
+            }
+            self.cache.record(notz_id, round);
+        }
+
+        // Finalization aggregate — the actual catch-up certificate.
+        let fin_id = UnvalidatedArtifact::Finalization(pkg.finalization.clone()).id();
+        if self.cache.contains(&fin_id) {
+            self.stats.verify_cache_hits += 1;
+        } else {
+            self.stats.verify_calls += 1;
+            if !self
+                .setup
+                .finality
+                .verify(&sign_bytes, &pkg.finalization.sig)
+            {
+                self.stats.rejected += 1;
+                return Err(CatchUpError::BadFinalization);
+            }
+            self.cache.record(fin_id, round);
+        }
+
+        // Beacon segment: consecutive, anchored at a locally-known
+        // value, each entry the unique threshold signature over its
+        // predecessor.
+        let mut staged: Vec<(Round, BeaconValue)> = Vec::with_capacity(pkg.beacons.len());
+        if let Some(&(first, _)) = pkg.beacons.first() {
+            let Some(anchor) = first.prev().and_then(|p| self.validated.beacon(p)).copied() else {
+                self.stats.rejected += 1;
+                return Err(CatchUpError::BadBeacon);
+            };
+            let mut prev = anchor;
+            let mut expected = first;
+            for &(r, v) in &pkg.beacons {
+                let BeaconValue::Signature(sig) = v else {
+                    self.stats.rejected += 1;
+                    return Err(CatchUpError::BadBeacon);
+                };
+                if r != expected {
+                    self.stats.rejected += 1;
+                    return Err(CatchUpError::BadBeacon);
+                }
+                let msg = beacon_sign_message(r.get(), &prev);
+                self.stats.verify_calls += 1;
+                if !self.setup.beacon.verify(&msg, &sig) {
+                    self.stats.rejected += 1;
+                    return Err(CatchUpError::BadBeacon);
+                }
+                staged.push((r, v));
+                prev = v;
+                expected = expected.next();
+            }
+        }
+        // Coverage: to *act* after catch-up the replica must be able to
+        // enter round `round + 1`, which needs that round's beacon.
+        let covered = staged
+            .last()
+            .map_or(Round::GENESIS, |(r, _)| *r)
+            .max(self.validated.latest_beacon_round());
+        if covered < round.next() {
+            self.stats.rejected += 1;
+            return Err(CatchUpError::Truncated);
+        }
+
+        // Everything verified: install.
+        self.validated.install_certified_root(
+            block.clone(),
+            pkg.proposal.authenticator,
+            pkg.notarization.clone(),
+            pkg.finalization.clone(),
+        );
+        for (r, v) in staged {
+            self.validated.install_beacon(r, v);
+        }
+        self.validated.recheck_validity();
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Beacon
     // ------------------------------------------------------------------
@@ -386,6 +585,16 @@ impl Pool {
     /// The computed beacon value for `round`, if known.
     pub fn beacon(&self, round: Round) -> Option<&BeaconValue> {
         self.validated.beacon(round)
+    }
+
+    /// The highest round whose beacon value is known.
+    pub fn latest_beacon_round(&self) -> Round {
+        self.validated.latest_beacon_round()
+    }
+
+    /// All known beacon values of rounds ≥ `from`, ascending.
+    pub fn beacons_from(&self, from: Round) -> Vec<(Round, BeaconValue)> {
+        self.validated.beacons_from(from)
     }
 
     /// Attempts to compute the round-`round` beacon from held shares.

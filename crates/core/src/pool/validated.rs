@@ -278,6 +278,49 @@ impl ValidatedSection {
     }
 
     // ------------------------------------------------------------------
+    // Certified installs (checkpoint restore and catch-up)
+    // ------------------------------------------------------------------
+
+    /// Installs a block with full certificates directly as valid,
+    /// notarized and finalized — the generalization of the genesis
+    /// pre-classification in [`new`](Self::new) to a certified non-root
+    /// block. Its parent body may be absent: the `n − t` finalization is
+    /// what vouches for the prefix, exactly as `root` vouches for
+    /// itself. The caller must have verified (or produced) the
+    /// certificates, and runs [`recheck_validity`](Self::recheck_validity)
+    /// afterwards so waiting children cascade.
+    pub fn install_certified_root(
+        &mut self,
+        block: HashedBlock,
+        authenticator: icc_crypto::sig::Signature,
+        notarization: Notarization,
+        finalization: Finalization,
+    ) {
+        let hash = block.hash();
+        if !self.authentic.contains(&hash) {
+            let block_ref = BlockRef::of_hashed(&block);
+            self.refs.insert(hash, block_ref);
+            self.by_round.entry(block.round()).or_default().push(hash);
+            self.blocks.insert(hash, block);
+            self.authentic.insert(hash);
+            self.authenticators.insert(hash, authenticator);
+        }
+        self.pending_validity.remove(&hash);
+        self.valid.insert(hash);
+        self.notarizations.entry(hash).or_insert(notarization);
+        self.pending_notarized.remove(&hash);
+        self.notarized.insert(hash);
+        self.finalizations.entry(hash).or_insert(finalization);
+        self.pending_finalized.remove(&hash);
+        self.mark_finalized(hash);
+    }
+
+    /// Installs an already-known-good beacon value (restore/catch-up).
+    pub fn install_beacon(&mut self, round: Round, value: BeaconValue) {
+        self.beacons.entry(round).or_insert(value);
+    }
+
+    // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
 
@@ -392,6 +435,32 @@ impl ValidatedSection {
         None
     }
 
+    /// The highest finalized non-genesis block, if any.
+    pub fn latest_finalized_block(&self) -> Option<&HashedBlock> {
+        self.finalized_by_round
+            .iter()
+            .next_back()
+            .and_then(|(r, h)| (!r.is_genesis()).then(|| &self.blocks[h]))
+    }
+
+    /// The highest finalized round (genesis if nothing finalized).
+    pub fn latest_finalized_round(&self) -> Round {
+        self.finalized_by_round
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(Round::GENESIS)
+    }
+
+    /// The highest round holding a notarized block (genesis if none).
+    pub fn highest_notarized_round(&self) -> Round {
+        self.by_round
+            .iter()
+            .rev()
+            .find_map(|(r, hs)| hs.iter().any(|h| self.notarized.contains(h)).then_some(*r))
+            .unwrap_or(Round::GENESIS)
+    }
+
     /// The highest finalized block with round > `above`, if any
     /// (Fig. 2 case i).
     pub fn finalized_above(&self, above: Round) -> Option<&HashedBlock> {
@@ -482,6 +551,20 @@ impl ValidatedSection {
 
     pub fn beacon_share_count(&self, round: Round) -> usize {
         self.beacon_shares.get(&round).map_or(0, BTreeMap::len)
+    }
+
+    /// The highest round whose beacon value is known.
+    pub fn latest_beacon_round(&self) -> Round {
+        self.beacons
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(Round::GENESIS)
+    }
+
+    /// All known beacon values of rounds ≥ `from`, ascending.
+    pub fn beacons_from(&self, from: Round) -> Vec<(Round, BeaconValue)> {
+        self.beacons.range(from..).map(|(r, v)| (*r, *v)).collect()
     }
 
     /// Discards artifacts strictly below `round` — the garbage-collection

@@ -1,0 +1,153 @@
+//! Certified catch-up: the package a lagging replica fetches to
+//! fast-forward, and the recovery observability counters.
+//!
+//! A replica that restarts (or heals from a long partition) can be many
+//! rounds behind. Re-flooding every historical artifact would be both
+//! expensive and — under the gossip layer's advert dedup — impossible:
+//! peers only advertise *live* artifacts. Instead the replica fetches a
+//! [`CatchUpPackage`]: the sender's latest finalized block plus the
+//! *certificates* (notarization + finalization) proving it, and the
+//! random-beacon chain segment the requester is missing.
+//!
+//! Safety does not rest on trusting the sender. Every certificate is
+//! verified against the subnet's public keys before anything is
+//! installed (see `Pool::verify_and_install_catch_up`): the
+//! finalization proves `n − t` parties finalized the block (P2 then
+//! pins the whole prefix), the notarization lets honest children
+//! validate against it, the authenticator pins the proposer, and each
+//! beacon value is the unique threshold signature over its predecessor
+//! — a forged or truncated package from a Byzantine peer is rejected
+//! wholesale and the requester retries elsewhere.
+
+use icc_crypto::beacon::BeaconValue;
+use icc_types::codec::Encode;
+use icc_types::messages::{BlockProposal, Finalization, Notarization};
+use icc_types::Round;
+use std::fmt;
+
+/// A certified fast-forward package: the serving replica's latest
+/// finalized block, the certificates proving it, and the beacon chain
+/// segment `(have_round, latest]` the requester is missing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatchUpPackage {
+    /// The latest finalized block with its authenticator
+    /// (`parent_notarization` is not needed — the finalization certifies
+    /// the whole prefix — and is left `None`).
+    pub proposal: BlockProposal,
+    /// The `n − t` notarization of that block (children validate
+    /// against it).
+    pub notarization: Notarization,
+    /// The `n − t` finalization of that block — the actual certificate
+    /// of catch-up safety.
+    pub finalization: Finalization,
+    /// Consecutive beacon values starting at the requester's
+    /// `have_round + 1`, extending at least one round past the
+    /// finalized block (needed to enter the next round).
+    pub beacons: Vec<(Round, BeaconValue)>,
+}
+
+impl CatchUpPackage {
+    /// The round of the packaged finalized block.
+    pub fn round(&self) -> Round {
+        self.proposal.block.round()
+    }
+
+    /// Approximate wire size in bytes (metered as catch-up traffic).
+    pub fn encoded_len(&self) -> usize {
+        // Each beacon entry: 8-byte round + tag + 8-byte signature value.
+        self.proposal.encoded_len()
+            + self.notarization.encoded_len()
+            + self.finalization.encoded_len()
+            + self.beacons.len() * 17
+    }
+}
+
+/// Why a catch-up package was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatchUpError {
+    /// The package's round is not ahead of this replica's `kmax`.
+    Stale,
+    /// The certificates do not all reference the packaged block.
+    Mismatched,
+    /// The proposer's authenticator failed verification.
+    BadAuthenticator,
+    /// The notarization aggregate failed verification.
+    BadNotarization,
+    /// The finalization aggregate failed verification.
+    BadFinalization,
+    /// The beacon segment is non-consecutive, unanchored, or contains a
+    /// value that fails threshold verification.
+    BadBeacon,
+    /// The beacon segment stops before the round after the finalized
+    /// block, so the requester could not enter the next round.
+    Truncated,
+}
+
+impl fmt::Display for CatchUpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CatchUpError::Stale => "package not ahead of local kmax",
+            CatchUpError::Mismatched => "certificates reference different blocks",
+            CatchUpError::BadAuthenticator => "authenticator failed verification",
+            CatchUpError::BadNotarization => "notarization failed verification",
+            CatchUpError::BadFinalization => "finalization failed verification",
+            CatchUpError::BadBeacon => "beacon segment invalid",
+            CatchUpError::Truncated => "beacon segment truncated",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for CatchUpError {}
+
+/// Per-replica recovery counters, surfaced through
+/// [`ConsensusCore::recovery_stats`](crate::ConsensusCore::recovery_stats)
+/// and mirrored into `icc-sim`'s [`RecoveryCounters`](icc_sim::RecoveryCounters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Times this replica restarted from durable state.
+    pub restarts: u64,
+    /// Sum over catch-ups of how many rounds behind `kmax` was.
+    pub rounds_behind_total: u64,
+    /// Catch-up packages verified and applied.
+    pub catch_up_applied: u64,
+    /// Catch-up packages rejected (forged, truncated, or stale).
+    pub catch_up_rejected: u64,
+    /// Bytes of catch-up packages received (applied or rejected).
+    pub catch_up_bytes: u64,
+    /// Total microseconds from detecting lag to applying a package.
+    pub catch_up_latency_us: u64,
+    /// Entries appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+}
+
+impl RecoveryStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.restarts += other.restarts;
+        self.rounds_behind_total += other.rounds_behind_total;
+        self.catch_up_applied += other.catch_up_applied;
+        self.catch_up_rejected += other.catch_up_rejected;
+        self.catch_up_bytes += other.catch_up_bytes;
+        self.catch_up_latency_us += other.catch_up_latency_us;
+        self.wal_appends += other.wal_appends;
+        self.checkpoints += other.checkpoints;
+    }
+}
+
+impl From<RecoveryStats> for icc_sim::RecoveryCounters {
+    fn from(s: RecoveryStats) -> icc_sim::RecoveryCounters {
+        icc_sim::RecoveryCounters {
+            restarts: s.restarts,
+            rounds_behind_total: s.rounds_behind_total,
+            catch_up_applied: s.catch_up_applied,
+            catch_up_rejected: s.catch_up_rejected,
+            catch_up_bytes: s.catch_up_bytes,
+            catch_up_latency_us: s.catch_up_latency_us,
+            wal_appends: s.wal_appends,
+            checkpoints: s.checkpoints,
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Durable replica state: periodic checkpoints plus a write-ahead log.
+//!
+//! The paper's fault model includes parties that "simply crash" and may
+//! come back (§1). A restarting replica must not forget what it helped
+//! finalize — doing so would not violate safety (certificates protect
+//! that) but would force a full re-sync and lose its input queue dedup.
+//! [`DurableStore`] is the replica's "disk": it survives
+//! [`ConsensusCore::crash`](crate::ConsensusCore::crash) while every
+//! other field of the core is volatile. In the simulator the store is
+//! plain memory owned by the node object (the engine never drops node
+//! state), which keeps executions deterministic; a real deployment
+//! would back it with fsync'd files.
+//!
+//! Contents:
+//!
+//! * a [`Checkpoint`] — the latest finalized block at the time it was
+//!   taken, with its notarization + finalization certificates, the
+//!   beacon value of its round (the base the restored beacon chain and
+//!   any later catch-up verification chains from), and the set of
+//!   committed command digests;
+//! * a [`WalEntry`] log of everything certified since the checkpoint:
+//!   per-round beacon values, notarized blocks (body + certificate),
+//!   finalizations, and committed command digests.
+//!
+//! Restore (see [`ConsensusCore::restore`](crate::ConsensusCore::restore))
+//! installs the checkpoint as a certified root and replays the log
+//! through the pool's *trusted* path: every artifact in the store was
+//! verified (or produced) by this replica before it was appended, so
+//! replay performs **zero** signature verifications — the property the
+//! `checkpoint_restore` proptests pin down.
+//!
+//! Taking a checkpoint compacts the log: entries at or below the
+//! checkpoint round are dropped. The checkpoint stores its round's
+//! beacon value explicitly because a finalization can commit round `k`
+//! while the replica is still *in* round `k` — compaction could
+//! otherwise drop the `Beacon(k)` entry the restored chain needs.
+
+use icc_crypto::beacon::BeaconValue;
+use icc_crypto::Hash256;
+use icc_types::messages::{BlockProposal, Finalization, Notarization};
+use icc_types::Round;
+use std::collections::HashSet;
+
+/// One append-only log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEntry {
+    /// The computed beacon value of a round.
+    Beacon(Round, BeaconValue),
+    /// A block body (with authenticator) and, when known, its
+    /// notarization certificate.
+    Notarized {
+        /// The block and its authenticator (`parent_notarization` is
+        /// `None`; the parent's certificate has its own entry).
+        proposal: BlockProposal,
+        /// The `n − t` notarization, when it was known at append time.
+        notarization: Option<Notarization>,
+    },
+    /// A finalization certificate.
+    Finalization(Finalization),
+    /// Command digests committed by a block (restores input dedup).
+    Committed {
+        /// The committed block's round.
+        round: Round,
+        /// Digests of the commands the block committed.
+        digests: Vec<Hash256>,
+    },
+}
+
+impl WalEntry {
+    /// The round the entry pertains to (drives compaction).
+    pub fn round(&self) -> Round {
+        match self {
+            WalEntry::Beacon(r, _) => *r,
+            WalEntry::Notarized { proposal, .. } => proposal.block.round(),
+            WalEntry::Finalization(f) => f.block_ref.round,
+            WalEntry::Committed { round, .. } => *round,
+        }
+    }
+}
+
+/// A certified snapshot: the latest finalized block when the checkpoint
+/// was taken, everything needed to install it as a trusted root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The finalized block with its authenticator.
+    pub proposal: BlockProposal,
+    /// Its notarization certificate.
+    pub notarization: Notarization,
+    /// Its finalization certificate.
+    pub finalization: Finalization,
+    /// The beacon value of the checkpoint round — the chaining base for
+    /// restored and caught-up beacon segments.
+    pub beacon: BeaconValue,
+    /// All command digests committed up to (and including) this round.
+    pub committed: Vec<Hash256>,
+}
+
+impl Checkpoint {
+    /// The checkpointed round.
+    pub fn round(&self) -> Round {
+        self.proposal.block.round()
+    }
+}
+
+/// The replica's durable state: at most one checkpoint plus the log of
+/// certified artifacts since it.
+#[derive(Debug, Default)]
+pub struct DurableStore {
+    checkpoint: Option<Checkpoint>,
+    wal: Vec<WalEntry>,
+    /// Highest round whose beacon has been logged (dedup).
+    beacon_upto: Round,
+    /// `(block hash, notarization present)` pairs already logged.
+    logged_blocks: HashSet<(Hash256, bool)>,
+    /// Block hashes whose finalization is already logged.
+    logged_finalizations: HashSet<Hash256>,
+    wal_appends: u64,
+    checkpoints_taken: u64,
+}
+
+impl DurableStore {
+    /// An empty store (fresh replica, nothing durable yet).
+    pub fn new() -> DurableStore {
+        DurableStore::default()
+    }
+
+    /// Logs a round's beacon value (at most once per round).
+    pub fn append_beacon(&mut self, round: Round, value: BeaconValue) {
+        if round > self.beacon_upto {
+            self.beacon_upto = round;
+            self.wal.push(WalEntry::Beacon(round, value));
+            self.wal_appends += 1;
+        }
+    }
+
+    /// Logs a block body and (optionally) its notarization. Re-appending
+    /// the same `(block, has-notarization)` shape is a no-op, so a block
+    /// first logged bare can later be upgraded with its certificate.
+    pub fn append_block(&mut self, proposal: BlockProposal, notarization: Option<Notarization>) {
+        let key = (proposal.block.hash(), notarization.is_some());
+        if self.logged_blocks.insert(key) {
+            self.wal.push(WalEntry::Notarized {
+                proposal,
+                notarization,
+            });
+            self.wal_appends += 1;
+        }
+    }
+
+    /// Logs a finalization certificate (at most once per block).
+    pub fn append_finalization(&mut self, f: Finalization) {
+        if self.logged_finalizations.insert(f.block_ref.hash) {
+            self.wal.push(WalEntry::Finalization(f));
+            self.wal_appends += 1;
+        }
+    }
+
+    /// Logs the command digests a block committed.
+    pub fn append_committed(&mut self, round: Round, digests: Vec<Hash256>) {
+        if digests.is_empty() {
+            return;
+        }
+        self.wal.push(WalEntry::Committed { round, digests });
+        self.wal_appends += 1;
+    }
+
+    /// Installs a checkpoint and compacts the log: entries at or below
+    /// the checkpoint round are dropped (the checkpoint carries the
+    /// beacon base itself).
+    pub fn install_checkpoint(&mut self, cp: Checkpoint) {
+        let bar = cp.round();
+        self.wal.retain(|e| e.round() > bar);
+        self.checkpoint = Some(cp);
+        self.checkpoints_taken += 1;
+    }
+
+    /// The installed checkpoint, if any.
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// The log entries since the checkpoint, in append order.
+    pub fn wal(&self) -> &[WalEntry] {
+        &self.wal
+    }
+
+    /// Current number of log entries (post-compaction).
+    pub fn wal_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// Lifetime count of log appends.
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends
+    }
+
+    /// Lifetime count of checkpoints taken.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// Whether nothing durable has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoint.is_none() && self.wal.is_empty()
+    }
+}

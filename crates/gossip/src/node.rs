@@ -10,11 +10,12 @@
 use icc_core::cluster::CoreAccess;
 use icc_core::consensus::{ConsensusCore, Step};
 use icc_core::events::NodeEvent;
+use icc_core::recovery::{CatchUpError, CatchUpPackage};
 use icc_crypto::{hash_parts, Hash256};
 use icc_sim::{Context, Node, WireMessage};
 use icc_types::codec::{encode_to_vec, Encode};
 use icc_types::messages::{BlockProposal, ConsensusMessage};
-use icc_types::{Command, NodeIndex, Round, SimDuration};
+use icc_types::{Command, NodeIndex, Round, SimDuration, SimTime};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -33,6 +34,14 @@ pub struct GossipConfig {
     /// evicted FIFO (a late requester then falls back to another
     /// advertiser via the retry sweep). Default 128.
     pub offered_capacity: usize,
+    /// Cap on the per-request exponential retry backoff (body requests
+    /// and catch-up requests alike double their timeout on every retry
+    /// up to this cap). Default 3 s.
+    pub retry_backoff_cap: SimDuration,
+    /// How many rounds behind the highest round advertised by a peer
+    /// this node must be before it requests a certified catch-up
+    /// package instead of waiting for per-round artifacts. Default 10.
+    pub catch_up_threshold: u64,
 }
 
 impl Default for GossipConfig {
@@ -41,8 +50,16 @@ impl Default for GossipConfig {
             inline_threshold: 4 << 10,
             request_timeout: SimDuration::from_millis(300),
             offered_capacity: 128,
+            retry_backoff_cap: SimDuration::from_millis(3_000),
+            catch_up_threshold: 10,
         }
     }
+}
+
+/// `base × 2^attempts`, saturating at `cap`.
+fn backoff_after(base: SimDuration, cap: SimDuration, attempts: u32) -> SimDuration {
+    let mult = 1u64 << attempts.min(20);
+    SimDuration::from_micros(base.as_micros().saturating_mul(mult).min(cap.as_micros()))
 }
 
 /// Messages exchanged on the gossip overlay.
@@ -71,6 +88,20 @@ pub enum GossipMessage {
         /// The full proposal.
         proposal: BlockProposal,
     },
+    /// "I am at round `have_round`; send me a certified catch-up
+    /// package" (unicast to one peer believed to be ahead).
+    CatchUpRequest {
+        /// The requester's latest committed round.
+        have_round: Round,
+    },
+    /// A certified catch-up package (unicast reply). The receiver
+    /// verifies every certificate before installing anything — a
+    /// Byzantine responder can waste one round trip, never corrupt
+    /// state.
+    CatchUpResponse {
+        /// The package.
+        package: Box<CatchUpPackage>,
+    },
 }
 
 impl WireMessage for GossipMessage {
@@ -80,6 +111,8 @@ impl WireMessage for GossipMessage {
             GossipMessage::Advert { .. } => 1 + 32 + 8 + 8,
             GossipMessage::Request { .. } => 1 + 32,
             GossipMessage::Deliver { proposal, .. } => 1 + 32 + proposal.encoded_len(),
+            GossipMessage::CatchUpRequest { .. } => 1 + 8,
+            GossipMessage::CatchUpResponse { package } => 1 + package.encoded_len(),
         }
     }
     fn kind(&self) -> &'static str {
@@ -88,6 +121,8 @@ impl WireMessage for GossipMessage {
             GossipMessage::Advert { .. } => "advert",
             GossipMessage::Request { .. } => "request",
             GossipMessage::Deliver { .. } => "deliver",
+            GossipMessage::CatchUpRequest { .. } => "catch-up-request",
+            GossipMessage::CatchUpResponse { .. } => "catch-up-package",
         }
     }
 }
@@ -95,6 +130,7 @@ impl WireMessage for GossipMessage {
 /// Timer tags.
 const TAG_CORE: u64 = 0;
 const TAG_SWEEP: u64 = 1;
+const TAG_CATCHUP: u64 = 2;
 
 /// An outstanding body request.
 #[derive(Debug)]
@@ -106,6 +142,10 @@ struct PendingRequest {
     round: Round,
     advertisers: Vec<NodeIndex>,
     next_advertiser: usize,
+    /// Retries so far; the per-entry backoff doubles with each one.
+    attempts: u32,
+    /// Earliest time the sweep may re-request this body.
+    next_retry_at: SimTime,
 }
 
 /// An ICC1 party: consensus core + gossip dissemination.
@@ -128,6 +168,20 @@ pub struct GossipNode {
     pending: HashMap<Hash256, PendingRequest>,
     sweep_armed: bool,
     core_wakeups: BTreeSet<u64>,
+    /// Highest round each peer has advertised a block for — the
+    /// behind-detection signal driving catch-up requests.
+    peer_rounds: HashMap<NodeIndex, Round>,
+    /// The catch-up request in flight: `(peer, sent_at, deadline)`.
+    catch_up_inflight: Option<(NodeIndex, SimTime, SimTime)>,
+    /// Consecutive unanswered/rejected catch-up attempts (drives the
+    /// exponential backoff; reset on success).
+    catch_up_attempts: u32,
+    /// Rotation cursor over ahead peers, so retries spread across
+    /// advertisers instead of hammering one possibly-faulty peer.
+    catch_up_rotation: usize,
+    /// Test knob: serve forged catch-up packages (the finalization
+    /// certificate is replaced by a wrong-domain signature).
+    forge_catch_up: bool,
 }
 
 fn push_id(msg: &ConsensusMessage) -> Hash256 {
@@ -149,7 +203,20 @@ impl GossipNode {
             pending: HashMap::new(),
             sweep_armed: false,
             core_wakeups: BTreeSet::new(),
+            peer_rounds: HashMap::new(),
+            catch_up_inflight: None,
+            catch_up_attempts: 0,
+            catch_up_rotation: 0,
+            forge_catch_up: false,
         }
+    }
+
+    /// Test knob: this node answers catch-up requests with forged
+    /// packages — the finalization certificate is swapped for a
+    /// wrong-domain multi-signature. Honest receivers must reject it.
+    pub fn with_forged_catch_up(mut self) -> Self {
+        self.forge_catch_up = true;
+        self
     }
 
     /// The wrapped consensus core.
@@ -160,6 +227,15 @@ impl GossipNode {
     /// Number of outstanding body requests (diagnostics).
     pub fn pending_requests(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The highest round any peer has advertised so far (diagnostics).
+    pub fn highest_peer_round(&self) -> Round {
+        self.peer_rounds
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(Round::GENESIS)
     }
 
     fn neighbors(&self, me: NodeIndex) -> Vec<NodeIndex> {
@@ -279,6 +355,15 @@ impl GossipNode {
         id: Hash256,
         round: Round,
     ) {
+        // Round-tagged adverts double as the behind-detection signal:
+        // remember the highest round each peer claims to hold a block
+        // for, and trigger a catch-up request if the gap to our own
+        // committed round clears the threshold.
+        let best = self.peer_rounds.entry(from).or_insert(round);
+        if round > *best {
+            *best = round;
+        }
+        self.maybe_request_catch_up(ctx);
         // Stale adverts: a block below this node's committed round can
         // no longer gate progress (honest parties only extend notarized
         // blocks at or above it), so it is not worth a request.
@@ -298,6 +383,8 @@ impl GossipNode {
                         round,
                         advertisers: vec![from],
                         next_advertiser: 0,
+                        attempts: 0,
+                        next_retry_at: ctx.now() + self.config.request_timeout,
                     },
                 );
                 self.arm_sweep(ctx);
@@ -329,6 +416,114 @@ impl GossipNode {
         });
         if let Some(p) = proposal {
             ctx.send(from, GossipMessage::Deliver { id, proposal: p });
+        }
+    }
+
+    /// Issues a catch-up request if this node has fallen
+    /// `catch_up_threshold` or more rounds behind the highest round its
+    /// peers advertise and no request is already in flight.
+    ///
+    /// The target peer is chosen from the *ahead* peers (those whose
+    /// advertised round clears the threshold and that the engine
+    /// reports up), most-ahead first, rotated by the retry cursor so a
+    /// silent or forging peer is routed around on the next attempt.
+    fn maybe_request_catch_up(&mut self, ctx: &mut Context<'_, GossipMessage, NodeEvent>) {
+        if self.catch_up_inflight.is_some() {
+            return;
+        }
+        let have = self.core.catch_up_horizon();
+        let bar = have.get() + self.config.catch_up_threshold;
+        let mut ahead: Vec<(Round, NodeIndex)> = self
+            .peer_rounds
+            .iter()
+            .filter(|(p, r)| r.get() >= bar && ctx.peer_up(**p))
+            .map(|(p, r)| (*r, *p))
+            .collect();
+        if ahead.is_empty() {
+            return;
+        }
+        ahead.sort_by(|a, b| b.cmp(a)); // most-ahead first, deterministic
+        let (_, peer) = ahead[self.catch_up_rotation % ahead.len()];
+        ctx.send(peer, GossipMessage::CatchUpRequest { have_round: have });
+        let wait = backoff_after(
+            self.config.request_timeout,
+            self.config.retry_backoff_cap,
+            self.catch_up_attempts,
+        );
+        self.catch_up_attempts = self.catch_up_attempts.saturating_add(1);
+        self.catch_up_inflight = Some((peer, ctx.now(), ctx.now() + wait));
+        ctx.set_timer(wait, TAG_CATCHUP);
+    }
+
+    /// Serves a catch-up request: builds a package from this node's
+    /// latest finalized block (or stays silent if not ahead of the
+    /// requester or the beacon history was purged too deep — the
+    /// requester's timeout rotates it to another peer).
+    fn on_catch_up_request(
+        &mut self,
+        ctx: &mut Context<'_, GossipMessage, NodeEvent>,
+        from: NodeIndex,
+        have_round: Round,
+    ) {
+        let Some(mut pkg) = self.core.build_catch_up_package(have_round) else {
+            return;
+        };
+        if self.forge_catch_up {
+            // A forged finalization: reuse the notarization's aggregate
+            // signature, which signs the wrong domain. Structurally
+            // plausible, cryptographically invalid.
+            pkg.finalization.sig = pkg.notarization.sig.clone();
+        }
+        ctx.send(
+            from,
+            GossipMessage::CatchUpResponse {
+                package: Box::new(pkg),
+            },
+        );
+    }
+
+    /// Verifies and installs a received catch-up package. On success the
+    /// node fast-forwards (and may immediately request another package
+    /// if still behind); on rejection the forging peer is dropped from
+    /// the ahead set and the next peer is tried.
+    fn on_catch_up_response(
+        &mut self,
+        ctx: &mut Context<'_, GossipMessage, NodeEvent>,
+        from: NodeIndex,
+        pkg: CatchUpPackage,
+    ) {
+        let matched = matches!(self.catch_up_inflight, Some((p, _, _)) if p == from);
+        let latency = match self.catch_up_inflight {
+            Some((p, sent, _)) if p == from => {
+                self.catch_up_inflight = None;
+                Some(ctx.now().saturating_since(sent))
+            }
+            _ => None,
+        };
+        match self.core.apply_catch_up(&pkg, ctx.now()) {
+            Ok(step) => {
+                self.catch_up_attempts = 0;
+                let rec = self.core.recovery_stats_mut();
+                rec.catch_up_bytes += pkg.encoded_len() as u64;
+                if let Some(lat) = latency {
+                    rec.catch_up_latency_us += lat.as_micros();
+                }
+                self.apply_step(ctx, step);
+                self.maybe_request_catch_up(ctx);
+            }
+            Err(CatchUpError::Stale) => {
+                // A duplicate or raced response; nothing to count.
+            }
+            Err(_) => {
+                self.core.recovery_stats_mut().catch_up_rejected += 1;
+                if matched {
+                    // Stop trusting this peer's advertised round; the
+                    // rotation moves on to the next candidate.
+                    self.peer_rounds.remove(&from);
+                    self.catch_up_rotation += 1;
+                    self.maybe_request_catch_up(ctx);
+                }
+            }
         }
     }
 }
@@ -370,6 +565,12 @@ impl Node for GossipNode {
                 let inner = ConsensusMessage::Proposal(proposal);
                 self.ingest(ctx, &inner);
             }
+            GossipMessage::CatchUpRequest { have_round } => {
+                self.on_catch_up_request(ctx, from, have_round)
+            }
+            GossipMessage::CatchUpResponse { package } => {
+                self.on_catch_up_response(ctx, from, *package)
+            }
         }
     }
 
@@ -388,22 +589,58 @@ impl Node for GossipNode {
                 self.pending.retain(|id, req| {
                     req.round >= committed && !offered.contains_key(id) && pool.block(id).is_none()
                 });
-                // Re-request every still-missing body from the next
-                // advertiser in round-robin order, lowest round first:
-                // the earliest missing block is the one gating progress.
-                let mut retries: Vec<(Round, Hash256, NodeIndex)> = self
-                    .pending
-                    .iter_mut()
-                    .map(|(id, req)| {
-                        req.next_advertiser = (req.next_advertiser + 1) % req.advertisers.len();
-                        (req.round, *id, req.advertisers[req.next_advertiser])
-                    })
-                    .collect();
+                // Re-request every still-missing body whose per-entry
+                // backoff has elapsed, from the next advertiser that is
+                // up (round-robin, skipping crashed peers), lowest round
+                // first: the earliest missing block is the one gating
+                // progress. Each retry doubles the entry's backoff up to
+                // the configured cap so a body nobody can serve anymore
+                // decays to a trickle instead of a drumbeat.
+                let now = ctx.now();
+                let timeout = self.config.request_timeout;
+                let cap = self.config.retry_backoff_cap;
+                let mut retries: Vec<(Round, Hash256, NodeIndex)> = Vec::new();
+                for (id, req) in self.pending.iter_mut() {
+                    if now < req.next_retry_at {
+                        continue;
+                    }
+                    let n = req.advertisers.len();
+                    let mut chosen = None;
+                    for k in 1..=n {
+                        let idx = (req.next_advertiser + k) % n;
+                        let peer = req.advertisers[idx];
+                        if ctx.peer_up(peer) {
+                            req.next_advertiser = idx;
+                            chosen = Some(peer);
+                            break;
+                        }
+                    }
+                    req.attempts = req.attempts.saturating_add(1);
+                    req.next_retry_at = now + backoff_after(timeout, cap, req.attempts);
+                    if let Some(peer) = chosen {
+                        retries.push((req.round, *id, peer));
+                    }
+                }
                 retries.sort_by_key(|(round, id, _)| (*round, *id));
                 for (_, id, peer) in retries {
                     ctx.send(peer, GossipMessage::Request { id });
                 }
                 self.arm_sweep(ctx);
+            }
+            TAG_CATCHUP => {
+                match self.catch_up_inflight {
+                    // The in-flight request timed out unanswered: rotate
+                    // to the next ahead peer (with a longer backoff).
+                    Some((_, _, deadline)) if ctx.now() >= deadline => {
+                        self.catch_up_inflight = None;
+                        self.catch_up_rotation += 1;
+                        self.maybe_request_catch_up(ctx);
+                    }
+                    // A stale timer from an earlier request; the current
+                    // one has its own timer pending.
+                    Some(_) => {}
+                    None => self.maybe_request_catch_up(ctx),
+                }
             }
             _ => {
                 let fired: Vec<u64> = self
@@ -427,6 +664,30 @@ impl Node for GossipNode {
     ) {
         self.core.on_command(input);
         let _ = ctx;
+    }
+
+    fn on_crash(&mut self) {
+        self.core.crash();
+        // Everything in the gossip layer is volatile: flood dedup,
+        // served bodies, outstanding requests, peer round intelligence.
+        // Only the core's durable store survives.
+        self.seen_pushes.clear();
+        self.seen_pushes_old.clear();
+        self.offered.clear();
+        self.offered_order.clear();
+        self.adverted.clear();
+        self.pending.clear();
+        self.sweep_armed = false;
+        self.core_wakeups.clear();
+        self.peer_rounds.clear();
+        self.catch_up_inflight = None;
+        self.catch_up_attempts = 0;
+        self.catch_up_rotation = 0;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let step = self.core.restore(ctx.now());
+        self.apply_step(ctx, step);
     }
 }
 

@@ -6,6 +6,7 @@
 //! configured delay model / policies.
 
 use crate::delay::{DelayModel, FixedDelay};
+use crate::fault::{FaultPlan, LifecycleEvent};
 use crate::metrics::Metrics;
 use crate::node::{Action, Context, Node, WireMessage};
 use crate::policy::DeliveryPolicy;
@@ -31,6 +32,13 @@ enum EventKind<M, X> {
     External {
         node: NodeIndex,
         input: X,
+    },
+    /// A fault-plan lifecycle transition: `up = false` crashes the node
+    /// (subsequent events addressed to it are dropped), `up = true`
+    /// restarts it (`on_restart` runs).
+    Lifecycle {
+        node: NodeIndex,
+        up: bool,
     },
 }
 
@@ -76,6 +84,7 @@ pub struct SimulationBuilder {
     loss_prob: f64,
     rto: SimDuration,
     max_events: u64,
+    fault_plan: FaultPlan,
 }
 
 impl SimulationBuilder {
@@ -89,6 +98,7 @@ impl SimulationBuilder {
             loss_prob: 0.0,
             rto: SimDuration::from_millis(200),
             max_events: 500_000_000,
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -128,6 +138,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Installs a [`FaultPlan`] of scheduled crashes and restarts.
+    ///
+    /// A node scheduled down at time zero starts dead: its `on_start`
+    /// never runs and everything addressed to it is dropped until (if
+    /// ever) the plan brings it up.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Builds the simulation over the given nodes and runs each node's
     /// `on_start` at time zero.
     pub fn build<N: Node>(self, nodes: Vec<N>) -> Simulation<N> {
@@ -142,18 +162,39 @@ impl SimulationBuilder {
             policies: self.policies,
             loss_prob: self.loss_prob,
             rto: self.rto,
+            alive: vec![true; n],
             metrics: Metrics::new(n),
             outputs: Vec::new(),
             events_processed: 0,
             max_events: self.max_events,
         };
+        // Down events at time zero take effect before `on_start`: the
+        // node begins the execution dead (the degenerate crash fault).
+        // Everything else in the plan becomes a queued lifecycle event.
+        for (at, node, ev) in self.fault_plan.into_events() {
+            if at == SimTime::ZERO && ev == LifecycleEvent::Down {
+                sim.alive[node.as_usize()] = false;
+            } else {
+                sim.push(
+                    at,
+                    EventKind::Lifecycle {
+                        node,
+                        up: ev == LifecycleEvent::Up,
+                    },
+                );
+            }
+        }
         let mut actions = Vec::new();
         for i in 0..n {
+            if !sim.alive[i] {
+                continue;
+            }
             let me = NodeIndex::new(i as u32);
             let mut ctx = Context {
                 me,
                 n,
                 now: sim.now,
+                alive: Some(&sim.alive),
                 actions: &mut actions,
             };
             sim.nodes[i].on_start(&mut ctx);
@@ -174,6 +215,7 @@ pub struct Simulation<N: Node> {
     policies: Vec<Box<dyn DeliveryPolicy>>,
     loss_prob: f64,
     rto: SimDuration,
+    alive: Vec<bool>,
     metrics: Metrics,
     outputs: Vec<OutputRecord<N::Output>>,
     events_processed: u64,
@@ -245,6 +287,26 @@ impl<N: Node> Simulation<N> {
         self.push(at, EventKind::External { node, input });
     }
 
+    /// Whether `node` is currently up (not crashed by the fault plan).
+    pub fn is_alive(&self, node: NodeIndex) -> bool {
+        self.alive.get(node.as_usize()).copied().unwrap_or(false)
+    }
+
+    /// Schedules a crash of `node` at absolute time `at` (clamped to
+    /// now), equivalent to a [`FaultPlan`] entry installed at build
+    /// time.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeIndex) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Lifecycle { node, up: false });
+    }
+
+    /// Schedules a restart of `node` at absolute time `at` (clamped to
+    /// now).
+    pub fn schedule_restart(&mut self, at: SimTime, node: NodeIndex) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Lifecycle { node, up: true });
+    }
+
     /// Processes the single next event. Returns its time, or `None` if
     /// the queue is empty.
     ///
@@ -271,6 +333,14 @@ impl<N: Node> Simulation<N> {
                 msg,
                 on_wire,
             } => {
+                // A crashed process loses traffic addressed to it: the
+                // message is neither metered nor handled. (Unlike the
+                // partition policies, which only *delay*, a crash really
+                // drops — the node must recover the information through
+                // a catch-up protocol after restarting.)
+                if !self.alive[to.as_usize()] {
+                    return Some(self.now);
+                }
                 if on_wire {
                     self.metrics
                         .node_mut(to.as_usize())
@@ -280,30 +350,60 @@ impl<N: Node> Simulation<N> {
                     me: to,
                     n: self.nodes.len(),
                     now: self.now,
+                    alive: Some(&self.alive),
                     actions: &mut actions,
                 };
                 self.nodes[to.as_usize()].on_message(&mut ctx, from, msg);
                 self.apply_actions(to, &mut actions);
             }
             EventKind::Timer { node, tag } => {
+                // Timers die with the process that set them.
+                if !self.alive[node.as_usize()] {
+                    return Some(self.now);
+                }
                 let mut ctx = Context {
                     me: node,
                     n: self.nodes.len(),
                     now: self.now,
+                    alive: Some(&self.alive),
                     actions: &mut actions,
                 };
                 self.nodes[node.as_usize()].on_timer(&mut ctx, tag);
                 self.apply_actions(node, &mut actions);
             }
             EventKind::External { node, input } => {
+                if !self.alive[node.as_usize()] {
+                    return Some(self.now);
+                }
                 let mut ctx = Context {
                     me: node,
                     n: self.nodes.len(),
                     now: self.now,
+                    alive: Some(&self.alive),
                     actions: &mut actions,
                 };
                 self.nodes[node.as_usize()].on_external(&mut ctx, input);
                 self.apply_actions(node, &mut actions);
+            }
+            EventKind::Lifecycle { node, up } => {
+                let i = node.as_usize();
+                if up {
+                    if !self.alive[i] {
+                        self.alive[i] = true;
+                        let mut ctx = Context {
+                            me: node,
+                            n: self.nodes.len(),
+                            now: self.now,
+                            alive: Some(&self.alive),
+                            actions: &mut actions,
+                        };
+                        self.nodes[i].on_restart(&mut ctx);
+                        self.apply_actions(node, &mut actions);
+                    }
+                } else if self.alive[i] {
+                    self.alive[i] = false;
+                    self.nodes[i].on_crash();
+                }
             }
         }
         Some(self.now)
@@ -656,6 +756,87 @@ mod tests {
             .max_events(1000)
             .build(vec![PingPong, PingPong]);
         sim.run_until_idle();
+    }
+
+    #[test]
+    fn fault_plan_drops_traffic_while_down_and_restarts() {
+        use crate::fault::FaultPlan;
+
+        /// Counts deliveries; outputs a marker on restart.
+        struct Probe {
+            got: u32,
+        }
+        impl Node for Probe {
+            type Msg = u32;
+            type External = ();
+            type Output = &'static str;
+            fn on_message(
+                &mut self,
+                ctx: &mut Context<'_, u32, &'static str>,
+                _: NodeIndex,
+                _: u32,
+            ) {
+                self.got += 1;
+                ctx.output("msg");
+            }
+            fn on_external(&mut self, ctx: &mut Context<'_, u32, &'static str>, _: ()) {
+                ctx.broadcast(7);
+            }
+            fn on_crash(&mut self) {
+                self.got = 0; // volatile state is lost
+            }
+            fn on_restart(&mut self, ctx: &mut Context<'_, u32, &'static str>) {
+                ctx.output("restarted");
+            }
+        }
+
+        let ms = SimDuration::from_millis;
+        let plan = FaultPlan::new().crash_between(
+            NodeIndex::new(1),
+            SimTime::ZERO + ms(50),
+            SimTime::ZERO + ms(150),
+        );
+        let mut sim = SimulationBuilder::new(1)
+            .delay(FixedDelay::new(ms(10)))
+            .fault_plan(plan)
+            .build(vec![Probe { got: 0 }, Probe { got: 0 }]);
+        // While node 1 is down, node 0's broadcast at t=100 must not reach it.
+        sim.schedule_external(SimTime::ZERO + ms(100), NodeIndex::new(0), ());
+        // Messages sent to node 1 while down are dropped, not queued.
+        assert!(sim.is_alive(NodeIndex::new(1)));
+        sim.run_until(SimTime::ZERO + ms(120));
+        assert!(!sim.is_alive(NodeIndex::new(1)));
+        assert_eq!(sim.node(1).got, 0);
+        assert_eq!(sim.metrics().per_node()[1].recv_messages, 0);
+        sim.run_until(SimTime::ZERO + ms(200));
+        assert!(sim.is_alive(NodeIndex::new(1)));
+        let restarted: Vec<_> = sim
+            .outputs()
+            .iter()
+            .filter(|o| o.output == "restarted")
+            .collect();
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted[0].node, NodeIndex::new(1));
+        assert_eq!(restarted[0].at, SimTime::ZERO + ms(150));
+        // A broadcast after the restart is delivered again.
+        sim.schedule_external(SimTime::ZERO + ms(210), NodeIndex::new(0), ());
+        sim.run_until(SimTime::ZERO + ms(300));
+        assert_eq!(sim.node(1).got, 1);
+    }
+
+    #[test]
+    fn down_at_zero_skips_on_start() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new().crash_at(NodeIndex::new(0), SimTime::ZERO);
+        let mut sim = SimulationBuilder::new(1)
+            .delay(FixedDelay::new(SimDuration::from_millis(10)))
+            .fault_plan(plan)
+            .build((0..3).map(|_| Echo { replied: false }).collect());
+        assert!(!sim.is_alive(NodeIndex::new(0)));
+        sim.run_until_idle();
+        // Node 0 (the broadcaster) never started: nothing was sent at all.
+        assert_eq!(sim.outputs().len(), 0);
+        assert_eq!(sim.metrics().total_bytes(), 0);
     }
 
     #[test]

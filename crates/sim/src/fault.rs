@@ -1,0 +1,143 @@
+//! Fault plans: scheduled crash and restart of nodes.
+//!
+//! The paper's fault model distinguishes Byzantine parties from parties
+//! that have "simply crashed" (§1). A [`FaultPlan`] schedules the latter
+//! as *lifecycle events*: a node goes **down** at time `t` (it stops
+//! receiving messages, timers, and external inputs — in-flight traffic
+//! addressed to it is dropped by the engine) and may come back **up** at
+//! `t' > t`, at which point the engine calls
+//! [`Node::on_restart`](crate::Node::on_restart) so the node can restore
+//! durable state and rejoin.
+//!
+//! A plan that takes a node down at time zero and never brings it back is
+//! exactly the legacy "crashed forever" fault: crash-without-restart is
+//! the degenerate fault plan. Because lifecycle is orthogonal to the
+//! node's *logic*, fault plans compose with Byzantine behaviors — a node
+//! can equivocate while up and still be churned down and up by the plan.
+
+use icc_types::{NodeIndex, SimDuration, SimTime};
+
+/// Direction of a lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// The node crashes: handlers stop running, inbound traffic is lost.
+    Down,
+    /// The node restarts: `on_restart` runs, then handlers resume.
+    Up,
+}
+
+/// A deterministic schedule of node crashes and restarts.
+///
+/// Build one with the combinators below and install it via
+/// [`SimulationBuilder::fault_plan`](crate::SimulationBuilder::fault_plan).
+/// Events at the same instant are applied in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, NodeIndex, LifecycleEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no scheduled faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Crashes `node` at `at`. Without a matching [`restart_at`] this is
+    /// the degenerate crash-forever fault.
+    ///
+    /// [`restart_at`]: FaultPlan::restart_at
+    pub fn crash_at(mut self, node: NodeIndex, at: SimTime) -> Self {
+        self.events.push((at, node, LifecycleEvent::Down));
+        self
+    }
+
+    /// Restarts `node` at `at`.
+    pub fn restart_at(mut self, node: NodeIndex, at: SimTime) -> Self {
+        self.events.push((at, node, LifecycleEvent::Up));
+        self
+    }
+
+    /// Crashes `node` at `down` and restarts it at `up`.
+    pub fn crash_between(self, node: NodeIndex, down: SimTime, up: SimTime) -> Self {
+        assert!(down < up, "crash_between requires down < up");
+        self.crash_at(node, down).restart_at(node, up)
+    }
+
+    /// Repeated churn: starting at `first_down`, `node` goes down for
+    /// `down_for`, then stays up until the next period boundary; the
+    /// cycle repeats `cycles` times with period `period`.
+    pub fn churn(
+        mut self,
+        node: NodeIndex,
+        first_down: SimTime,
+        down_for: SimDuration,
+        period: SimDuration,
+        cycles: usize,
+    ) -> Self {
+        assert!(
+            down_for < period,
+            "churn requires down_for < period so the node is up between outages"
+        );
+        let mut t = first_down;
+        for _ in 0..cycles {
+            self = self.crash_between(node, t, t + down_for);
+            t += period;
+        }
+        self
+    }
+
+    /// True if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, stably sorted by time (insertion order
+    /// breaks ties).
+    pub(crate) fn into_events(mut self) -> Vec<(SimTime, NodeIndex, LifecycleEvent)> {
+        self.events.sort_by_key(|(at, _, _)| *at);
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn churn_expands_to_alternating_events() {
+        let plan = FaultPlan::new().churn(
+            NodeIndex::new(2),
+            at(100),
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(200),
+            3,
+        );
+        let ev = plan.into_events();
+        assert_eq!(ev.len(), 6);
+        assert_eq!(ev[0], (at(100), NodeIndex::new(2), LifecycleEvent::Down));
+        assert_eq!(ev[1], (at(150), NodeIndex::new(2), LifecycleEvent::Up));
+        assert_eq!(ev[4], (at(500), NodeIndex::new(2), LifecycleEvent::Down));
+        assert_eq!(ev[5], (at(550), NodeIndex::new(2), LifecycleEvent::Up));
+    }
+
+    #[test]
+    fn events_sort_by_time() {
+        let plan = FaultPlan::new()
+            .crash_at(NodeIndex::new(1), at(300))
+            .crash_between(NodeIndex::new(0), at(10), at(20));
+        let ev = plan.into_events();
+        assert_eq!(ev[0].0, at(10));
+        assert_eq!(ev[1].0, at(20));
+        assert_eq!(ev[2].0, at(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "down < up")]
+    fn crash_between_validates_order() {
+        let _ = FaultPlan::new().crash_between(NodeIndex::new(0), at(20), at(10));
+    }
+}

@@ -22,6 +22,9 @@
 //!   model matching the paper's reported RTTs (6–110 ms);
 //! * [`policy`] — delivery policies layered on the delay model:
 //!   partitions, asynchronous windows, targeted delays;
+//! * [`fault`] — fault plans: scheduled crashes and restarts driven
+//!   through the engine as lifecycle events (messages to a down node are
+//!   *dropped*, unlike the delay-only policies);
 //! * [`metrics`] — per-node message/byte counters.
 //!
 //! # Example
@@ -59,11 +62,13 @@
 
 pub mod delay;
 pub mod engine;
+pub mod fault;
 pub mod live;
 pub mod metrics;
 pub mod node;
 pub mod policy;
 
 pub use engine::{Simulation, SimulationBuilder};
-pub use metrics::{Metrics, MetricsSummary, NodeMetrics, PoolCounters};
+pub use fault::{FaultPlan, LifecycleEvent};
+pub use metrics::{Metrics, MetricsSummary, NodeMetrics, PoolCounters, RecoveryCounters};
 pub use node::{Context, Node, WireMessage};

@@ -102,6 +102,7 @@ where
                     me,
                     n,
                     now: now_sim(start),
+                    alive: None,
                     actions: &mut actions,
                 };
                 node.on_start(&mut ctx);
@@ -145,6 +146,7 @@ where
                             me,
                             n,
                             now: now_sim(start),
+                            alive: None,
                             actions: &mut actions,
                         };
                         node.on_timer(&mut ctx, tag);
@@ -162,6 +164,7 @@ where
                             me,
                             n,
                             now: now_sim(start),
+                            alive: None,
                             actions: &mut actions,
                         };
                         node.on_message(&mut ctx, from, msg);
@@ -171,6 +174,7 @@ where
                             me,
                             n,
                             now: now_sim(start),
+                            alive: None,
                             actions: &mut actions,
                         };
                         node.on_external(&mut ctx, input);

@@ -54,6 +54,64 @@ impl fmt::Display for PoolCounters {
     }
 }
 
+/// A snapshot of one node's crash-recovery counters, sampled from the
+/// consensus layer (like [`PoolCounters`], the harness converts and
+/// pushes plain numbers here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Times this node restarted after a crash.
+    pub restarts: u64,
+    /// Sum over restarts of how many rounds behind the node found
+    /// itself (certified-package round − locally restored round).
+    pub rounds_behind_total: u64,
+    /// Certified catch-up packages verified and applied.
+    pub catch_up_applied: u64,
+    /// Catch-up packages rejected (forged certificate, broken beacon
+    /// chain, or structurally inconsistent).
+    pub catch_up_rejected: u64,
+    /// Wire bytes of catch-up responses received (applied or not).
+    pub catch_up_bytes: u64,
+    /// Microseconds from first catch-up request to a package being
+    /// applied, summed over catch-ups.
+    pub catch_up_latency_us: u64,
+    /// Entries appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Checkpoints taken (WAL compactions).
+    pub checkpoints: u64,
+}
+
+impl RecoveryCounters {
+    /// Adds `other`'s counters into `self` (for aggregate summaries).
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.restarts += other.restarts;
+        self.rounds_behind_total += other.rounds_behind_total;
+        self.catch_up_applied += other.catch_up_applied;
+        self.catch_up_rejected += other.catch_up_rejected;
+        self.catch_up_bytes += other.catch_up_bytes;
+        self.catch_up_latency_us += other.catch_up_latency_us;
+        self.wal_appends += other.wal_appends;
+        self.checkpoints += other.checkpoints;
+    }
+}
+
+impl fmt::Display for RecoveryCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} restarts ({} rounds behind), {} catch-ups applied, {} rejected, \
+             {} catch-up bytes, {:.1} ms catch-up latency, {} WAL appends, {} checkpoints",
+            self.restarts,
+            self.rounds_behind_total,
+            self.catch_up_applied,
+            self.catch_up_rejected,
+            self.catch_up_bytes,
+            self.catch_up_latency_us as f64 / 1000.0,
+            self.wal_appends,
+            self.checkpoints
+        )
+    }
+}
+
 /// Counters for one node.
 #[derive(Debug, Clone, Default)]
 pub struct NodeMetrics {
@@ -70,6 +128,8 @@ pub struct NodeMetrics {
     pub sent_by_kind: BTreeMap<&'static str, (u64, u64)>,
     /// Latest artifact-pool counter snapshot for this node.
     pub pool: PoolCounters,
+    /// Latest crash-recovery counter snapshot for this node.
+    pub recovery: RecoveryCounters,
 }
 
 impl NodeMetrics {
@@ -160,6 +220,22 @@ impl Metrics {
         total
     }
 
+    /// Stores `node`'s latest crash-recovery counter snapshot.
+    pub fn set_recovery_counters(&mut self, node: usize, counters: RecoveryCounters) {
+        if let Some(m) = self.nodes.get_mut(node) {
+            m.recovery = counters;
+        }
+    }
+
+    /// Aggregate recovery counters over all nodes.
+    pub fn recovery_totals(&self) -> RecoveryCounters {
+        let mut total = RecoveryCounters::default();
+        for m in &self.nodes {
+            total.merge(&m.recovery);
+        }
+        total
+    }
+
     /// One-struct aggregate of everything an experiment usually prints.
     pub fn summary(&self) -> MetricsSummary {
         MetricsSummary {
@@ -169,6 +245,7 @@ impl Metrics {
             max_node_bytes: self.max_node_bytes(),
             mean_node_bytes: self.mean_node_bytes(),
             pool: self.pool_totals(),
+            recovery: self.recovery_totals(),
         }
     }
 }
@@ -188,6 +265,8 @@ pub struct MetricsSummary {
     pub mean_node_bytes: f64,
     /// Pool counters summed over all nodes.
     pub pool: PoolCounters,
+    /// Recovery counters summed over all nodes.
+    pub recovery: RecoveryCounters,
 }
 
 impl fmt::Display for MetricsSummary {
@@ -201,7 +280,8 @@ impl fmt::Display for MetricsSummary {
             self.max_node_bytes,
             self.mean_node_bytes
         )?;
-        write!(f, "pool: {}", self.pool)
+        writeln!(f, "pool: {}", self.pool)?;
+        write!(f, "recovery: {}", self.recovery)
     }
 }
 

@@ -83,6 +83,21 @@ pub trait Node {
     ) {
         let _ = (ctx, input);
     }
+
+    /// Called when a [`FaultPlan`](crate::FaultPlan) takes this node
+    /// down. No [`Context`] is provided — a crashing process cannot
+    /// send, schedule, or emit. Implementations should drop volatile
+    /// state here; anything meant to survive must already live in a
+    /// durable store the node keeps across the crash.
+    fn on_crash(&mut self) {}
+
+    /// Called when a [`FaultPlan`](crate::FaultPlan) brings this node
+    /// back up. The node restores whatever durable state it kept and may
+    /// immediately act (re-arm timers, announce itself). Pending timers
+    /// from before the crash were discarded by the engine.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
 }
 
 /// An action queued by a node during one handler invocation; drained by
@@ -102,6 +117,9 @@ pub struct Context<'a, M, O> {
     pub(crate) me: NodeIndex,
     pub(crate) n: usize,
     pub(crate) now: SimTime,
+    /// Liveness view over all nodes, when the transport tracks one
+    /// (the discrete-event engine does; the live transport does not).
+    pub(crate) alive: Option<&'a [bool]>,
     pub(crate) actions: &'a mut Vec<Action<M, O>>,
 }
 
@@ -114,6 +132,18 @@ impl<M, O> Context<'_, M, O> {
     /// Number of nodes in the simulation.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Whether `peer` is currently up, as far as the transport knows.
+    ///
+    /// Models the failure detection a TCP-based deployment gets for free
+    /// (a connection to a crashed peer resets). Transports without
+    /// liveness tracking report every peer as up, so protocols must
+    /// treat this as an *optimization hint* — correctness may not depend
+    /// on it.
+    pub fn peer_up(&self, peer: NodeIndex) -> bool {
+        self.alive
+            .is_none_or(|a| a.get(peer.as_usize()).copied().unwrap_or(true))
     }
 
     /// The current simulated time — the protocol's `clock()`.

@@ -19,6 +19,9 @@
 //! * `--seed <u64>`           RNG seed (default 0)
 //! * `--crash <f>`            crash the first f nodes
 //! * `--equivocate <f>`       make the next f nodes equivocate
+//! * `--churn <f>`            crash + restart the *last* f nodes mid-run,
+//!   one at a time (icc0/icc1; exercises checkpoint/WAL restore and, under
+//!   icc1, the certified catch-up protocol)
 //! * `--load <rate>x<bytes>`  client commands per second × size
 //! * `--interdc`              inter-datacenter delay model instead of fixed
 
@@ -28,8 +31,8 @@ use icc_core::Behavior;
 use icc_erasure::{icc2_cluster, Icc2Config};
 use icc_gossip::{gossip_cluster, GossipConfig, Overlay};
 use icc_sim::delay::{FixedDelay, InterDcDelay};
-use icc_sim::Node;
-use icc_types::{Command, SimDuration, SimTime};
+use icc_sim::{FaultPlan, Node};
+use icc_types::{Command, NodeIndex, SimDuration, SimTime};
 
 #[derive(Debug)]
 struct Opts {
@@ -42,6 +45,7 @@ struct Opts {
     seed: u64,
     crash: usize,
     equivocate: usize,
+    churn: usize,
     load: Option<(usize, usize)>,
     interdc: bool,
 }
@@ -51,7 +55,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: scenario [--nodes N] [--protocol icc0|icc1|icc2] [--delta-ms MS]\n\
          \t[--delta-bnd-ms MS] [--epsilon-ms MS] [--secs S] [--seed U64]\n\
-         \t[--crash F] [--equivocate F] [--load RATExBYTES] [--interdc]"
+         \t[--crash F] [--equivocate F] [--churn F] [--load RATExBYTES] [--interdc]"
     );
     std::process::exit(2);
 }
@@ -67,6 +71,7 @@ fn parse() -> Opts {
         seed: 0,
         crash: 0,
         equivocate: 0,
+        churn: 0,
         load: None,
         interdc: false,
     };
@@ -122,6 +127,11 @@ fn parse() -> Opts {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --equivocate"))
             }
+            "--churn" => {
+                opts.churn = val("--churn")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --churn"))
+            }
             "--load" => {
                 let v = val("--load");
                 let (rate, size) = v
@@ -146,14 +156,42 @@ fn parse() -> Opts {
         usage("--protocol icc1 needs at least 3 nodes for a gossip overlay");
     }
     let t = opts.nodes.div_ceil(3) - 1;
-    if opts.crash + opts.equivocate > t {
+    // Churned nodes go down one at a time, so they cost the fault
+    // budget at most one node beyond the permanently corrupt ones.
+    let concurrent = opts.crash + opts.equivocate + usize::from(opts.churn > 0);
+    if concurrent > t {
         usage(&format!(
-            "{} corrupt of n={} exceeds the fault bound t={t}",
-            opts.crash + opts.equivocate,
+            "{concurrent} concurrently faulty of n={} exceeds the fault bound t={t}",
             opts.nodes
         ));
     }
+    if opts.crash + opts.equivocate + opts.churn > opts.nodes {
+        usage("--crash + --equivocate + --churn exceeds --nodes");
+    }
+    if opts.churn > 0 && opts.protocol == "icc2" {
+        usage("--churn needs a recovery path; the icc2 erasure layer has none yet");
+    }
+    if opts.churn > 0 && opts.secs < 5 {
+        usage("--churn needs --secs of at least 5 (warmup + staggered outages + heal)");
+    }
     opts
+}
+
+/// One-at-a-time outages for the last `churn` nodes, packed into
+/// `[1 s, secs − 2 s)` so the run ends with everyone healed.
+fn churn_plan(opts: &Opts) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    if opts.churn == 0 {
+        return plan;
+    }
+    let span_ms = opts.secs * 1000 - 3000;
+    let slot = span_ms / opts.churn as u64;
+    for i in 0..opts.churn {
+        let node = NodeIndex::new((opts.nodes - 1 - i) as u32);
+        let down = SimTime::ZERO + SimDuration::from_millis(1000 + slot * i as u64);
+        plan = plan.crash_between(node, down, down + SimDuration::from_millis(slot * 3 / 5));
+    }
+    plan
 }
 
 fn report<N>(mut cluster: Cluster<N>, opts: &Opts)
@@ -212,13 +250,27 @@ where
         "bottleneck egress       {:.3} Mb/s",
         m.max_node_bytes() as f64 * 8.0 / 1e6 / opts.secs as f64
     );
-    let pool = cluster.metrics_summary().pool;
+    let summary = cluster.metrics_summary();
+    let pool = summary.pool;
     println!("pool verifications      {}", pool.verify_calls);
     println!("pool cache hits         {}", pool.verify_cache_hits);
     println!("pool duplicates dropped {}", pool.duplicates_dropped);
     println!("pool evictions          {}", pool.unvalidated_evictions);
     println!("pool rejected           {}", pool.rejected);
-    println!("safety                  OK (all honest chains prefix-consistent)");
+    let rec = summary.recovery;
+    println!("restarts                {}", rec.restarts);
+    println!(
+        "catch-ups applied       {} ({} rejected, {:.1} KiB)",
+        rec.catch_up_applied,
+        rec.catch_up_rejected,
+        rec.catch_up_bytes as f64 / 1024.0
+    );
+    println!("rounds state-synced     {}", rec.rounds_behind_total);
+    println!(
+        "durable state           {} WAL appends, {} checkpoints",
+        rec.wal_appends, rec.checkpoints
+    );
+    println!("safety                  OK (all honest chains agree on every round)");
 }
 
 fn main() {
@@ -235,6 +287,9 @@ fn main() {
         .seed(opts.seed)
         .protocol_delays(delta_bnd, SimDuration::from_millis(opts.epsilon_ms))
         .behaviors(behaviors);
+    if opts.churn > 0 {
+        builder = builder.fault_plan(churn_plan(&opts)).checkpoint_interval(8);
+    }
     builder = if opts.interdc {
         builder.network(InterDcDelay::internet_like(opts.nodes, opts.seed))
     } else {
@@ -248,10 +303,18 @@ fn main() {
         "icc1" => {
             let overlay =
                 Overlay::random_regular(opts.nodes, 6.min(opts.nodes - 1).max(2), opts.seed);
-            report(
-                gossip_cluster(builder, overlay, GossipConfig::default()),
-                &opts,
-            )
+            // Under churn, force every proposal through advert/request:
+            // the round-tagged adverts are what a restarted node's
+            // behind-detector (and hence the catch-up protocol) runs on.
+            let config = if opts.churn > 0 {
+                GossipConfig {
+                    inline_threshold: 0,
+                    ..GossipConfig::default()
+                }
+            } else {
+                GossipConfig::default()
+            };
+            report(gossip_cluster(builder, overlay, config), &opts)
         }
         "icc2" => report(icc2_cluster(builder, Icc2Config::default()), &opts),
         _ => unreachable!("validated in parse()"),

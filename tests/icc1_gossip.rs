@@ -124,6 +124,7 @@ fn request_retry_survives_timeouts_shorter_than_the_network() {
             inline_threshold: 4 << 10,
             request_timeout: ms(50),
             offered_capacity: 4,
+            ..GossipConfig::default()
         },
     );
     cluster.inject_commands(SimTime::ZERO, ms(2000), 10, 65536);
