@@ -1,0 +1,237 @@
+//! **Hot-path micro-benchmark** — A/B measurements of the three
+//! overhaul layers, written to `BENCH_hotpath.json`:
+//!
+//! 1. `digest_cache` — per-share verification of a 40-node
+//!    notarization-share flood with the `(scheme, block)` digest
+//!    computed once (`verify_share_digest`) vs re-hashed on every call
+//!    (`verify_share`);
+//! 2. `batch_verify` — one random-linear-combination equation over the
+//!    whole flood (`verify_batch_digest`) vs per-share checks on the
+//!    same precomputed digest;
+//! 3. `combined` — the acceptance metric: batching *and* digest cache
+//!    on (one hash + one RLC equation) vs both off (k hashes + 2k
+//!    multiplications), which is exactly what the pool's ChangeSet step
+//!    does before/after the overhaul;
+//! 4. `arc_fanout` — fanning a large block proposal out to the 39 other
+//!    parties by `HashedBlock` clone (an `Arc` refcount bump) vs a deep
+//!    copy of the block body (what a by-value fan-out would pay).
+//!
+//! Hand-rolled harness (`harness = false`): `--smoke` shrinks the
+//! iteration counts for CI while still emitting the JSON report.
+//!
+//! ```text
+//! cargo bench -p icc-bench --bench hotpath             # full
+//! cargo bench -p icc-bench --bench hotpath -- --smoke  # CI smoke
+//! ```
+
+use icc_crypto::batch::BatchVerdict;
+use icc_crypto::multisig::{MultiSigScheme, MultiSigShare};
+use icc_types::block::{Block, Command, Payload};
+use icc_types::{NodeIndex, Round};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One A/B cell: median ns/iter for baseline and optimised paths.
+struct AbResult {
+    name: &'static str,
+    what: &'static str,
+    baseline_ns: f64,
+    optimised_ns: f64,
+}
+
+impl AbResult {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.optimised_ns.max(1e-9)
+    }
+}
+
+/// Median ns per iteration over `reps` timed blocks of `iters` calls.
+fn time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // `cargo bench` passes `--bench`; ignore it and any filters.
+    let (reps, iters) = if smoke { (5, 50) } else { (15, 500) };
+
+    // A 40-node subnet's notarization-share flood: h = n - t shares
+    // over one block reference, the per-round verification hot spot.
+    let n = 40usize;
+    let t = n.div_ceil(3) - 1;
+    let h = n - t;
+    let mut rng = StdRng::seed_from_u64(7);
+    let (scheme, keys) = MultiSigScheme::generate("icc-notary", h, n, &mut rng);
+    let msg = b"a 44-byte block reference to sign and check."; // round ∥ proposer ∥ H(B)
+    let shares: Vec<MultiSigShare> = (0..h)
+        .map(|i| scheme.sign_share(&keys[i], i as u32, msg))
+        .collect();
+
+    let mut results: Vec<AbResult> = Vec::new();
+
+    // 1. Digest cache: k shares, one hash vs k hashes (all per-share).
+    let digest = scheme.digest(msg);
+    let baseline = time_ns(reps, iters, || {
+        for s in &shares {
+            assert!(black_box(scheme.verify_share(black_box(msg), s)));
+        }
+    });
+    let optimised = time_ns(reps, iters, || {
+        let d = scheme.digest(black_box(msg)); // once per flood
+        for s in &shares {
+            assert!(black_box(scheme.verify_share_digest(d, s)));
+        }
+    });
+    results.push(AbResult {
+        name: "digest_cache",
+        what: "40-node share flood, per-share checks: digest once vs hash per call",
+        baseline_ns: baseline,
+        optimised_ns: optimised,
+    });
+
+    // 2. Batch verification: one RLC equation vs k per-share checks,
+    // digest precomputed on both sides.
+    let baseline = time_ns(reps, iters, || {
+        for s in &shares {
+            assert!(black_box(scheme.verify_share_digest(black_box(digest), s)));
+        }
+    });
+    let optimised = time_ns(reps, iters, || {
+        assert!(matches!(
+            black_box(scheme.verify_batch_digest(black_box(digest), &shares)),
+            BatchVerdict::AllValid
+        ));
+    });
+    results.push(AbResult {
+        name: "batch_verify",
+        what: "40-node share flood: one RLC equation vs per-share, digest cached",
+        baseline_ns: baseline,
+        optimised_ns: optimised,
+    });
+
+    // 3. Combined (the acceptance metric): everything off vs everything
+    // on — what the ChangeSet step pays per (scheme, block) flood.
+    let baseline = time_ns(reps, iters, || {
+        for s in &shares {
+            assert!(black_box(scheme.verify_share(black_box(msg), s)));
+        }
+    });
+    let optimised = time_ns(reps, iters, || {
+        let d = scheme.digest(black_box(msg));
+        assert!(matches!(
+            black_box(scheme.verify_batch_digest(d, &shares)),
+            BatchVerdict::AllValid
+        ));
+    });
+    results.push(AbResult {
+        name: "combined",
+        what: "40-node share flood: batching + digest cache on vs off",
+        baseline_ns: baseline,
+        optimised_ns: optimised,
+    });
+
+    // 4. Fan-out: a 1000 × 1 KB block to 39 recipients. `HashedBlock`
+    // clones bump one refcount; the baseline deep-copies the body.
+    let commands: Vec<Command> = (0..1000)
+        .map(|i| Command::new(vec![(i % 251) as u8; 1024]))
+        .collect();
+    let block = Block::new(
+        Round::new(3),
+        NodeIndex::new(1),
+        icc_crypto::Hash256::ZERO,
+        Payload::from_commands(commands),
+    );
+    let hashed = block.clone().into_hashed();
+    let fan = n - 1;
+    let baseline = time_ns(reps, iters.min(100), || {
+        // Deep copy per recipient: fresh command buffers each time.
+        for _ in 0..fan {
+            let copy = Block::new(
+                block.round(),
+                block.proposer(),
+                block.parent(),
+                Payload::from_commands(
+                    block
+                        .payload()
+                        .commands()
+                        .iter()
+                        .map(|c| Command::new(c.bytes().to_vec()))
+                        .collect::<Vec<_>>(),
+                ),
+            );
+            black_box(&copy);
+        }
+    });
+    let optimised = time_ns(reps, iters.min(100), || {
+        for _ in 0..fan {
+            black_box(hashed.clone());
+        }
+    });
+    results.push(AbResult {
+        name: "arc_fanout",
+        what: "1 MB proposal to 39 recipients: Arc clone vs deep copy",
+        baseline_ns: baseline,
+        optimised_ns: optimised,
+    });
+
+    // Report: aligned table + BENCH_hotpath.json.
+    println!(
+        "== hotpath micro-benchmark ({}) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    for r in &results {
+        println!(
+            "{:>14}: {:>12.0} ns -> {:>12.0} ns  ({:>6.2}x)  {}",
+            r.name,
+            r.baseline_ns,
+            r.optimised_ns,
+            r.speedup(),
+            r.what
+        );
+    }
+    let combined = results
+        .iter()
+        .find(|r| r.name == "combined")
+        .expect("combined cell present");
+    println!(
+        "acceptance: combined speedup {:.2}x (target >= 2.0x)",
+        combined.speedup()
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"n\": {n},\n  \"flood_shares\": {h},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.1}, \"optimised_ns\": {:.1}, \"speedup\": {:.3}, \"what\": \"{}\"}}{}\n",
+            r.name,
+            r.baseline_ns,
+            r.optimised_ns,
+            r.speedup(),
+            r.what,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // `cargo bench` sets CWD to the package root; anchor the output at the
+    // workspace root where CI picks it up as an artifact.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json");
+    std::fs::write(&out, &json).expect("write BENCH_hotpath.json");
+    eprintln!("wrote {}", out.display());
+}

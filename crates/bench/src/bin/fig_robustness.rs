@@ -16,7 +16,7 @@
 //! produce blocks that carry nothing — the degradation the paper
 //! explicitly accepts).
 
-use icc_bench::{fmt_f, print_table};
+use icc_bench::{fmt_f, print_table, run_trials};
 use icc_core::cluster::ClusterBuilder;
 use icc_core::Behavior;
 use icc_sim::delay::FixedDelay;
@@ -68,25 +68,31 @@ fn run(n: usize, f: usize, behavior: Behavior, secs: u64) -> Outcome {
 fn main() {
     let n = 13;
     let t = 4;
-    let mut rows = Vec::new();
-    for f in 0..=t {
-        for behavior in [
-            Behavior::Crash,
-            Behavior::Equivocate,
-            Behavior::EmptyProposals,
-        ] {
-            let o = run(n, f, behavior, 20);
-            rows.push(vec![
-                format!("{f}"),
-                format!("{behavior:?}"),
-                fmt_f(o.blocks_per_sec, 1),
-                fmt_f(o.mean_round_ms, 1),
-                fmt_f(o.cmds_per_sec, 1),
-                fmt_f(o.cmd_latency_ms, 1),
-            ]);
-        }
-        eprintln!("done f={f}");
-    }
+    // One seeded, self-contained cell per (f, behavior): `run_trials`
+    // fans the sweep across cores, merged back in sweep order.
+    let cells: Vec<(usize, Behavior)> = (0..=t)
+        .flat_map(|f| {
+            [
+                Behavior::Crash,
+                Behavior::Equivocate,
+                Behavior::EmptyProposals,
+            ]
+            .into_iter()
+            .map(move |b| (f, b))
+        })
+        .collect();
+    let rows = run_trials(&cells, |_, &(f, behavior)| {
+        let o = run(n, f, behavior, 20);
+        eprintln!("done f={f} behavior={behavior:?}");
+        vec![
+            format!("{f}"),
+            format!("{behavior:?}"),
+            fmt_f(o.blocks_per_sec, 1),
+            fmt_f(o.mean_round_ms, 1),
+            fmt_f(o.cmds_per_sec, 1),
+            fmt_f(o.cmd_latency_ms, 1),
+        ]
+    });
     print_table(
         "E6: robustness under Byzantine behavior (n=13, delta=10ms, delta_bnd=100ms, 50 cmds/s offered)",
         &[

@@ -8,14 +8,16 @@
 //! per-node traffic linear in n (everyone broadcasts shares to
 //! everyone); latency flat at 3δ.
 
-use icc_bench::{fmt_f, measure_window, print_table};
+use icc_bench::{fmt_f, measure_window, print_table, run_trials};
 use icc_core::cluster::ClusterBuilder;
 use icc_sim::delay::FixedDelay;
 use icc_types::SimDuration;
 
 fn main() {
-    let mut rows = Vec::new();
-    for &n in &[4usize, 7, 13, 19, 28, 40, 64] {
+    // Each subnet size is an independent seeded cell: `run_trials` fans
+    // them across cores with output identical to the serial loop.
+    let sizes = [4usize, 7, 13, 19, 28, 40, 64];
+    let rows = run_trials(&sizes, |_, &n| {
         let mut cluster = ClusterBuilder::new(n)
             .seed(13)
             .network(FixedDelay::new(SimDuration::from_millis(20)))
@@ -27,16 +29,16 @@ fn main() {
             SimDuration::from_secs(5),
         );
         cluster.assert_safety();
-        rows.push(vec![
+        eprintln!("done n={n}");
+        vec![
             format!("{n}"),
             fmt_f(m.blocks_per_sec, 1),
             fmt_f(m.mbit_per_sec_per_node, 3),
             fmt_f(m.mbit_per_sec_per_node * 1000.0 / n as f64, 2),
             fmt_f(m.max_mbit_per_sec, 3),
             fmt_f(m.msgs_per_sec_per_node, 0),
-        ]);
-        eprintln!("done n={n}");
-    }
+        ]
+    });
     print_table(
         "Scalability: ICC0, delta=20ms, empty blocks, 5s window",
         &[

@@ -11,7 +11,7 @@
 //! latency is the time from the proposer's `Proposed` event to each
 //! node's `Committed` event for that block.
 
-use icc_bench::{fmt_f, print_table};
+use icc_bench::{fmt_f, print_table, run_trials};
 use icc_core::cluster::{Cluster, ClusterBuilder, CoreAccess};
 use icc_core::events::NodeEvent;
 use icc_erasure::{icc2_cluster, Icc2Config};
@@ -71,8 +71,11 @@ where
 
 fn main() {
     let n = 7;
-    let mut rows = Vec::new();
-    for &delta_ms in &[10u64, 20, 50] {
+    // Each δ is one self-contained cell (three protocol variants, each
+    // on its own seeded cluster): `run_trials` fans the δ sweep across
+    // cores with output identical to the serial loop.
+    let deltas = [10u64, 20, 50];
+    let rows = run_trials(&deltas, |_, &delta_ms| {
         let delta = (delta_ms * 1000) as f64;
 
         let mut icc0 = builder(n, delta_ms).build();
@@ -90,7 +93,8 @@ fn main() {
         );
         let (r2, l2) = measure(&mut icc2c, 5);
 
-        rows.push(vec![
+        eprintln!("done delta={delta_ms}ms");
+        vec![
             format!("{delta_ms}ms"),
             fmt_f(r0 / delta, 2),
             fmt_f(l0 / delta, 2),
@@ -98,9 +102,8 @@ fn main() {
             fmt_f(l1 / delta, 2),
             fmt_f(r2 / delta, 2),
             fmt_f(l2 / delta, 2),
-        ]);
-        eprintln!("done delta={delta_ms}ms");
-    }
+        ]
+    });
     print_table(
         "E3: round time and commit latency in units of delta (n=7, honest, eps=0)",
         &[

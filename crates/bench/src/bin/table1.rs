@@ -19,7 +19,7 @@
 //!   ratio, load overhead, failure-scenario changes) is the claim under
 //!   test.
 
-use icc_bench::{fmt_f, measure_window, print_table};
+use icc_bench::{fmt_f, measure_window, print_table, run_trials, trial_threads};
 use icc_core::cluster::ClusterBuilder;
 use icc_core::{Behavior, BlockPolicy};
 use icc_gossip::{gossip_cluster, GossipConfig, Overlay};
@@ -100,39 +100,53 @@ fn run_cell(n: usize, scenario: &Scenario, warmup: SimDuration, window: SimDurat
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(unknown) = args.iter().find(|a| *a != "--quick") {
-        eprintln!("unknown argument: {unknown} (the only flag is --quick)");
+    if let Some(unknown) = args.iter().find(|a| *a != "--quick" && *a != "--smoke") {
+        eprintln!("unknown argument: {unknown} (flags: --quick, --smoke)");
         std::process::exit(2);
     }
     let quick = args.iter().any(|a| a == "--quick");
-    // Paper window: 5 minutes. --quick uses 60 s for CI-speed runs.
-    let window = if quick {
-        SimDuration::from_secs(60)
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Paper window: 5 minutes. --quick uses 60 s for CI-speed runs;
+    // --smoke shrinks further to a CI smoke test of the harness itself.
+    let (warmup, window) = if smoke {
+        (SimDuration::from_secs(5), SimDuration::from_secs(10))
+    } else if quick {
+        (SimDuration::from_secs(20), SimDuration::from_secs(60))
     } else {
-        SimDuration::from_secs(300)
+        (SimDuration::from_secs(20), SimDuration::from_secs(300))
     };
-    let warmup = SimDuration::from_secs(20);
 
-    let mut rows = Vec::new();
-    for &n in &[13usize, 40] {
-        for s in &SCENARIOS {
-            let (paper_rate, paper_mbps) = if n == 13 {
-                s.paper_small
-            } else {
-                s.paper_large
-            };
-            let (rate, mbps) = run_cell(n, s, warmup, window);
-            rows.push(vec![
-                format!("{n}"),
-                s.label.to_string(),
-                fmt_f(rate, 2),
-                fmt_f(paper_rate, 2),
-                fmt_f(mbps, 2),
-                fmt_f(paper_mbps, 2),
-            ]);
-            eprintln!("done: n={n} scenario={}", s.label);
-        }
-    }
+    // One cell per (subnet size, scenario); each builds its own seeded
+    // cluster, so cells are independent and `run_trials` can fan them
+    // across cores with byte-identical output to the serial loop.
+    let cells: Vec<(usize, &Scenario)> = [13usize, 40]
+        .iter()
+        .flat_map(|&n| SCENARIOS.iter().map(move |s| (n, s)))
+        .collect();
+    eprintln!(
+        "table1: {} cells on {} threads",
+        cells.len(),
+        trial_threads().min(cells.len())
+    );
+    let started = std::time::Instant::now();
+    let rows = run_trials(&cells, |_, &(n, s)| {
+        let (paper_rate, paper_mbps) = if n == 13 {
+            s.paper_small
+        } else {
+            s.paper_large
+        };
+        let (rate, mbps) = run_cell(n, s, warmup, window);
+        eprintln!("done: n={n} scenario={}", s.label);
+        vec![
+            format!("{n}"),
+            s.label.to_string(),
+            fmt_f(rate, 2),
+            fmt_f(paper_rate, 2),
+            fmt_f(mbps, 2),
+            fmt_f(paper_mbps, 2),
+        ]
+    });
+    eprintln!("table1: all cells in {:.2?}", started.elapsed());
     let title = format!(
         "Table 1: average block rate and sent traffic per node (ICC1/gossip, {}s window)",
         window.as_micros() / 1_000_000

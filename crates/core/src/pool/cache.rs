@@ -6,6 +6,15 @@
 //! verification. Each entry remembers the artifact's round so
 //! [`purge_below`](VerificationCache::purge_below) can garbage-collect
 //! in lock-step with the pool sections.
+//!
+//! **Single source of truth**: every id derives from the *cached*
+//! block digest carried by [`HashedBlock`](icc_types::block::HashedBlock)
+//! (directly for blocks; via `block_ref.hash` for shares and
+//! aggregates) — the same value that keys the ChangeSet's
+//! `(scheme, block)` digest memo. This cache and the digest-once memo
+//! therefore agree by construction; they can never cache the same
+//! artifact under different keys. Pinned by the
+//! `cache_key_derives_from_cached_digest` regression test.
 
 use super::unvalidated::ArtifactId;
 use icc_types::Round;

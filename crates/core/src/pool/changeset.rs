@@ -6,18 +6,26 @@
 //! section or is removed. It is the **only** place network artifacts
 //! are cryptographically verified:
 //!
-//! * verification is batched per `(round, block)` — all artifacts over
-//!   the same [`BlockRef`](icc_types::messages::BlockRef)
-//!   (authenticator, notarization/finalization shares and aggregates)
-//!   share one computation of the signed byte string;
+//! * the signed byte string *and* its field digest are computed once
+//!   per `(scheme, block)` — all artifacts over the same
+//!   [`BlockRef`](icc_types::messages::BlockRef) (authenticator,
+//!   notarization/finalization shares and aggregates) reuse them
+//!   (the digest-once API, [`MessageDigest`]);
+//! * notarization/finalization **share floods are batch-verified**: all
+//!   `k` shares over one block are checked with a single
+//!   random-linear-combination equation
+//!   ([`MultiSigScheme::verify_batch_digest`]), falling back to
+//!   per-share checks only to localise a bad share;
 //! * the [`VerificationCache`] is consulted first, so an artifact whose
-//!   hash verified once never verifies again;
+//!   digest verified once never verifies again;
 //! * artifacts this party signed itself are trusted outright.
 //!
 //! Beacon shares can only be verified once the previous beacon value is
 //! known (paper §3.4), so they move to the validated section unverified
 //! and are checked at combine time.
 
+use icc_crypto::batch::BatchVerdict;
+use icc_crypto::sig::MessageDigest;
 use icc_crypto::Hash256;
 use icc_types::messages::domains;
 use icc_types::Round;
@@ -27,6 +35,9 @@ use super::cache::VerificationCache;
 use super::stats::PoolStats;
 use super::unvalidated::{ArtifactId, UnvalidatedArtifact, UnvalidatedEntry, UnvalidatedSection};
 use crate::keys::PublicSetup;
+
+#[allow(unused_imports)] // rustdoc link
+use icc_crypto::multisig::MultiSigScheme;
 
 /// Why an artifact was removed without entering the validated section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,112 +71,187 @@ pub enum ChangeAction {
 /// A batch of pool mutations.
 pub type ChangeSet = Vec<ChangeAction>;
 
+/// Which signature scheme a memoised digest or share batch belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SchemeKind {
+    Auth,
+    Notary,
+    Finality,
+}
+
 /// Computes the ChangeSet for everything currently queued in the
 /// unvalidated section. Pure with respect to the pool sections; only
 /// the cache and counters are updated.
+///
+/// The returned actions are in unvalidated-section iteration order
+/// regardless of how verification work was batched internally, so the
+/// pipeline stays deterministic.
 pub(crate) fn process_changes(
     unvalidated: &UnvalidatedSection,
     setup: &PublicSetup,
     cache: &mut VerificationCache,
     stats: &mut PoolStats,
 ) -> ChangeSet {
-    // Batch key: the block hash. All signatures over the same
-    // (round, block) verify against the same canonical byte string, so
-    // it is computed once per batch, not once per artifact.
+    let entries: Vec<&UnvalidatedEntry> = unvalidated.entries().collect();
+    let mut decisions: Vec<Option<ChangeAction>> = Vec::with_capacity(entries.len());
+    decisions.resize_with(entries.len(), || None);
+
+    // Memo 1: the canonical signed byte string, per block hash.
     let mut sign_bytes_memo: HashMap<Hash256, Vec<u8>> = HashMap::new();
-    let mut changes = ChangeSet::new();
-    for entry in unvalidated.entries() {
-        changes.push(process_entry(
-            entry,
-            setup,
-            cache,
-            stats,
-            &mut sign_bytes_memo,
-        ));
-    }
-    changes
-}
+    // Memo 2: the field digest of that byte string, per (scheme, block).
+    // This is the digest-once API: however many artifacts reference one
+    // block, each scheme hashes its byte string exactly once.
+    let mut digest_memo: HashMap<(SchemeKind, Hash256), MessageDigest> = HashMap::new();
+    // Signature-share floods, grouped for batch verification: entry
+    // positions per (scheme, block).
+    let mut share_batches: HashMap<(SchemeKind, Hash256), Vec<usize>> = HashMap::new();
 
-fn process_entry(
-    entry: &UnvalidatedEntry,
-    setup: &PublicSetup,
-    cache: &mut VerificationCache,
-    stats: &mut PoolStats,
-    sign_bytes_memo: &mut HashMap<Hash256, Vec<u8>>,
-) -> ChangeAction {
-    let artifact = &entry.artifact;
-    let round = artifact.round();
+    // Pass 1: immediate decisions; defer share verification into batches.
+    for (pos, entry) in entries.iter().enumerate() {
+        let artifact = &entry.artifact;
+        let round = artifact.round();
 
-    // Own artifacts were signed locally a moment ago: trusted.
-    if entry.trusted {
-        cache.record(entry.id, round);
-        return ChangeAction::MoveToValidated(artifact.clone());
-    }
-    // Cache hit: this exact artifact verified before.
-    if cache.contains(&entry.id) {
-        stats.verify_cache_hits += 1;
-        return ChangeAction::MoveToValidated(artifact.clone());
-    }
-    // Beacon shares are verified lazily at combine time (§3.4).
-    let Some(block_ref) = artifact.block_ref() else {
-        return ChangeAction::MoveToValidated(artifact.clone());
-    };
-    let sign_bytes = sign_bytes_memo
-        .entry(block_ref.hash)
-        .or_insert_with(|| block_ref.sign_bytes());
+        // Own artifacts were signed locally a moment ago: trusted.
+        if entry.trusted {
+            cache.record(entry.id, round);
+            decisions[pos] = Some(ChangeAction::MoveToValidated(artifact.clone()));
+            continue;
+        }
+        // Cache hit: this exact artifact verified before.
+        if cache.contains(&entry.id) {
+            stats.verify_cache_hits += 1;
+            decisions[pos] = Some(ChangeAction::MoveToValidated(artifact.clone()));
+            continue;
+        }
+        // Beacon shares are verified lazily at combine time (§3.4).
+        let Some(block_ref) = artifact.block_ref() else {
+            decisions[pos] = Some(ChangeAction::MoveToValidated(artifact.clone()));
+            continue;
+        };
+        let block_hash = block_ref.hash;
+        let sign_bytes: &[u8] = sign_bytes_memo
+            .entry(block_hash)
+            .or_insert_with(|| block_ref.sign_bytes());
 
-    let (ok, reason) = match artifact {
-        UnvalidatedArtifact::Block {
-            block,
-            authenticator,
-        } => {
-            let verified = setup
-                .auth_keys
-                .get(block.proposer().as_usize())
-                .is_some_and(|pk| {
-                    stats.verify_calls += 1;
-                    pk.verify(domains::AUTH, sign_bytes, authenticator)
-                });
-            (verified, RejectReason::BadAuthenticator)
-        }
-        UnvalidatedArtifact::Notarization(n) => {
-            stats.verify_calls += 1;
-            (
-                setup.notary.verify(sign_bytes, &n.sig),
-                RejectReason::BadSignature,
-            )
-        }
-        UnvalidatedArtifact::Finalization(f) => {
-            stats.verify_calls += 1;
-            (
-                setup.finality.verify(sign_bytes, &f.sig),
-                RejectReason::BadSignature,
-            )
-        }
-        UnvalidatedArtifact::NotarizationShare(s) => {
-            stats.verify_calls += 1;
-            (
-                setup.notary.verify_share(sign_bytes, &s.share),
-                RejectReason::BadSignature,
-            )
-        }
-        UnvalidatedArtifact::FinalizationShare(s) => {
-            stats.verify_calls += 1;
-            (
-                setup.finality.verify_share(sign_bytes, &s.share),
-                RejectReason::BadSignature,
-            )
-        }
-        UnvalidatedArtifact::BeaconShare(_) => unreachable!("handled above: no block_ref"),
-    };
-    if ok {
-        cache.record(entry.id, round);
-        ChangeAction::MoveToValidated(artifact.clone())
-    } else {
-        stats.rejected += 1;
-        ChangeAction::RemoveFromUnvalidated {
-            id: entry.id,
-            reason,
+        let decided = match artifact {
+            UnvalidatedArtifact::Block {
+                block,
+                authenticator,
+            } => {
+                let digest = *digest_memo
+                    .entry((SchemeKind::Auth, block_hash))
+                    .or_insert_with(|| MessageDigest::compute(domains::AUTH, sign_bytes));
+                let verified = setup
+                    .auth_keys
+                    .get(block.proposer().as_usize())
+                    .is_some_and(|pk| {
+                        stats.verify_calls += 1;
+                        pk.verify_digest(digest, authenticator)
+                    });
+                Some((verified, RejectReason::BadAuthenticator))
+            }
+            UnvalidatedArtifact::Notarization(n) => {
+                let digest = *digest_memo
+                    .entry((SchemeKind::Notary, block_hash))
+                    .or_insert_with(|| setup.notary.digest(sign_bytes));
+                stats.verify_calls += 1;
+                Some((
+                    setup.notary.verify_digest(digest, &n.sig),
+                    RejectReason::BadSignature,
+                ))
+            }
+            UnvalidatedArtifact::Finalization(f) => {
+                let digest = *digest_memo
+                    .entry((SchemeKind::Finality, block_hash))
+                    .or_insert_with(|| setup.finality.digest(sign_bytes));
+                stats.verify_calls += 1;
+                Some((
+                    setup.finality.verify_digest(digest, &f.sig),
+                    RejectReason::BadSignature,
+                ))
+            }
+            UnvalidatedArtifact::NotarizationShare(_) => {
+                share_batches
+                    .entry((SchemeKind::Notary, block_hash))
+                    .or_default()
+                    .push(pos);
+                None
+            }
+            UnvalidatedArtifact::FinalizationShare(_) => {
+                share_batches
+                    .entry((SchemeKind::Finality, block_hash))
+                    .or_default()
+                    .push(pos);
+                None
+            }
+            UnvalidatedArtifact::BeaconShare(_) => unreachable!("handled above: no block_ref"),
+        };
+        if let Some((ok, reason)) = decided {
+            decisions[pos] = Some(if ok {
+                cache.record(entry.id, round);
+                ChangeAction::MoveToValidated(artifact.clone())
+            } else {
+                stats.rejected += 1;
+                ChangeAction::RemoveFromUnvalidated {
+                    id: entry.id,
+                    reason,
+                }
+            });
         }
     }
+
+    // Pass 2: one RLC equation per (scheme, block) share flood. Iteration
+    // order of the map is irrelevant: decisions land by entry position.
+    for ((kind, block_hash), positions) in share_batches {
+        let sign_bytes: &[u8] = &sign_bytes_memo[&block_hash];
+        let scheme = match kind {
+            SchemeKind::Notary => &setup.notary,
+            SchemeKind::Finality => &setup.finality,
+            SchemeKind::Auth => unreachable!("auth artifacts are never share-batched"),
+        };
+        let digest = *digest_memo
+            .entry((kind, block_hash))
+            .or_insert_with(|| scheme.digest(sign_bytes));
+        let shares: Vec<_> = positions
+            .iter()
+            .map(|&pos| match &entries[pos].artifact {
+                UnvalidatedArtifact::NotarizationShare(s) => s.share,
+                UnvalidatedArtifact::FinalizationShare(s) => s.share,
+                _ => unreachable!("only shares are batched"),
+            })
+            .collect();
+        stats.verify_calls += 1;
+        stats.batch_verifies += 1;
+        stats.batched_shares += shares.len() as u64;
+        let all_valid = match scheme.verify_batch_digest(digest, &shares) {
+            BatchVerdict::AllValid => true,
+            BatchVerdict::Invalid { .. } => false,
+        };
+        for (&pos, share) in positions.iter().zip(&shares) {
+            let entry = entries[pos];
+            // On a batch failure, localise per *position* (not per signer
+            // index) so a valid share is never collateral damage of an
+            // equivocating duplicate; the re-check reuses the digest, so
+            // it stays hash-free.
+            let ok = all_valid || {
+                stats.verify_calls += 1;
+                scheme.verify_share_digest(digest, share)
+            };
+            decisions[pos] = Some(if ok {
+                cache.record(entry.id, entry.artifact.round());
+                ChangeAction::MoveToValidated(entry.artifact.clone())
+            } else {
+                stats.rejected += 1;
+                ChangeAction::RemoveFromUnvalidated {
+                    id: entry.id,
+                    reason: RejectReason::BadSignature,
+                }
+            });
+        }
+    }
+
+    decisions
+        .into_iter()
+        .map(|d| d.expect("every unvalidated entry received a decision"))
+        .collect()
 }

@@ -28,6 +28,14 @@ pub struct PoolStats {
     /// Artifacts rejected for failing structural checks or signature
     /// verification.
     pub rejected: u64,
+    /// Random-linear-combination batch equations evaluated (each counts
+    /// as a single entry in `verify_calls`, however many shares it
+    /// covered).
+    pub batch_verifies: u64,
+    /// Signature shares covered by those batch equations. The headline
+    /// ratio `batched_shares / batch_verifies` is the per-equation
+    /// amortisation a share flood achieves.
+    pub batched_shares: u64,
 }
 
 impl PoolStats {
@@ -39,6 +47,8 @@ impl PoolStats {
         self.duplicates_dropped += other.duplicates_dropped;
         self.unvalidated_evictions += other.unvalidated_evictions;
         self.rejected += other.rejected;
+        self.batch_verifies += other.batch_verifies;
+        self.batched_shares += other.batched_shares;
     }
 }
 
@@ -50,6 +60,8 @@ impl From<PoolStats> for icc_sim::PoolCounters {
             duplicates_dropped: s.duplicates_dropped,
             unvalidated_evictions: s.unvalidated_evictions,
             rejected: s.rejected,
+            batch_verifies: s.batch_verifies,
+            batched_shares: s.batched_shares,
         }
     }
 }

@@ -10,6 +10,8 @@
 
 use crate::field::{random_fp, Fp};
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A single Shamir share: the evaluation of the dealer polynomial at
 /// x-coordinate `index + 1` (index is the 0-based party index; the +1
@@ -88,6 +90,91 @@ pub fn lagrange_at_zero(indices: &[u32]) -> Option<Vec<Fp>> {
         lambdas.push(num / den);
     }
     Some(lambdas)
+}
+
+/// One cached entry: the signer-index key and its shared coefficient
+/// vector.
+type CacheEntry = (Vec<u32>, Arc<[Fp]>);
+
+/// A signer-set-keyed LRU cache for [`lagrange_at_zero`] coefficients.
+///
+/// Threshold combination recomputes the same O(k²) Lagrange product for
+/// every beacon round even though the contributing signer set barely
+/// changes between rounds (the same `t + 1` fastest parties tend to win
+/// the race). Keying a small LRU on the *sorted-insensitive* exact index
+/// sequence turns the steady-state cost into a lookup.
+///
+/// The cache is internally synchronised and intended to be shared via
+/// [`Arc`]; clones of a scheme share one cache. Coefficient vectors are
+/// handed out as `Arc<[Fp]>` so hits allocate nothing.
+///
+/// # Example
+///
+/// ```
+/// use icc_crypto::shamir::LagrangeCache;
+/// let cache = LagrangeCache::new(8);
+/// let a = cache.coefficients(&[0, 2, 5]).unwrap();
+/// let b = cache.coefficients(&[0, 2, 5]).unwrap(); // cache hit
+/// assert_eq!(a, b);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug)]
+pub struct LagrangeCache {
+    cap: usize,
+    /// Most-recently-used entry last. Signer sets are tiny (≤ n) and the
+    /// capacity small, so a scanned `Vec` beats a hash map here.
+    entries: Mutex<Vec<CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LagrangeCache {
+    /// Creates a cache retaining at most `cap` signer sets (`cap ≥ 1`).
+    pub fn new(cap: usize) -> LagrangeCache {
+        LagrangeCache {
+            cap: cap.max(1),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cached-or-computed Lagrange coefficients at zero for `indices`.
+    /// Returns `None` on duplicate indices (mirrors [`lagrange_at_zero`]).
+    pub fn coefficients(&self, indices: &[u32]) -> Option<Arc<[Fp]>> {
+        {
+            let mut entries = self.entries.lock().expect("lagrange cache poisoned");
+            if let Some(pos) = entries.iter().position(|(k, _)| k == indices) {
+                let (k, v) = entries.remove(pos);
+                let out = Arc::clone(&v);
+                entries.push((k, v)); // move to MRU position
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(out);
+            }
+        }
+        // Compute outside the lock: duplicate work on a race is harmless.
+        let lambdas: Arc<[Fp]> = lagrange_at_zero(indices)?.into();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("lagrange cache poisoned");
+        if !entries.iter().any(|(k, _)| k == indices) {
+            if entries.len() >= self.cap {
+                entries.remove(0); // evict LRU
+            }
+            entries.push((indices.to_vec(), Arc::clone(&lambdas)));
+        }
+        Some(lambdas)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute coefficients.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
 }
 
 /// Reconstructs the secret from at least `threshold` distinct shares.
@@ -172,6 +259,37 @@ mod tests {
     #[should_panic(expected = "exceeds share count")]
     fn threshold_above_n_panics() {
         split(Fp::new(1), 4, 3, &mut rng());
+    }
+
+    #[test]
+    fn lagrange_cache_matches_direct_computation() {
+        let cache = LagrangeCache::new(4);
+        for set in [&[0u32, 1, 2][..], &[3, 5, 9], &[0, 1, 2], &[7]] {
+            let cached = cache.coefficients(set).unwrap();
+            let direct = lagrange_at_zero(set).unwrap();
+            assert_eq!(&cached[..], &direct[..]);
+        }
+        assert_eq!(cache.hits(), 1); // the repeated [0,1,2]
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn lagrange_cache_rejects_duplicates() {
+        let cache = LagrangeCache::new(4);
+        assert!(cache.coefficients(&[1, 2, 1]).is_none());
+    }
+
+    #[test]
+    fn lagrange_cache_evicts_least_recently_used() {
+        let cache = LagrangeCache::new(2);
+        cache.coefficients(&[0]).unwrap();
+        cache.coefficients(&[1]).unwrap();
+        cache.coefficients(&[0]).unwrap(); // refresh [0]
+        cache.coefficients(&[2]).unwrap(); // evicts [1]
+        cache.coefficients(&[0]).unwrap(); // still cached
+        assert_eq!(cache.hits(), 2);
+        cache.coefficients(&[1]).unwrap(); // recompute
+        assert_eq!(cache.misses(), 4);
     }
 
     #[test]

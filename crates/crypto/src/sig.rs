@@ -29,6 +29,51 @@ pub fn hash_to_field(domain: &str, msg: &[u8]) -> Fp {
     Fp::from_u64_nonzero(hash_parts(domain, &[msg]).prefix_u64())
 }
 
+/// The field point a `(domain, message)` pair hashes to, computed **once**
+/// and then reused across any number of share verifications.
+///
+/// [`hash_to_field`] runs a full SHA-256 compression per call — by far the
+/// dominant cost of a signature verification in this scheme. Quorum checks
+/// verify `k` shares on the *same* message; the naive path recomputes the
+/// hash `k` times. Computing a `MessageDigest` up front and calling the
+/// `*_digest` verification entry points performs the hash exactly once.
+///
+/// # Example
+///
+/// ```
+/// use icc_crypto::sig::{MessageDigest, SecretKey};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let sk = SecretKey::generate(&mut rng);
+/// let sig = sk.sign("auth", b"block");
+/// let d = MessageDigest::compute("auth", b"block"); // one hash…
+/// assert!(sk.public_key().verify_digest(d, &sig)); // …reused here
+/// assert!(sk.public_key().verify_digest(d, &sig)); // …and here, hash-free
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MessageDigest(pub(crate) Fp);
+
+impl MessageDigest {
+    /// Hashes `(domain, msg)` into the field. This is the only place the
+    /// digest-once path pays for SHA-256.
+    #[inline]
+    pub fn compute(domain: &str, msg: &[u8]) -> MessageDigest {
+        MessageDigest(hash_to_field(domain, msg))
+    }
+
+    /// The underlying field point `h(m)`.
+    #[inline]
+    pub fn point(self) -> Fp {
+        self.0
+    }
+
+    /// Wraps an already-computed field point (tests and benches).
+    #[inline]
+    pub fn from_point(p: Fp) -> MessageDigest {
+        MessageDigest(p)
+    }
+}
+
 /// A secret signing key (a field element).
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct SecretKey(pub(crate) Fp);
@@ -80,7 +125,13 @@ impl SecretKey {
 
     /// Signs `msg` under the given domain tag. Deterministic.
     pub fn sign(&self, domain: &str, msg: &[u8]) -> Signature {
-        Signature(self.0 * hash_to_field(domain, msg))
+        self.sign_digest(MessageDigest::compute(domain, msg))
+    }
+
+    /// Signs a pre-computed message digest (hash-free).
+    #[inline]
+    pub fn sign_digest(&self, digest: MessageDigest) -> Signature {
+        Signature(self.0 * digest.0)
     }
 }
 
@@ -99,7 +150,13 @@ impl PublicKey {
     /// assert!(!sk.public_key().verify("auth", b"other", &sig));
     /// ```
     pub fn verify(&self, domain: &str, msg: &[u8], sig: &Signature) -> bool {
-        sig.0 * GENERATOR == self.0 * hash_to_field(domain, msg)
+        self.verify_digest(MessageDigest::compute(domain, msg), sig)
+    }
+
+    /// Verifies `sig` against a pre-computed message digest (hash-free).
+    #[inline]
+    pub fn verify_digest(&self, digest: MessageDigest, sig: &Signature) -> bool {
+        sig.0 * GENERATOR == self.0 * digest.0
     }
 
     /// Raw field value (codec use).

@@ -16,13 +16,19 @@
 //! allows ("must either be set up by a trusted party or a secure
 //! distributed key generation protocol", §3.1).
 
+use crate::batch::{verify_batch_digest, BatchVerdict};
 use crate::field::{random_fp, Fp};
-use crate::shamir::{self, Share};
-use crate::sig::{hash_to_field, PublicKey, SecretKey, Signature};
+use crate::shamir::{self, LagrangeCache, Share};
+use crate::sig::{MessageDigest, PublicKey, SecretKey, Signature};
 use crate::CryptoError;
 use rand::Rng;
 use std::fmt;
 use std::sync::Arc;
+
+/// Capacity of the per-instance Lagrange coefficient LRU. Signer sets
+/// churn slowly round-to-round, so a small cache captures nearly all
+/// repeats without unbounded growth.
+const LAGRANGE_CACHE_CAP: usize = 32;
 
 /// A signature share produced by one party's key share.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +47,9 @@ pub struct ThresholdPublic {
     threshold: usize,
     global: PublicKey,
     share_publics: Vec<PublicKey>,
+    /// Signer-set-keyed LRU for Lagrange coefficients; shared across
+    /// clones so every replica of the setup feeds one cache.
+    lagrange: Arc<LagrangeCache>,
 }
 
 impl fmt::Debug for ThresholdPublic {
@@ -104,6 +113,7 @@ impl Dealer {
             threshold,
             global: SecretKey::from_fp(master).public_key(),
             share_publics,
+            lagrange: Arc::new(LagrangeCache::new(LAGRANGE_CACHE_CAP)),
         });
         let signers = shares
             .into_iter()
@@ -174,12 +184,64 @@ impl ThresholdPublic {
         self.global
     }
 
+    /// Hashes `msg` into the field under this scheme's domain — computed
+    /// **once** and reusable across every share verification on `msg`
+    /// (see [`MessageDigest`]).
+    #[inline]
+    pub fn digest(&self, msg: &[u8]) -> MessageDigest {
+        MessageDigest::compute(&self.domain, msg)
+    }
+
     /// Verifies an individual share against the signer's public key share.
     pub fn verify_share(&self, msg: &[u8], share: &ThresholdSigShare) -> bool {
+        self.verify_share_digest(self.digest(msg), share)
+    }
+
+    /// Hash-free variant of [`verify_share`](Self::verify_share) against a
+    /// pre-computed digest.
+    #[inline]
+    pub fn verify_share_digest(&self, digest: MessageDigest, share: &ThresholdSigShare) -> bool {
         match self.share_publics.get(share.signer as usize) {
-            Some(pk) => pk.verify(&self.domain, msg, &share.signature),
+            Some(pk) => pk.verify_digest(digest, &share.signature),
             None => false,
         }
+    }
+
+    /// Batch-verifies `k` shares on one message with a single field
+    /// equation (see [`crate::batch`]); unknown signer indices are
+    /// reported without entering the equation, and an equation failure
+    /// falls back to per-share localisation.
+    pub fn verify_batch(&self, msg: &[u8], shares: &[ThresholdSigShare]) -> BatchVerdict {
+        self.verify_batch_digest(self.digest(msg), shares)
+    }
+
+    /// Hash-free variant of [`verify_batch`](Self::verify_batch).
+    pub fn verify_batch_digest(
+        &self,
+        digest: MessageDigest,
+        shares: &[ThresholdSigShare],
+    ) -> BatchVerdict {
+        let mut bad: Vec<u32> = Vec::new();
+        let mut known: Vec<(u32, PublicKey, Signature)> = Vec::with_capacity(shares.len());
+        for share in shares {
+            match self.share_publics.get(share.signer as usize) {
+                Some(&pk) => known.push((share.signer, pk, share.signature)),
+                None => bad.push(share.signer),
+            }
+        }
+        if let BatchVerdict::Invalid { bad_signers } = verify_batch_digest(digest, &known) {
+            bad.extend(bad_signers);
+        }
+        if bad.is_empty() {
+            BatchVerdict::AllValid
+        } else {
+            BatchVerdict::Invalid { bad_signers: bad }
+        }
+    }
+
+    /// Cache statistics of the Lagrange LRU: `(hits, misses)`.
+    pub fn lagrange_cache_stats(&self) -> (u64, u64) {
+        (self.lagrange.hits(), self.lagrange.misses())
     }
 
     /// Combines at least `h` distinct valid shares into the unique group
@@ -197,6 +259,8 @@ impl ThresholdPublic {
         msg: &[u8],
         shares: impl IntoIterator<Item = ThresholdSigShare>,
     ) -> Result<Signature, CryptoError> {
+        // Digest-once: one hash for share checks *and* the final verify.
+        let digest = self.digest(msg);
         let mut seen: Vec<ThresholdSigShare> = Vec::new();
         for share in shares {
             if share.signer as usize >= self.share_publics.len() {
@@ -210,7 +274,7 @@ impl ThresholdPublic {
                     signer: share.signer,
                 });
             }
-            if !self.verify_share(msg, &share) {
+            if !self.verify_share_digest(digest, &share) {
                 return Err(CryptoError::InvalidShare {
                     signer: share.signer,
                 });
@@ -227,14 +291,17 @@ impl ThresholdPublic {
         // unique, so which subset we use is immaterial.
         seen.truncate(self.threshold);
         let indices: Vec<u32> = seen.iter().map(|s| s.signer).collect();
-        let lambdas = shamir::lagrange_at_zero(&indices).expect("duplicates were rejected above");
+        let lambdas = self
+            .lagrange
+            .coefficients(&indices)
+            .expect("duplicates were rejected above");
         let combined: Fp = seen
             .iter()
-            .zip(&lambdas)
+            .zip(lambdas.iter())
             .map(|(s, &l)| Fp::new(s.signature.value()) * l)
             .sum();
         let sig = Signature::from_value(combined.value());
-        if !self.verify(msg, &sig) {
+        if !self.global.verify_digest(digest, &sig) {
             return Err(CryptoError::VerificationFailed);
         }
         Ok(sig)
@@ -248,7 +315,7 @@ impl ThresholdPublic {
     /// The field element a message hashes to under this scheme's domain —
     /// exposed for tests.
     pub fn message_point(&self, msg: &[u8]) -> Fp {
-        hash_to_field(&self.domain, msg)
+        self.digest(msg).point()
     }
 }
 
@@ -362,6 +429,40 @@ mod tests {
             .map(|&i| d.signer(i).sign_share(msg))
             .collect();
         assert!(d.public().combine(msg, shares).is_ok());
+    }
+
+    #[test]
+    fn repeated_combines_hit_lagrange_cache() {
+        let d = deal(3, 7);
+        let p = d.public();
+        for round in 0u64..5 {
+            let msg = round.to_le_bytes();
+            let shares: Vec<_> = [0usize, 2, 4]
+                .iter()
+                .map(|&i| d.signer(i).sign_share(&msg))
+                .collect();
+            let sig = p.combine(&msg, shares).unwrap();
+            assert!(p.verify(&msg, &sig));
+        }
+        let (hits, misses) = p.lagrange_cache_stats();
+        assert_eq!(misses, 1, "same signer set should be computed once");
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn batch_verify_matches_per_share() {
+        let d = deal(3, 7);
+        let p = d.public();
+        let msg = b"beacon round";
+        let mut shares: Vec<_> = (0..7).map(|i| d.signer(i).sign_share(msg)).collect();
+        assert!(p.verify_batch(msg, &shares).is_valid());
+        shares[3].signature = Signature::from_value(shares[3].signature.value() ^ 1);
+        assert_eq!(
+            p.verify_batch(msg, &shares),
+            crate::batch::BatchVerdict::Invalid {
+                bad_signers: vec![3]
+            }
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! fed to the core exactly as ICC0 would deliver them — the consensus
 //! logic cannot tell the difference.
 
+use bytes::Bytes;
 use icc_core::cluster::CoreAccess;
 use icc_core::consensus::{ConsensusCore, Step};
 use icc_core::events::NodeEvent;
@@ -62,11 +63,50 @@ fn backoff_after(base: SimDuration, cap: SimDuration, attempts: u32) -> SimDurat
     SimDuration::from_micros(base.as_micros().saturating_mul(mult).min(cap.as_micros()))
 }
 
+/// A small consensus artifact paired with its wire encoding.
+///
+/// The artifact is encoded **once** when the push is built; every
+/// fan-out recipient then shares the same [`Bytes`] buffer (cloning is
+/// a refcount bump, not a re-encode), wire metering reads the buffer's
+/// length in O(1), and the flood-dedup id is the hash of those bytes —
+/// computed once instead of once per hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushedArtifact {
+    msg: ConsensusMessage,
+    bytes: Bytes,
+    id: Hash256,
+}
+
+impl PushedArtifact {
+    /// Encodes the artifact once, deriving its dedup id from the bytes.
+    pub fn new(msg: ConsensusMessage) -> Self {
+        let bytes = Bytes::from(encode_to_vec(&msg));
+        let id = hash_parts("gossip-push", &[&bytes]);
+        PushedArtifact { msg, bytes, id }
+    }
+
+    /// The wrapped consensus artifact.
+    pub fn msg(&self) -> &ConsensusMessage {
+        &self.msg
+    }
+
+    /// The flood-dedup identity: hash of the encoded bytes.
+    pub fn id(&self) -> Hash256 {
+        self.id
+    }
+
+    /// Encoded size of the artifact (O(1): the buffer's length).
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
 /// Messages exchanged on the gossip overlay.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GossipMessage {
-    /// A small artifact, flooded hop-by-hop.
-    Push(ConsensusMessage),
+    /// A small artifact, flooded hop-by-hop. Carries its pre-encoded
+    /// bytes so the buffer is shared across every recipient.
+    Push(PushedArtifact),
     /// "I hold the block with this hash" (sent to neighbors).
     Advert {
         /// The block hash.
@@ -107,7 +147,9 @@ pub enum GossipMessage {
 impl WireMessage for GossipMessage {
     fn wire_bytes(&self) -> usize {
         match self {
-            GossipMessage::Push(m) => 1 + m.wire_bytes(),
+            // Metered from the shared buffer's length, not a re-walk of
+            // the payload; identical by construction to `encoded_len`.
+            GossipMessage::Push(p) => 1 + p.encoded_len(),
             GossipMessage::Advert { .. } => 1 + 32 + 8 + 8,
             GossipMessage::Request { .. } => 1 + 32,
             GossipMessage::Deliver { proposal, .. } => 1 + 32 + proposal.encoded_len(),
@@ -117,7 +159,7 @@ impl WireMessage for GossipMessage {
     }
     fn kind(&self) -> &'static str {
         match self {
-            GossipMessage::Push(m) => m.kind(),
+            GossipMessage::Push(p) => p.msg().kind(),
             GossipMessage::Advert { .. } => "advert",
             GossipMessage::Request { .. } => "request",
             GossipMessage::Deliver { .. } => "deliver",
@@ -182,10 +224,6 @@ pub struct GossipNode {
     /// Test knob: serve forged catch-up packages (the finalization
     /// certificate is replaced by a wrong-domain signature).
     forge_catch_up: bool,
-}
-
-fn push_id(msg: &ConsensusMessage) -> Hash256 {
-    hash_parts("gossip-push", &[&encode_to_vec(msg)])
 }
 
 impl GossipNode {
@@ -287,10 +325,11 @@ impl GossipNode {
                 }
             }
             other => {
-                let id = push_id(&other);
-                self.mark_seen(id);
+                // Encode once; every neighbor shares the same buffer.
+                let push = PushedArtifact::new(other);
+                self.mark_seen(push.id());
                 for nb in self.neighbors(ctx.me()) {
-                    ctx.send(nb, GossipMessage::Push(other.clone()));
+                    ctx.send(nb, GossipMessage::Push(push.clone()));
                 }
             }
         }
@@ -302,7 +341,7 @@ impl GossipNode {
         }
         for (to, msg) in step.sends {
             // Targeted sends (corrupt behaviors) bypass the overlay.
-            ctx.send(to, GossipMessage::Push(msg));
+            ctx.send(to, GossipMessage::Push(PushedArtifact::new(msg)));
         }
         for event in step.events {
             ctx.output(event);
@@ -545,18 +584,20 @@ impl Node for GossipNode {
         msg: Self::Msg,
     ) {
         match msg {
-            GossipMessage::Push(inner) => {
-                let id = push_id(&inner);
-                if !self.mark_seen(id) {
+            GossipMessage::Push(push) => {
+                // Dedup id and encoded bytes travel with the artifact:
+                // forwarding a flood costs refcount bumps, never a
+                // re-encode or re-hash per hop.
+                if !self.mark_seen(push.id()) {
                     return;
                 }
                 // Forward the flood to all neighbors except the sender.
                 for nb in self.neighbors(ctx.me()) {
                     if nb != from {
-                        ctx.send(nb, GossipMessage::Push(inner.clone()));
+                        ctx.send(nb, GossipMessage::Push(push.clone()));
                     }
                 }
-                self.ingest(ctx, &inner.clone());
+                self.ingest(ctx, push.msg());
             }
             GossipMessage::Advert { id, round, .. } => self.on_advert(ctx, from, id, round),
             GossipMessage::Request { id } => self.on_request(ctx, from, id),
@@ -712,5 +753,37 @@ mod tests {
         assert_eq!(advert.kind(), "advert");
         let req = GossipMessage::Request { id: Hash256::ZERO };
         assert_eq!(req.wire_bytes(), 33);
+    }
+
+    #[test]
+    fn pushed_artifact_meters_and_dedups_from_shared_buffer() {
+        use icc_crypto::multisig::MultiSigShare;
+        use icc_crypto::sig::Signature;
+        use icc_types::messages::{BlockRef, NotarizationShare};
+
+        let msg = ConsensusMessage::NotarizationShare(NotarizationShare {
+            block_ref: BlockRef {
+                round: Round::new(3),
+                proposer: NodeIndex::new(1),
+                hash: Hash256::ZERO,
+            },
+            share: MultiSigShare {
+                signer: 1,
+                signature: Signature::from_value(7),
+            },
+        });
+        let push = PushedArtifact::new(msg.clone());
+        // Metering from the buffer length agrees with the codec walk.
+        assert_eq!(push.encoded_len(), msg.wire_bytes());
+        assert_eq!(
+            GossipMessage::Push(push.clone()).wire_bytes(),
+            1 + msg.wire_bytes()
+        );
+        // The dedup id is the hash of the encoded bytes, so two pushes
+        // of the same artifact collide (and a forwarded clone carries
+        // the identical id without rehashing).
+        let again = PushedArtifact::new(msg);
+        assert_eq!(push.id(), again.id());
+        assert_eq!(push.clone().id(), push.id());
     }
 }

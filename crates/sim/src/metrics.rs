@@ -27,6 +27,10 @@ pub struct PoolCounters {
     pub unvalidated_evictions: u64,
     /// Artifacts rejected (structural or failed verification).
     pub rejected: u64,
+    /// RLC batch equations evaluated in the pool's ChangeSet step.
+    pub batch_verifies: u64,
+    /// Signature shares covered by those batch equations.
+    pub batched_shares: u64,
 }
 
 impl PoolCounters {
@@ -37,6 +41,8 @@ impl PoolCounters {
         self.duplicates_dropped += other.duplicates_dropped;
         self.unvalidated_evictions += other.unvalidated_evictions;
         self.rejected += other.rejected;
+        self.batch_verifies += other.batch_verifies;
+        self.batched_shares += other.batched_shares;
     }
 }
 
@@ -44,8 +50,10 @@ impl fmt::Display for PoolCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} verifies, {} cache hits, {} dups dropped, {} evicted, {} rejected",
+            "{} verifies ({} batched over {} shares), {} cache hits, {} dups dropped, {} evicted, {} rejected",
             self.verify_calls,
+            self.batch_verifies,
+            self.batched_shares,
             self.verify_cache_hits,
             self.duplicates_dropped,
             self.unvalidated_evictions,
@@ -336,6 +344,8 @@ mod tests {
                 duplicates_dropped: 3,
                 unvalidated_evictions: 1,
                 rejected: 2,
+                batch_verifies: 2,
+                batched_shares: 8,
             },
         );
         m.set_pool_counters(
@@ -346,6 +356,8 @@ mod tests {
                 duplicates_dropped: 0,
                 unvalidated_evictions: 0,
                 rejected: 0,
+                batch_verifies: 1,
+                batched_shares: 3,
             },
         );
         // Out-of-range node indices are ignored, not a panic.

@@ -12,7 +12,7 @@
 
 use crate::codec::{decode_seq, encode_seq, CodecError, Decode, Encode, Reader};
 use crate::ids::{NodeIndex, Round};
-use icc_crypto::{hash_parts, Hash256};
+use icc_crypto::{hash_parts, Hash256, Sha256};
 use std::fmt;
 use std::sync::Arc;
 
@@ -241,16 +241,44 @@ impl Block {
 
     /// The canonical block hash `H(B)`: SHA-256 over the canonical
     /// encoding, domain-separated.
+    ///
+    /// Streams the encoding straight into the hasher — no intermediate
+    /// `encode_to_vec` allocation, however large the payload. The digest
+    /// is bit-identical to `hash_parts("block", &[&encode_to_vec(b)])`
+    /// (pinned by a test), so ids on the wire are unchanged.
+    #[inline]
     pub fn hash(&self) -> Hash256 {
-        hash_parts("block", &[&crate::codec::encode_to_vec(self)])
+        const DOMAIN: &str = "block";
+        let mut h = Sha256::new();
+        // Mirror `hash_parts`' framing: domain tag, then the one part
+        // (the canonical encoding) length-prefixed.
+        h.update((DOMAIN.len() as u32).to_le_bytes());
+        h.update(DOMAIN.as_bytes());
+        h.update((self.encoded_len() as u64).to_le_bytes());
+        // Header fields through their canonical `Encode` impls (44 B).
+        let mut head: Vec<u8> = Vec::with_capacity(44);
+        self.round.encode(&mut head);
+        self.proposer.encode(&mut head);
+        self.parent.encode(&mut head);
+        h.update(&head);
+        // Payload: `encode_seq` framing, with each command's bytes fed
+        // to the hasher directly from its shared buffer.
+        h.update((self.payload.commands.len() as u64).to_le_bytes());
+        for c in &self.payload.commands {
+            h.update((c.len() as u64).to_le_bytes());
+            h.update(c.bytes());
+        }
+        h.finalize()
     }
 
-    /// Wraps the block with its cached hash.
+    /// Wraps the block with its cached hash and cached encoded length.
     pub fn into_hashed(self) -> HashedBlock {
         let hash = self.hash();
+        let encoded_len = self.encoded_len();
         HashedBlock {
             block: Arc::new(self),
             hash,
+            encoded_len,
         }
     }
 }
@@ -289,10 +317,15 @@ impl Decode for Block {
 }
 
 /// A block together with its cached hash; cheap to clone and compare.
+///
+/// Cloning bumps one `Arc` refcount — the block body (and its command
+/// payloads) is never copied. The encoded length is computed once at
+/// construction so wire-size accounting never re-walks the payload.
 #[derive(Clone)]
 pub struct HashedBlock {
     block: Arc<Block>,
     hash: Hash256,
+    encoded_len: usize,
 }
 
 impl HashedBlock {
@@ -304,6 +337,11 @@ impl HashedBlock {
     /// The cached block hash.
     pub fn hash(&self) -> Hash256 {
         self.hash
+    }
+
+    /// The cached encoded length of the underlying block (O(1)).
+    pub fn encoded_len(&self) -> usize {
+        self.encoded_len
     }
 
     /// Convenience: the block's round.
@@ -411,6 +449,25 @@ mod tests {
         assert_eq!(hb.hash(), hb.block().hash());
         let same = sample_block().into_hashed();
         assert_eq!(hb, same);
+    }
+
+    #[test]
+    fn streaming_hash_matches_buffered_reference() {
+        // The streamed `Block::hash` must stay bit-identical to the
+        // original buffered definition — block ids are protocol state.
+        for block in [
+            Block::genesis(),
+            sample_block(),
+            Block::new(
+                Round::new(77),
+                NodeIndex::new(12),
+                Hash256([3u8; 32]),
+                Payload::synthetic(100, 1024, Round::new(77)),
+            ),
+        ] {
+            let reference = hash_parts("block", &[&encode_to_vec(&block)]);
+            assert_eq!(block.hash(), reference);
+        }
     }
 
     #[test]

@@ -140,10 +140,19 @@ pub trait Decode: Sized {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
 }
 
-/// Encodes a value to a fresh byte vector.
+/// Encodes a value to a fresh byte vector in exactly **one allocation**:
+/// the buffer is pre-sized from [`Encode::encoded_len`], so `encode`
+/// never reallocates (debug builds assert the two agree).
+#[inline]
 pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(value.encoded_len());
+    let len = value.encoded_len();
+    let mut buf = Vec::with_capacity(len);
     value.encode(&mut buf);
+    debug_assert_eq!(
+        buf.len(),
+        len,
+        "encoded_len disagrees with encode: the one-alloc guarantee is broken"
+    );
     buf
 }
 
@@ -374,7 +383,7 @@ impl Encode for MultiSig {
         );
         (bits as u16).encode(buf);
         let mut bitmap = vec![0u8; bits.div_ceil(8)];
-        for &s in &self.signers {
+        for &s in self.signers.iter() {
             bitmap[s as usize / 8] |= 1 << (s % 8);
         }
         buf.extend_from_slice(&bitmap);
@@ -396,7 +405,10 @@ impl Decode for MultiSig {
                 signers.push(i as u32);
             }
         }
-        Ok(MultiSig { signature, signers })
+        Ok(MultiSig {
+            signature,
+            signers: signers.into(),
+        })
     }
 }
 
@@ -485,7 +497,7 @@ mod tests {
     fn multisig_bitmap_roundtrip() {
         let ms = MultiSig {
             signature: Signature::from_value(9),
-            signers: vec![0, 3, 9, 38],
+            signers: vec![0, 3, 9, 38].into(),
         };
         roundtrip(ms.clone());
         // 48 sig + 2 count + ceil(39/8)=5 bitmap bytes
@@ -496,7 +508,7 @@ mod tests {
     fn multisig_empty_signers() {
         roundtrip(MultiSig {
             signature: Signature::from_value(0),
-            signers: vec![],
+            signers: vec![].into(),
         });
     }
 
@@ -571,7 +583,7 @@ mod tests {
         #[test]
         fn prop_multisig_roundtrip(signers in proptest::collection::btree_set(0u32..512, 0..40), v in any::<u64>()) {
             let signers: Vec<u32> = signers.into_iter().collect();
-            roundtrip(MultiSig { signature: Signature::from_value(v % icc_crypto::field::P), signers });
+            roundtrip(MultiSig { signature: Signature::from_value(v % icc_crypto::field::P), signers: signers.into() });
         }
     }
 }

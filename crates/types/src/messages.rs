@@ -226,7 +226,9 @@ impl Encode for BlockProposal {
         self.parent_notarization.encode(buf);
     }
     fn encoded_len(&self) -> usize {
-        self.block.block().encoded_len()
+        // `HashedBlock` caches its encoded length, so sizing a proposal
+        // never re-walks the command payload.
+        self.block.encoded_len()
             + self.authenticator.encoded_len()
             + self.parent_notarization.encoded_len()
     }
@@ -372,7 +374,7 @@ mod tests {
     fn multisig() -> MultiSig {
         MultiSig {
             signature: Signature::from_value(42),
-            signers: vec![0, 1, 2],
+            signers: vec![0, 1, 2].into(),
         }
     }
 

@@ -1,5 +1,7 @@
 //! Offline, API-compatible subset of `crossbeam` 0.8: the `channel`
-//! module, layered over `std::sync::mpsc`. See `vendor/README.md`.
+//! module layered over `std::sync::mpsc`, and the `thread` module's
+//! scoped threads layered over `std::thread::scope` (Rust ≥ 1.63).
+//! See `vendor/README.md`.
 
 /// Multi-producer channels with the `crossbeam-channel` API surface the
 /// workspace uses (`bounded`, `unbounded`, `recv_timeout`, iteration).
@@ -99,6 +101,68 @@ pub mod channel {
     }
 }
 
+/// Scoped threads with the `crossbeam::thread` API surface the
+/// workspace uses: `scope(|s| ...)` returning `Result`, and
+/// `s.spawn(|_| ...)` handing the scope back into the closure so
+/// spawned threads can spawn more. Backed by `std::thread::scope`,
+/// which already guarantees every spawned thread is joined before
+/// `scope` returns — so borrowing from the enclosing stack frame is
+/// safe, exactly as in real crossbeam.
+pub mod thread {
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// What a panicked child thread leaves behind (crossbeam's alias).
+    pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle to a scoped thread; joined implicitly at scope exit if
+    /// not joined explicitly.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if the
+        /// thread panicked).
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    /// The spawning surface passed to `scope` and to every spawned
+    /// closure. `Copy` so it can be captured by value into children.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure
+        /// receives the scope so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned through it are
+    /// joined before this returns. `std::thread::scope` propagates
+    /// child panics (after joining everything), so the `Err` arm of the
+    /// crossbeam signature is vestigial here — kept for API parity.
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, RecvTimeoutError};
@@ -142,5 +206,37 @@ mod tests {
         });
         h.join().unwrap();
         assert_eq!(rx.try_iter().sum::<u64>(), 4950);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(|_| chunk.iter().sum::<u64>()));
+            }
+            for h in handles {
+                sums.lock().unwrap().push(h.join().unwrap());
+            }
+        })
+        .unwrap();
+        assert_eq!(sums.into_inner().unwrap(), vec![3, 7]);
+    }
+
+    #[test]
+    fn scoped_threads_can_spawn_siblings() {
+        let flag = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+                flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        })
+        .unwrap();
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 2);
     }
 }
