@@ -14,7 +14,13 @@
 //!    does before/after the overhaul;
 //! 4. `arc_fanout` — fanning a large block proposal out to the 39 other
 //!    parties by `HashedBlock` clone (an `Arc` refcount bump) vs a deep
-//!    copy of the block body (what a by-value fan-out would pay).
+//!    copy of the block body (what a by-value fan-out would pay);
+//! 5. `telemetry_overhead` — one round's worth of flood verification
+//!    with the telemetry layer's instrumentation (per-share counter
+//!    bumps, a histogram sample, a flight-recorder event) vs without.
+//!    With `--no-default-features` the telemetry types are zero-sized
+//!    no-ops and both sides compile to identical code — the
+//!    `telemetry_enabled` field in the JSON says which build ran.
 //!
 //! Hand-rolled harness (`harness = false`): `--smoke` shrinks the
 //! iteration counts for CI while still emitting the JSON report.
@@ -26,6 +32,7 @@
 
 use icc_crypto::batch::BatchVerdict;
 use icc_crypto::multisig::{MultiSigScheme, MultiSigShare};
+use icc_telemetry::{Counter, FlightRecorder, Histogram, SpanEvent, SpanKind};
 use icc_types::block::{Block, Command, Payload};
 use icc_types::{NodeIndex, Round};
 use rand::rngs::StdRng;
@@ -186,6 +193,45 @@ fn main() {
         optimised_ns: optimised,
     });
 
+    // 5. Telemetry overhead: the instrumentation a round actually pays
+    // (one counter bump per share, one histogram sample and one
+    // flight-recorder event per flood) on top of the flood's real
+    // verification work. The expectation is "within noise": a handful
+    // of integer ops against h signature checks.
+    let mut counter = Counter::new();
+    let mut histo = Histogram::new();
+    let mut recorder = FlightRecorder::with_capacity(icc_telemetry::recorder::DEFAULT_CAPACITY);
+    let mut tick = 0u64;
+    let baseline = time_ns(reps, iters, || {
+        let d = scheme.digest(black_box(msg));
+        for s in &shares {
+            assert!(black_box(scheme.verify_share_digest(d, s)));
+        }
+    });
+    let instrumented = time_ns(reps, iters, || {
+        let d = scheme.digest(black_box(msg));
+        for s in &shares {
+            assert!(black_box(scheme.verify_share_digest(d, s)));
+            counter.inc();
+        }
+        tick += 1;
+        histo.observe(tick);
+        recorder.record(SpanEvent {
+            at_us: tick,
+            node: 0,
+            round: tick,
+            kind: SpanKind::Notarized { rank: 0 },
+        });
+    });
+    black_box((counter.get(), histo.count(), recorder.len()));
+    let telemetry_overhead_pct = (instrumented - baseline) / baseline.max(1e-9) * 100.0;
+    results.push(AbResult {
+        name: "telemetry_overhead",
+        what: "round's share flood with telemetry instrumentation vs without",
+        baseline_ns: baseline,
+        optimised_ns: instrumented,
+    });
+
     // Report: aligned table + BENCH_hotpath.json.
     println!(
         "== hotpath micro-benchmark ({}) ==",
@@ -209,6 +255,15 @@ fn main() {
         "acceptance: combined speedup {:.2}x (target >= 2.0x)",
         combined.speedup()
     );
+    println!(
+        "telemetry: {} build, instrumentation overhead {:+.2}% of a round's flood",
+        if cfg!(feature = "telemetry") {
+            "enabled"
+        } else {
+            "no-op"
+        },
+        telemetry_overhead_pct
+    );
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -216,6 +271,11 @@ fn main() {
         if smoke { "smoke" } else { "full" }
     ));
     json.push_str(&format!("  \"n\": {n},\n  \"flood_shares\": {h},\n"));
+    json.push_str(&format!(
+        "  \"telemetry_enabled\": {},\n  \"telemetry_overhead_pct\": {:.2},\n",
+        cfg!(feature = "telemetry"),
+        telemetry_overhead_pct
+    ));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(

@@ -10,6 +10,10 @@
 //! responsive). Round time is taken from `RoundFinished` events; commit
 //! latency is the time from the proposer's `Proposed` event to each
 //! node's `Committed` event for that block.
+//!
+//! A second table reads the telemetry layer's finalization-latency
+//! histogram (round entry → commit, merged across nodes) and reports
+//! p50/p90/p99 in units of δ — the distribution behind the means.
 
 use icc_bench::{fmt_f, print_table, run_trials};
 use icc_core::cluster::{Cluster, ClusterBuilder, CoreAccess};
@@ -28,8 +32,9 @@ fn builder(n: usize, delta_ms: u64) -> ClusterBuilder {
         .protocol_delays(SimDuration::from_millis(delta_ms * 3), SimDuration::ZERO)
 }
 
-/// Returns (mean round duration µs, mean commit latency µs).
-fn measure<N>(cluster: &mut Cluster<N>, secs: u64) -> (f64, f64)
+/// Returns (mean round duration µs, mean commit latency µs, merged
+/// finalization-latency histogram in µs).
+fn measure<N>(cluster: &mut Cluster<N>, secs: u64) -> (f64, f64, icc_telemetry::Histogram)
 where
     N: Node<External = Command, Output = NodeEvent> + CoreAccess,
 {
@@ -66,7 +71,8 @@ where
         }
     }
     let mean_latency = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
-    (mean_round, mean_latency)
+    let fin = cluster.core_metrics().finalization_latency_us;
+    (mean_round, mean_latency, fin)
 }
 
 fn main() {
@@ -75,15 +81,15 @@ fn main() {
     // on its own seeded cluster): `run_trials` fans the δ sweep across
     // cores with output identical to the serial loop.
     let deltas = [10u64, 20, 50];
-    let rows = run_trials(&deltas, |_, &delta_ms| {
+    let both = run_trials(&deltas, |_, &delta_ms| {
         let delta = (delta_ms * 1000) as f64;
 
         let mut icc0 = builder(n, delta_ms).build();
-        let (r0, l0) = measure(&mut icc0, 5);
+        let (r0, l0, f0) = measure(&mut icc0, 5);
 
         let overlay = Overlay::full_mesh(n);
         let mut icc1 = gossip_cluster(builder(n, delta_ms), overlay, GossipConfig::default());
-        let (r1, l1) = measure(&mut icc1, 5);
+        let (r1, l1, f1) = measure(&mut icc1, 5);
 
         let mut icc2c = icc2_cluster(
             builder(n, delta_ms),
@@ -91,10 +97,10 @@ fn main() {
                 inline_threshold: 0,
             },
         );
-        let (r2, l2) = measure(&mut icc2c, 5);
+        let (r2, l2, f2) = measure(&mut icc2c, 5);
 
         eprintln!("done delta={delta_ms}ms");
-        vec![
+        let means = vec![
             format!("{delta_ms}ms"),
             fmt_f(r0 / delta, 2),
             fmt_f(l0 / delta, 2),
@@ -102,8 +108,16 @@ fn main() {
             fmt_f(l1 / delta, 2),
             fmt_f(r2 / delta, 2),
             fmt_f(l2 / delta, 2),
-        ]
+        ];
+        let mut percentiles = vec![format!("{delta_ms}ms")];
+        for h in [&f0, &f1, &f2] {
+            percentiles.push(fmt_f(h.p50() as f64 / delta, 2));
+            percentiles.push(fmt_f(h.p90() as f64 / delta, 2));
+            percentiles.push(fmt_f(h.p99() as f64 / delta, 2));
+        }
+        (means, percentiles)
     });
+    let (rows, pct_rows): (Vec<_>, Vec<_>) = both.into_iter().unzip();
     print_table(
         "E3: round time and commit latency in units of delta (n=7, honest, eps=0)",
         &[
@@ -120,5 +134,15 @@ fn main() {
     println!(
         "paper: ICC0/ICC1 -> 2.00 / 3.00; ICC2 -> 3.00 / 4.00 (ICC1 over a full-mesh\n\
          overlay matches ICC0; a multi-hop overlay adds hops to both)."
+    );
+    println!();
+    print_table(
+        "E3b: finalization latency percentiles in units of delta (telemetry histogram,\n\
+         round entry -> commit; log2 buckets give <= 2x quantile resolution)",
+        &[
+            "delta", "ICC0 p50", "ICC0 p90", "ICC0 p99", "ICC1 p50", "ICC1 p90", "ICC1 p99",
+            "ICC2 p50", "ICC2 p90", "ICC2 p99",
+        ],
+        &pct_rows,
     );
 }

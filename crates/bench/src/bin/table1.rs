@@ -58,7 +58,12 @@ const SCENARIOS: [Scenario; 3] = [
     },
 ];
 
-fn run_cell(n: usize, scenario: &Scenario, warmup: SimDuration, window: SimDuration) -> (f64, f64) {
+fn run_cell(
+    n: usize,
+    scenario: &Scenario,
+    warmup: SimDuration,
+    window: SimDuration,
+) -> (f64, f64, [f64; 3]) {
     // Production-pacing parametrization per subnet size (paper §5).
     let (epsilon, delta_bnd) = if n <= 20 {
         (
@@ -95,7 +100,16 @@ fn run_cell(n: usize, scenario: &Scenario, warmup: SimDuration, window: SimDurat
     }
     let m = measure_window(&mut cluster, warmup, window);
     cluster.assert_safety();
-    (m.blocks_per_sec, m.mbit_per_sec_per_node)
+    // Finalization-latency percentiles (round entry -> commit) from the
+    // telemetry histogram, merged across nodes, in milliseconds. Covers
+    // the whole run (warmup included) — the histogram is cumulative.
+    let fin = cluster.core_metrics().finalization_latency_us;
+    let pct = [
+        fin.p50() as f64 / 1000.0,
+        fin.p90() as f64 / 1000.0,
+        fin.p99() as f64 / 1000.0,
+    ];
+    (m.blocks_per_sec, m.mbit_per_sec_per_node, pct)
 }
 
 fn main() {
@@ -135,7 +149,7 @@ fn main() {
         } else {
             s.paper_large
         };
-        let (rate, mbps) = run_cell(n, s, warmup, window);
+        let (rate, mbps, pct) = run_cell(n, s, warmup, window);
         eprintln!("done: n={n} scenario={}", s.label);
         vec![
             format!("{n}"),
@@ -144,6 +158,9 @@ fn main() {
             fmt_f(paper_rate, 2),
             fmt_f(mbps, 2),
             fmt_f(paper_mbps, 2),
+            fmt_f(pct[0], 1),
+            fmt_f(pct[1], 1),
+            fmt_f(pct[2], 1),
         ]
     });
     eprintln!("table1: all cells in {:.2?}", started.elapsed());
@@ -160,11 +177,16 @@ fn main() {
             "paper blocks/s",
             "Mb/s per node",
             "paper Mb/s",
+            "lat p50 ms",
+            "lat p90 ms",
+            "lat p99 ms",
         ],
         &rows,
     );
     println!(
         "note: measured traffic covers consensus artifacts only; the deployed IC's\n\
-         numbers include client I/O, key resharing, logs and metrics (see EXPERIMENTS.md)."
+         numbers include client I/O, key resharing, logs and metrics (see EXPERIMENTS.md).\n\
+         lat p50/p90/p99: finalization latency (round entry -> commit) from the\n\
+         telemetry histograms; no paper counterpart is published for these."
     );
 }

@@ -444,6 +444,55 @@ impl<N: Node<External = Command, Output = NodeEvent> + CoreAccess> Cluster<N> {
         self.sim.metrics().summary()
     }
 
+    /// Every flight-recorder event across the cluster: each node's
+    /// consensus-phase events merged with the engine's lifecycle events
+    /// (crash/restart), in global time order. The raw input of
+    /// [`critical_path`](Self::critical_path) and of the Chrome-trace
+    /// exporter ([`icc_telemetry::chrome_trace`]).
+    ///
+    /// Empty when the `telemetry` feature is off.
+    pub fn flight_events(&self) -> Vec<icc_telemetry::SpanEvent> {
+        let mut out = Vec::new();
+        for i in 0..self.n() {
+            out.extend(self.sim.node(i).core().telemetry().recorder.events());
+        }
+        out.extend(self.sim.engine_events());
+        out.sort_by_key(|e| e.at_us);
+        out
+    }
+
+    /// Cluster-wide protocol metrics: every node's
+    /// [`CoreMetrics`](crate::telemetry::CoreMetrics) merged. The
+    /// `finalization_latency_us` histogram here is what the experiment
+    /// tables' p50/p90/p99 columns read.
+    ///
+    /// All-zero when the `telemetry` feature is off.
+    pub fn core_metrics(&self) -> crate::telemetry::CoreMetrics {
+        let mut merged = crate::telemetry::CoreMetrics::default();
+        for i in 0..self.n() {
+            merged.merge(&self.sim.node(i).core().telemetry().metrics);
+        }
+        merged
+    }
+
+    /// Per-node finalization-latency histogram (round entry → commit).
+    pub fn finalization_latency(&self, node: usize) -> icc_telemetry::Histogram {
+        self.sim
+            .node(node)
+            .core()
+            .telemetry()
+            .metrics
+            .finalization_latency_us
+            .clone()
+    }
+
+    /// Runs the critical-path analyzer over the cluster's flight
+    /// events: which phase (beacon / proposal / notarization /
+    /// finalization / catch-up) dominated each node-round, rolled up.
+    pub fn critical_path(&self) -> icc_telemetry::CriticalPathSummary {
+        icc_telemetry::critical_path(&self.flight_events())
+    }
+
     /// Checks the atomic-broadcast safety property across all honest
     /// node pairs: for every round, all honest nodes that committed a
     /// block for that round committed the *same* block.

@@ -31,8 +31,10 @@ use crate::keys::{NodeKeys, PublicSetup};
 use crate::pool::Pool;
 use crate::recovery::{CatchUpError, CatchUpPackage, RecoveryStats};
 use crate::storage::{Checkpoint, DurableStore, WalEntry};
+use crate::telemetry::NodeTelemetry;
 use icc_crypto::beacon::RankPermutation;
 use icc_crypto::{hash_parts, Hash256};
+use icc_telemetry::{SpanEvent, SpanKind};
 use icc_types::block::{Block, HashedBlock, Payload};
 use icc_types::messages::{BlockProposal, BlockRef, ConsensusMessage};
 use icc_types::{Command, Rank, Round, SimTime};
@@ -94,6 +96,9 @@ struct RoundState {
     /// Blocks already echoed (each block echoed at most once; at most
     /// two per rank reach this set by the `N`/`D` guards).
     echoed: HashSet<Hash256>,
+    /// Whether the flight recorder has logged the first valid proposal
+    /// of this round (telemetry, not protocol state).
+    proposal_seen: bool,
 }
 
 impl RoundState {
@@ -107,6 +112,7 @@ impl RoundState {
             proposed: false,
             done: false,
             echoed: HashSet::new(),
+            proposal_seen: false,
         }
     }
 }
@@ -137,6 +143,12 @@ pub struct ConsensusCore {
     store: DurableStore,
     /// Recovery observability counters (restarts, catch-ups, …).
     recovery: RecoveryStats,
+    /// Protocol metrics + flight recorder. Observability, not replica
+    /// state: survives `crash()`/`restore()` like an external monitor.
+    telemetry: NodeTelemetry,
+    /// When each still-uncommitted round was entered (keyed by round
+    /// number), feeding the finalization-latency histogram.
+    entered_at: HashMap<u64, SimTime>,
     /// Take a checkpoint every this many committed rounds.
     checkpoint_interval: u64,
     /// Ablation switch: when set, the beacon share for round `k + 1` is
@@ -183,6 +195,8 @@ impl ConsensusCore {
             started: false,
             store: DurableStore::new(),
             recovery: RecoveryStats::default(),
+            telemetry: NodeTelemetry::default(),
+            entered_at: HashMap::new(),
             checkpoint_interval: 8,
             disable_beacon_pipelining: false,
         }
@@ -321,6 +335,9 @@ impl ConsensusCore {
         self.pending_digests.clear();
         self.committed_cmds.clear();
         self.started = false;
+        // `telemetry` deliberately survives: it is observability, not
+        // replica state — the flight recorder should show the outage.
+        self.entered_at.clear();
     }
 
     /// Restarts the replica from its durable state: installs the
@@ -436,6 +453,9 @@ impl ConsensusCore {
             from_round: self.kmax,
             to_round: pkg_round,
         });
+        let from_round = self.kmax.get();
+        self.record_span(now, pkg_round, SpanKind::CatchUpApplied { from_round });
+        self.telemetry.metrics.catch_ups_applied.inc();
         if advances_chain {
             let digests: Vec<Hash256> = pkg
                 .proposal
@@ -449,12 +469,17 @@ impl ConsensusCore {
             for d in &digests {
                 self.committed_cmds.insert(*d);
             }
+            let n_digests = digests.len() as u64;
             self.store.append_committed(pkg_round, digests);
             self.recovery.rounds_behind_total += pkg_round.get() - self.kmax.get();
             step.events.push(NodeEvent::Committed {
                 block: pkg.proposal.block.clone(),
             });
+            self.record_span(now, pkg_round, SpanKind::Finalized);
+            self.telemetry.metrics.blocks_committed.inc();
+            self.telemetry.metrics.commands_committed.add(n_digests);
             self.kmax = pkg_round;
+            self.entered_at.retain(|r, _| *r > pkg_round.get());
         }
         self.recovery.catch_up_applied += 1;
         self.finalizations_broadcast
@@ -523,6 +548,29 @@ impl ConsensusCore {
         &mut self.recovery
     }
 
+    /// This replica's telemetry: protocol metrics plus the flight
+    /// recorder of phase events.
+    pub fn telemetry(&self) -> &NodeTelemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access for the dissemination layer (gossip
+    /// retries, catch-up requests) — same pattern as
+    /// [`recovery_stats_mut`](Self::recovery_stats_mut).
+    pub fn telemetry_mut(&mut self) -> &mut NodeTelemetry {
+        &mut self.telemetry
+    }
+
+    /// Records one flight-recorder event stamped with sim time.
+    fn record_span(&mut self, now: SimTime, round: Round, kind: SpanKind) {
+        self.telemetry.recorder.record(SpanEvent {
+            at_us: now.as_micros(),
+            node: self.keys.index.get(),
+            round: round.get(),
+            kind,
+        });
+    }
+
     /// The replica's durable store (tests, diagnostics).
     pub fn store(&self) -> &DurableStore {
         &self.store
@@ -540,7 +588,7 @@ impl ConsensusCore {
 
     /// Runs every enabled protocol clause to quiescence.
     fn progress(&mut self, now: SimTime, step: &mut Step) {
-        self.run_finalization(step);
+        self.run_finalization(now, step);
         let mut iterations = 0u32;
         loop {
             iterations += 1;
@@ -567,7 +615,7 @@ impl ConsensusCore {
             }
             // Clause (a): finish the round on a notarized block.
             if self.try_finish_round(now, step) {
-                self.run_finalization(step);
+                self.run_finalization(now, step);
                 continue;
             }
             // Clause (b): propose after Δprop(rank_me).
@@ -580,7 +628,7 @@ impl ConsensusCore {
             }
             break;
         }
-        self.run_finalization(step);
+        self.run_finalization(now, step);
         step.next_wakeup = self.next_wakeup(now);
     }
 
@@ -612,11 +660,24 @@ impl ConsensusCore {
         let n = self.keys.setup.config.n();
         let perm = RankPermutation::derive(&beacon, n);
         let my_rank = Rank::new(perm.rank_of(self.keys.index.get()));
+        let leader = perm.leader();
         step.events.push(NodeEvent::EnteredRound {
             round: self.round,
             my_rank,
-            leader: icc_types::NodeIndex::new(perm.leader()),
+            leader: icc_types::NodeIndex::new(leader),
         });
+        let round = self.round;
+        self.record_span(now, round, SpanKind::BeaconShareQuorum);
+        self.record_span(
+            now,
+            round,
+            SpanKind::RoundStart {
+                rank: my_rank.get(),
+                leader,
+            },
+        );
+        self.telemetry.metrics.rounds_entered.inc();
+        self.entered_at.insert(round.get(), now);
         self.rstate = Some(RoundState::new(now, perm, my_rank));
 
         // Pipelining: broadcast our share of the *next* round's beacon.
@@ -668,6 +729,19 @@ impl ConsensusCore {
         rs.done = true;
         let duration = now.saturating_since(rs.t0);
         let notarized_rank = Rank::new(rs.perm.rank_of(block_ref.proposer.get()));
+        let round = self.round;
+        self.record_span(
+            now,
+            round,
+            SpanKind::Notarized {
+                rank: notarized_rank.get(),
+            },
+        );
+        self.telemetry
+            .metrics
+            .round_duration_us
+            .observe(duration.as_micros());
+        let rs = self.rstate.as_mut().expect("in a round");
         // "if N ⊆ {B} then broadcast a finalization share for B".
         let n_subset = rs.n_set.values().all(|h| *h == block_ref.hash);
         step.events.push(NodeEvent::RoundFinished {
@@ -710,6 +784,9 @@ impl ConsensusCore {
             (b.clone(), Some(n.clone()))
         };
 
+        let round = self.round;
+        self.record_span(now, round, SpanKind::Proposed);
+        self.telemetry.metrics.blocks_proposed.inc();
         if self.behavior.equivocates() {
             self.propose_equivocating(parent, parent_notarization, step);
             return true;
@@ -781,7 +858,7 @@ impl ConsensusCore {
     /// Clause (c): support the best eligible block — echo it, then
     /// either broadcast a notarization share or disqualify its rank.
     fn try_support(&mut self, now: SimTime, step: &mut Step) -> bool {
-        let candidate = {
+        let (candidate, first_seen_rank) = {
             let rs = self.rstate.as_ref().expect("in a round");
             // Valid blocks of this round, ranked, rank not disqualified.
             let mut ranked: Vec<(u32, HashedBlock)> = self
@@ -797,6 +874,15 @@ impl ConsensusCore {
             let Some(&(min_rank, _)) = ranked.iter().min_by_key(|(r, _)| *r) else {
                 return false;
             };
+            // Flight recorder: note the first moment a valid proposal
+            // for this round is visible — even if its `Δntry` timer has
+            // not yet expired (the critical-path analyzer separates
+            // "waiting for a proposal" from "waiting for the timer").
+            let first_seen = if rs.proposal_seen {
+                None
+            } else {
+                Some(min_rank)
+            };
             ranked.retain(|(r, b)| {
                 *r == min_rank
                     && rs.n_set.get(r) != Some(&b.hash())
@@ -804,12 +890,16 @@ impl ConsensusCore {
             });
             // Deterministic pick among same-rank candidates.
             ranked.sort_by_key(|(_, b)| b.hash());
-            match ranked.into_iter().next() {
-                Some(c) => c,
-                None => return false,
-            }
+            (ranked.into_iter().next(), first_seen)
         };
-        let (rank, block) = candidate;
+        if let Some(rank) = first_seen_rank {
+            self.rstate.as_mut().expect("in a round").proposal_seen = true;
+            let round = self.round;
+            self.record_span(now, round, SpanKind::ProposalSeen { rank });
+        }
+        let Some((rank, block)) = candidate else {
+            return false;
+        };
         let block_ref = BlockRef::of_hashed(&block);
 
         // Echo (re-broadcast) other parties' blocks so every honest
@@ -853,7 +943,7 @@ impl ConsensusCore {
 
     /// Fig. 2: combine/broadcast finalizations and output committed
     /// payloads, advancing `kmax`.
-    fn run_finalization(&mut self, step: &mut Step) {
+    fn run_finalization(&mut self, now: SimTime, step: &mut Step) {
         loop {
             // Case (ii): a completable share set.
             if let Some(f) = self.pool.completable_finalization(self.kmax) {
@@ -907,7 +997,20 @@ impl ConsensusCore {
                 for d in &digests {
                     self.committed_cmds.insert(*d);
                 }
-                self.store.append_committed(b.round(), digests);
+                let committed_round = b.round();
+                self.record_span(now, committed_round, SpanKind::Finalized);
+                self.telemetry.metrics.blocks_committed.inc();
+                self.telemetry
+                    .metrics
+                    .commands_committed
+                    .add(digests.len() as u64);
+                if let Some(t0) = self.entered_at.remove(&committed_round.get()) {
+                    self.telemetry
+                        .metrics
+                        .finalization_latency_us
+                        .observe(now.saturating_since(t0).as_micros());
+                }
+                self.store.append_committed(committed_round, digests);
                 step.events.push(NodeEvent::Committed { block: b });
             }
             // Trim committed commands from the head of the input queue.
@@ -920,6 +1023,10 @@ impl ConsensusCore {
                 }
             }
             self.kmax = block.round();
+            // Rounds at or below the committed tip will never produce a
+            // fresh latency sample (their entries were consumed above,
+            // or the round was skipped over by a certificate).
+            self.entered_at.retain(|r, _| *r > self.kmax.get());
             self.maybe_checkpoint();
             if let Some(depth) = self.policy.purge_depth {
                 if self.kmax.get() > depth {

@@ -29,6 +29,8 @@
 //!   dissemination);
 //! * [`storage`] — durable replica state: checkpoints + write-ahead log;
 //! * [`recovery`] — certified catch-up packages and recovery counters;
+//! * [`telemetry`] — per-replica metrics and the flight recorder of
+//!   consensus phase events (no-op without the `telemetry` feature);
 //! * [`cluster`] — multi-node simulation harness with safety checks;
 //! * [`replica`] — state-machine replication on top of atomic broadcast.
 //!
@@ -59,6 +61,7 @@ pub mod pool;
 pub mod recovery;
 pub mod replica;
 pub mod storage;
+pub mod telemetry;
 
 pub use byzantine::Behavior;
 pub use cluster::{Cluster, ClusterBuilder};
@@ -67,3 +70,4 @@ pub use events::NodeEvent;
 pub use node::IccNode;
 pub use recovery::{CatchUpError, CatchUpPackage, RecoveryStats};
 pub use storage::{Checkpoint, DurableStore, WalEntry};
+pub use telemetry::{CoreMetrics, NodeTelemetry};

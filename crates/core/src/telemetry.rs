@@ -1,0 +1,91 @@
+//! Per-replica telemetry: protocol-level metrics and the flight
+//! recorder of consensus phase events.
+//!
+//! Every [`ConsensusCore`](crate::ConsensusCore) owns a
+//! [`NodeTelemetry`]: a handful of counters/histograms capturing the
+//! protocol's hot numbers (rounds entered, blocks committed, round
+//! durations, finalization latency) plus a bounded
+//! [`FlightRecorder`](icc_telemetry::FlightRecorder) of structured
+//! [`SpanEvent`](icc_telemetry::SpanEvent)s — the raw material for the
+//! critical-path analyzer and the Chrome-trace exporter in
+//! `icc-telemetry`.
+//!
+//! All of this compiles to no-ops when the `telemetry` feature is off
+//! (the types collapse to ZSTs), so the protocol hot path carries zero
+//! instrumentation cost in `--no-default-features` builds — verified by
+//! the `telemetry_overhead` cell of the hotpath bench.
+//!
+//! Telemetry is *observability*, not replica state: it survives
+//! [`crash`](crate::ConsensusCore::crash) / restore cycles the way an
+//! external monitoring agent would, so a trace shows the outage rather
+//! than forgetting it.
+
+use icc_telemetry::{Counter, FlightRecorder, Histogram};
+
+/// Protocol-level metrics for one replica.
+///
+/// With the `telemetry` feature off every field is a ZST and every
+/// method an inlined no-op.
+#[derive(Debug, Default)]
+pub struct CoreMetrics {
+    /// Rounds this replica entered (beacon computed, rank derived).
+    pub rounds_entered: Counter,
+    /// Blocks this replica proposed (equivocating proposals count once).
+    pub blocks_proposed: Counter,
+    /// Blocks committed (output by Fig. 2, including catch-up tips).
+    pub blocks_committed: Counter,
+    /// Client commands contained in committed blocks.
+    pub commands_committed: Counter,
+    /// Certified catch-up packages applied.
+    pub catch_ups_applied: Counter,
+    /// Round duration: round entry to notarized finish, in µs.
+    pub round_duration_us: Histogram,
+    /// Finalization latency: round entry to commit of that round's
+    /// block, in µs. The headline p50/p90/p99 columns of the experiment
+    /// tables read from this histogram.
+    pub finalization_latency_us: Histogram,
+}
+
+impl CoreMetrics {
+    /// Folds another replica's metrics into this one (cluster roll-up).
+    pub fn merge(&mut self, other: &CoreMetrics) {
+        self.rounds_entered.merge(&other.rounds_entered);
+        self.blocks_proposed.merge(&other.blocks_proposed);
+        self.blocks_committed.merge(&other.blocks_committed);
+        self.commands_committed.merge(&other.commands_committed);
+        self.catch_ups_applied.merge(&other.catch_ups_applied);
+        self.round_duration_us.merge(&other.round_duration_us);
+        self.finalization_latency_us
+            .merge(&other.finalization_latency_us);
+    }
+}
+
+/// A replica's full telemetry bundle: metrics plus the flight recorder.
+#[derive(Debug, Default)]
+pub struct NodeTelemetry {
+    /// Protocol-level counters and latency histograms.
+    pub metrics: CoreMetrics,
+    /// Bounded ring of structured span events (consensus phases,
+    /// catch-ups, gossip retries).
+    pub recorder: FlightRecorder,
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_folds_counters_and_histograms() {
+        let mut a = CoreMetrics::default();
+        a.rounds_entered.inc();
+        a.round_duration_us.observe(1_000);
+        let mut b = CoreMetrics::default();
+        b.rounds_entered.inc();
+        b.rounds_entered.inc();
+        b.round_duration_us.observe(3_000);
+        a.merge(&b);
+        assert_eq!(a.rounds_entered.get(), 3);
+        assert_eq!(a.round_duration_us.count(), 2);
+        assert_eq!(a.round_duration_us.max(), 3_000);
+    }
+}

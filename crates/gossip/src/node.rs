@@ -14,6 +14,7 @@ use icc_core::events::NodeEvent;
 use icc_core::recovery::{CatchUpError, CatchUpPackage};
 use icc_crypto::{hash_parts, Hash256};
 use icc_sim::{Context, Node, WireMessage};
+use icc_telemetry::{SpanEvent, SpanKind};
 use icc_types::codec::{encode_to_vec, Encode};
 use icc_types::messages::{BlockProposal, ConsensusMessage};
 use icc_types::{Command, NodeIndex, Round, SimDuration, SimTime};
@@ -484,6 +485,14 @@ impl GossipNode {
         ahead.sort_by(|a, b| b.cmp(a)); // most-ahead first, deterministic
         let (_, peer) = ahead[self.catch_up_rotation % ahead.len()];
         ctx.send(peer, GossipMessage::CatchUpRequest { have_round: have });
+        let me = ctx.me().get();
+        let at_us = ctx.now().as_micros();
+        self.core.telemetry_mut().recorder.record(SpanEvent {
+            at_us,
+            node: me,
+            round: have.get(),
+            kind: SpanKind::CatchUpRequested,
+        });
         let wait = backoff_after(
             self.config.request_timeout,
             self.config.retry_backoff_cap,
@@ -640,7 +649,7 @@ impl Node for GossipNode {
                 let now = ctx.now();
                 let timeout = self.config.request_timeout;
                 let cap = self.config.retry_backoff_cap;
-                let mut retries: Vec<(Round, Hash256, NodeIndex)> = Vec::new();
+                let mut retries: Vec<(Round, Hash256, NodeIndex, u32)> = Vec::new();
                 for (id, req) in self.pending.iter_mut() {
                     if now < req.next_retry_at {
                         continue;
@@ -659,12 +668,20 @@ impl Node for GossipNode {
                     req.attempts = req.attempts.saturating_add(1);
                     req.next_retry_at = now + backoff_after(timeout, cap, req.attempts);
                     if let Some(peer) = chosen {
-                        retries.push((req.round, *id, peer));
+                        retries.push((req.round, *id, peer, req.attempts));
                     }
                 }
-                retries.sort_by_key(|(round, id, _)| (*round, *id));
-                for (_, id, peer) in retries {
+                retries.sort_by_key(|(round, id, _, _)| (*round, *id));
+                let me = ctx.me().get();
+                let at_us = now.as_micros();
+                for (round, id, peer, attempts) in retries {
                     ctx.send(peer, GossipMessage::Request { id });
+                    self.core.telemetry_mut().recorder.record(SpanEvent {
+                        at_us,
+                        node: me,
+                        round: round.get(),
+                        kind: SpanKind::GossipRetry { attempts },
+                    });
                 }
                 self.arm_sweep(ctx);
             }

@@ -10,6 +10,7 @@ use crate::fault::{FaultPlan, LifecycleEvent};
 use crate::metrics::Metrics;
 use crate::node::{Action, Context, Node, WireMessage};
 use crate::policy::DeliveryPolicy;
+use icc_telemetry::{FlightRecorder, SpanEvent, SpanKind};
 use icc_types::{NodeIndex, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -164,6 +165,7 @@ impl SimulationBuilder {
             rto: self.rto,
             alive: vec![true; n],
             metrics: Metrics::new(n),
+            recorder: FlightRecorder::with_capacity(icc_telemetry::recorder::DEFAULT_CAPACITY),
             outputs: Vec::new(),
             events_processed: 0,
             max_events: self.max_events,
@@ -217,6 +219,10 @@ pub struct Simulation<N: Node> {
     rto: SimDuration,
     alive: Vec<bool>,
     metrics: Metrics,
+    /// Engine-level flight recorder: node lifecycle (crash/restart)
+    /// span events, stamped with sim time. Consensus-phase events live
+    /// in the nodes' own recorders; harnesses merge both streams.
+    recorder: FlightRecorder,
     outputs: Vec<OutputRecord<N::Output>>,
     events_processed: u64,
     max_events: u64,
@@ -255,9 +261,17 @@ impl<N: Node> Simulation<N> {
     }
 
     /// Resets traffic metrics (e.g. after a warm-up period, so a
-    /// measurement window starts clean).
+    /// measurement window starts clean). Also clears the engine-level
+    /// flight recorder.
     pub fn reset_metrics(&mut self) {
         self.metrics = Metrics::new(self.nodes.len());
+        self.recorder.clear();
+    }
+
+    /// Engine-level flight-recorder events (node lifecycle
+    /// transitions), oldest first.
+    pub fn engine_events(&self) -> Vec<SpanEvent> {
+        self.recorder.events()
     }
 
     /// Outputs emitted so far, in emission order.
@@ -390,6 +404,12 @@ impl<N: Node> Simulation<N> {
                 if up {
                     if !self.alive[i] {
                         self.alive[i] = true;
+                        self.recorder.record(SpanEvent {
+                            at_us: self.now.as_micros(),
+                            node: node.get(),
+                            round: 0,
+                            kind: SpanKind::NodeUp,
+                        });
                         let mut ctx = Context {
                             me: node,
                             n: self.nodes.len(),
@@ -402,6 +422,12 @@ impl<N: Node> Simulation<N> {
                     }
                 } else if self.alive[i] {
                     self.alive[i] = false;
+                    self.recorder.record(SpanEvent {
+                        at_us: self.now.as_micros(),
+                        node: node.get(),
+                        round: 0,
+                        kind: SpanKind::NodeDown,
+                    });
                     self.nodes[i].on_crash();
                 }
             }
@@ -837,6 +863,34 @@ mod tests {
         // Node 0 (the broadcaster) never started: nothing was sent at all.
         assert_eq!(sim.outputs().len(), 0);
         assert_eq!(sim.metrics().total_bytes(), 0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn lifecycle_transitions_are_flight_recorded() {
+        use crate::fault::FaultPlan;
+        use icc_telemetry::SpanKind;
+        let ms = SimDuration::from_millis;
+        let plan = FaultPlan::new().crash_between(
+            NodeIndex::new(1),
+            SimTime::ZERO + ms(50),
+            SimTime::ZERO + ms(150),
+        );
+        let mut sim = SimulationBuilder::new(1)
+            .delay(FixedDelay::new(ms(10)))
+            .fault_plan(plan)
+            .build((0..2).map(|_| Echo { replied: false }).collect());
+        sim.run_until(SimTime::ZERO + ms(200));
+        let evs = sim.engine_events();
+        let kinds: Vec<(u32, SpanKind, u64)> =
+            evs.iter().map(|e| (e.node, e.kind, e.at_us)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (1, SpanKind::NodeDown, 50_000),
+                (1, SpanKind::NodeUp, 150_000),
+            ]
+        );
     }
 
     #[test]

@@ -138,6 +138,35 @@ impl DeliveryPolicy for SlowNodes {
     }
 }
 
+/// Adds a constant extra delay to specific **directed** links only —
+/// unlike [`SlowNodes`], which slows every message touching a node in
+/// either direction. Directional control is what scripted telemetry
+/// scenarios need: "node 1's shares reach node 0 late" without also
+/// delaying what node 0 sends back.
+#[derive(Debug, Clone)]
+pub struct SlowLinks {
+    /// The affected `(from, to)` links.
+    pub links: Vec<(NodeIndex, NodeIndex)>,
+    /// Extra one-way delay applied per affected link.
+    pub extra: SimDuration,
+}
+
+impl DeliveryPolicy for SlowLinks {
+    fn deliver_at(
+        &mut self,
+        from: NodeIndex,
+        to: NodeIndex,
+        _sent: SimTime,
+        tentative: SimTime,
+    ) -> SimTime {
+        if self.links.contains(&(from, to)) {
+            tentative + self.extra
+        } else {
+            tentative
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +240,29 @@ mod tests {
         );
         assert_eq!(
             s.deliver_at(NodeIndex::new(1), NodeIndex::new(2), t(0), t(10)),
+            t(10)
+        );
+    }
+
+    #[test]
+    fn slow_links_are_directional() {
+        let mut s = SlowLinks {
+            links: vec![(NodeIndex::new(1), NodeIndex::new(0))],
+            extra: SimDuration::from_millis(30),
+        };
+        // The configured direction is delayed…
+        assert_eq!(
+            s.deliver_at(NodeIndex::new(1), NodeIndex::new(0), t(0), t(10)),
+            t(40)
+        );
+        // …the reverse direction is not…
+        assert_eq!(
+            s.deliver_at(NodeIndex::new(0), NodeIndex::new(1), t(0), t(10)),
+            t(10)
+        );
+        // …and unrelated links are untouched.
+        assert_eq!(
+            s.deliver_at(NodeIndex::new(2), NodeIndex::new(0), t(0), t(10)),
             t(10)
         );
     }

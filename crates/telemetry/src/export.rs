@@ -1,0 +1,298 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`)
+//! and a Prometheus-style text snapshot.
+//!
+//! Both are hand-rolled string builders — the workspace is fully
+//! offline and vendors no JSON crate — emitting only numbers and
+//! static identifier strings, so no escaping is required.
+
+use crate::analyze::{round_timelines, Phase};
+use crate::metrics::Histogram;
+use crate::recorder::{SpanEvent, SpanKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render span events as Chrome trace-event JSON (the
+/// `{"traceEvents": [...]}` object form), loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Layout per node (`pid` = node index):
+///
+/// * `tid 0` — one `"ph": "i"` **instant** per recorded span event
+///   (name = the event label, `ts` = sim µs, args carry round/rank/
+///   etc.). The number of instants equals `events.len()` exactly —
+///   the acceptance invariant tying the trace to the flight recorder.
+/// * `tid 1` — `"ph": "X"` **complete spans** for the reconstructed
+///   per-round phase waits (beacon/proposal/notarization/
+///   finalization/catch-up), so Perfetto shows each round as a bar
+///   chain.
+/// * `"ph": "M"` metadata names each process `node-N` and its two
+///   threads.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut entries: Vec<String> = Vec::with_capacity(events.len() + 16);
+    let mut by_node: BTreeMap<u32, Vec<SpanEvent>> = BTreeMap::new();
+    for ev in events {
+        by_node.entry(ev.node).or_default().push(*ev);
+    }
+    for &node in by_node.keys() {
+        entries.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":0,\
+             \"args\":{{\"name\":\"node-{node}\"}}}}"
+        ));
+        entries.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":0,\
+             \"args\":{{\"name\":\"span events\"}}}}"
+        ));
+        entries.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{node},\"tid\":1,\
+             \"args\":{{\"name\":\"round phases\"}}}}"
+        ));
+    }
+    // One instant per event, in recording order.
+    for ev in events {
+        let mut args = format!("\"round\":{}", ev.round);
+        match ev.kind {
+            SpanKind::RoundStart { rank, leader } => {
+                let _ = write!(args, ",\"rank\":{rank},\"leader\":{leader}");
+            }
+            SpanKind::ProposalSeen { rank } | SpanKind::Notarized { rank } => {
+                let _ = write!(args, ",\"rank\":{rank}");
+            }
+            SpanKind::CatchUpApplied { from_round } => {
+                let _ = write!(args, ",\"from_round\":{from_round}");
+            }
+            SpanKind::GossipRetry { attempts } => {
+                let _ = write!(args, ",\"attempts\":{attempts}");
+            }
+            _ => {}
+        }
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\
+             \"tid\":0,\"args\":{{{}}}}}",
+            ev.kind.label(),
+            ev.at_us,
+            ev.node,
+            args
+        ));
+    }
+    // Reconstructed phase spans per node.
+    for (&node, evs) in &by_node {
+        for tl in round_timelines(evs) {
+            let spans: [(Phase, Option<u64>, Option<u64>); 5] = [
+                (Phase::Beacon, tl.prev_end_us, tl.start_us),
+                (Phase::Proposal, tl.start_us, tl.proposal_seen_us),
+                (
+                    Phase::Notarization,
+                    tl.proposal_seen_us.or(tl.start_us),
+                    tl.notarized_us,
+                ),
+                (Phase::Finalization, tl.notarized_us, tl.finalized_us),
+                (
+                    Phase::CatchUp,
+                    tl.prev_end_us.or(tl.catch_up_us),
+                    tl.catch_up_us,
+                ),
+            ];
+            for (phase, from, to) in spans {
+                if phase == Phase::CatchUp && tl.catch_up_us.is_none() {
+                    continue;
+                }
+                if tl.catch_up_us.is_some() && phase != Phase::CatchUp {
+                    continue;
+                }
+                if let (Some(from), Some(to)) = (from, to) {
+                    entries.push(format!(
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{},\"tid\":1,\"args\":{{\"round\":{}}}}}",
+                        phase.label(),
+                        from,
+                        to.saturating_sub(from),
+                        node,
+                        tl.round
+                    ));
+                }
+            }
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Builder for a Prometheus text-exposition snapshot
+/// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=...}`
+/// histogram series).
+#[derive(Debug, Default)]
+pub struct PromSnapshot {
+    out: String,
+}
+
+impl PromSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Append one unlabeled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "counter", help);
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Append one unlabeled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: i64) {
+        self.header(name, "gauge", help);
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Append a counter family with one label dimension, e.g.
+    /// `sent_bytes{kind="block"} 123`.
+    pub fn counter_series(&mut self, name: &str, help: &str, label: &str, series: &[(&str, u64)]) {
+        self.header(name, "counter", help);
+        for (value_label, v) in series {
+            let _ = writeln!(self.out, "{name}{{{label}=\"{value_label}\"}} {v}");
+        }
+    }
+
+    /// Append a log2-bucketed [`Histogram`] as a Prometheus histogram:
+    /// cumulative `_bucket{le="..."}` series (only up to the highest
+    /// non-empty bucket, plus `+Inf`), `_sum`, and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &Histogram) {
+        self.header(name, "histogram", help);
+        let buckets = h.cumulative_buckets();
+        if buckets.is_empty() {
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} 0");
+        }
+        for (bound, cum) in buckets {
+            match bound {
+                Some(b) => {
+                    let _ = writeln!(self.out, "{name}_bucket{{le=\"{b}\"}} {cum}");
+                }
+                None => {
+                    let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                }
+            }
+        }
+        let _ = writeln!(self.out, "{name}_sum {}", h.sum());
+        let _ = writeln!(self.out, "{name}_count {}", h.count());
+    }
+
+    /// Finish and return the exposition text.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                at_us: 100,
+                node: 0,
+                round: 1,
+                kind: SpanKind::RoundStart { rank: 0, leader: 0 },
+            },
+            SpanEvent {
+                at_us: 120,
+                node: 0,
+                round: 1,
+                kind: SpanKind::ProposalSeen { rank: 0 },
+            },
+            SpanEvent {
+                at_us: 150,
+                node: 0,
+                round: 1,
+                kind: SpanKind::Notarized { rank: 0 },
+            },
+            SpanEvent {
+                at_us: 160,
+                node: 1,
+                round: 1,
+                kind: SpanKind::GossipRetry { attempts: 2 },
+            },
+        ]
+    }
+
+    #[test]
+    fn instant_count_matches_event_count() {
+        let events = sample_events();
+        let json = chrome_trace(&events);
+        let instants = json.matches("\"ph\":\"i\"").count();
+        assert_eq!(instants, events.len());
+    }
+
+    #[test]
+    fn trace_has_metadata_and_phase_spans() {
+        let json = chrome_trace(&sample_events());
+        assert!(json.contains("\"name\":\"node-0\""));
+        assert!(json.contains("\"name\":\"node-1\""));
+        // Proposal and notarization waits are reconstructible for
+        // round 1 on node 0.
+        assert!(json.contains("\"name\":\"proposal\",\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"notarization\",\"ph\":\"X\""));
+        // Balanced object: starts with '{', ends with '}'.
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_an_object() {
+        let json = chrome_trace(&[]);
+        assert!(json.contains("\"traceEvents\""));
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 0);
+    }
+
+    #[test]
+    fn prom_counters_and_gauges() {
+        let mut snap = PromSnapshot::new();
+        snap.counter("icc_rounds_total", "Rounds entered.", 42);
+        snap.gauge("icc_pending", "Pending requests.", -1);
+        snap.counter_series(
+            "icc_sent_bytes",
+            "Bytes by kind.",
+            "kind",
+            &[("block", 100), ("beacon_share", 7)],
+        );
+        let text = snap.render();
+        assert!(text.contains("# TYPE icc_rounds_total counter"));
+        assert!(text.contains("icc_rounds_total 42"));
+        assert!(text.contains("icc_pending -1"));
+        assert!(text.contains("icc_sent_bytes{kind=\"block\"} 100"));
+        assert!(text.contains("icc_sent_bytes{kind=\"beacon_share\"} 7"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn prom_histogram_cumulative_buckets() {
+        let mut h = Histogram::new();
+        for v in [100u64, 100, 900, 5_000] {
+            h.observe(v);
+        }
+        let mut snap = PromSnapshot::new();
+        snap.histogram("icc_latency_us", "Latency.", &h);
+        let text = snap.render();
+        assert!(text.contains("# TYPE icc_latency_us histogram"));
+        assert!(text.contains("icc_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("icc_latency_us_count 4"));
+        assert!(text.contains("icc_latency_us_sum 6100"));
+    }
+
+    #[test]
+    fn prom_empty_histogram_has_inf_bucket() {
+        let mut snap = PromSnapshot::new();
+        snap.histogram("icc_empty_us", "Empty.", &Histogram::new());
+        let text = snap.render();
+        assert!(text.contains("icc_empty_us_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("icc_empty_us_count 0"));
+    }
+}

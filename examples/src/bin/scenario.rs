@@ -24,6 +24,10 @@
 //!   icc1, the certified catch-up protocol)
 //! * `--load <rate>x<bytes>`  client commands per second × size
 //! * `--interdc`              inter-datacenter delay model instead of fixed
+//! * `--trace-out <path>`     write a Chrome trace-event JSON of the run's
+//!   flight-recorder events (open in Perfetto or `chrome://tracing`)
+//! * `--metrics-out <path>`   write a Prometheus-style text snapshot of the
+//!   run's counters and latency histograms
 
 use icc_core::cluster::{Cluster, ClusterBuilder, CoreAccess};
 use icc_core::events::NodeEvent;
@@ -48,6 +52,8 @@ struct Opts {
     churn: usize,
     load: Option<(usize, usize)>,
     interdc: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
@@ -55,7 +61,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: scenario [--nodes N] [--protocol icc0|icc1|icc2] [--delta-ms MS]\n\
          \t[--delta-bnd-ms MS] [--epsilon-ms MS] [--secs S] [--seed U64]\n\
-         \t[--crash F] [--equivocate F] [--churn F] [--load RATExBYTES] [--interdc]"
+         \t[--crash F] [--equivocate F] [--churn F] [--load RATExBYTES] [--interdc]\n\
+         \t[--trace-out PATH] [--metrics-out PATH]"
     );
     std::process::exit(2);
 }
@@ -74,6 +81,8 @@ fn parse() -> Opts {
         churn: 0,
         load: None,
         interdc: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -143,6 +152,8 @@ fn parse() -> Opts {
                 ));
             }
             "--interdc" => opts.interdc = true,
+            "--trace-out" => opts.trace_out = Some(val("--trace-out")),
+            "--metrics-out" => opts.metrics_out = Some(val("--metrics-out")),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -270,6 +281,123 @@ where
         "durable state           {} WAL appends, {} checkpoints",
         rec.wal_appends, rec.checkpoints
     );
+    // Telemetry: cluster-wide finalization-latency percentiles, the
+    // critical-path verdict roll-up, and the optional trace/metrics
+    // exports. All of this is empty/zero in `--no-default-features`
+    // builds (the flight recorder and histograms compile to no-ops).
+    let core_m = cluster.core_metrics();
+    let fin = &core_m.finalization_latency_us;
+    if fin.count() > 0 {
+        println!(
+            "finalization latency    p50 {:.1} ms  p90 {:.1} ms  p99 {:.1} ms  max {:.1} ms",
+            fin.p50() as f64 / 1000.0,
+            fin.p90() as f64 / 1000.0,
+            fin.p99() as f64 / 1000.0,
+            fin.max() as f64 / 1000.0
+        );
+    }
+    let cp = cluster.critical_path();
+    if cp.rounds > 0 {
+        println!("{cp}");
+    }
+    let events = cluster.flight_events();
+    if let Some(path) = &opts.trace_out {
+        let trace = icc_telemetry::chrome_trace(&events);
+        // Acceptance invariant: one "ph":"i" instant per recorded
+        // flight-recorder event, no more, no fewer.
+        let instants = trace.matches("\"ph\":\"i\"").count();
+        assert_eq!(
+            instants,
+            events.len(),
+            "trace instants must match flight-recorder events"
+        );
+        std::fs::write(path, &trace).unwrap_or_else(|e| usage(&format!("--trace-out {path}: {e}")));
+        println!("trace written           {path} ({instants} events)");
+    }
+    if let Some(path) = &opts.metrics_out {
+        let m = cluster.sim.metrics();
+        let mut snap = icc_telemetry::PromSnapshot::new();
+        snap.counter(
+            "icc_committed_blocks_total",
+            "Blocks committed by the observer node.",
+            committed.len() as u64,
+        );
+        snap.counter(
+            "icc_rounds_entered_total",
+            "Rounds entered, summed over nodes.",
+            core_m.rounds_entered.get(),
+        );
+        snap.counter(
+            "icc_blocks_proposed_total",
+            "Blocks proposed, summed over nodes.",
+            core_m.blocks_proposed.get(),
+        );
+        snap.counter(
+            "icc_blocks_committed_total",
+            "Blocks committed, summed over nodes.",
+            core_m.blocks_committed.get(),
+        );
+        snap.counter(
+            "icc_commands_committed_total",
+            "Client commands committed, summed over nodes.",
+            core_m.commands_committed.get(),
+        );
+        snap.counter(
+            "icc_catch_ups_applied_total",
+            "Certified catch-up packages applied, summed over nodes.",
+            core_m.catch_ups_applied.get(),
+        );
+        snap.histogram(
+            "icc_round_duration_us",
+            "Round entry to notarized finish, microseconds.",
+            &core_m.round_duration_us,
+        );
+        snap.histogram(
+            "icc_finalization_latency_us",
+            "Round entry to commit of that round's block, microseconds.",
+            fin,
+        );
+        snap.counter(
+            "icc_sent_messages_total",
+            "Messages sent across all nodes.",
+            m.total_messages(),
+        );
+        snap.counter(
+            "icc_sent_bytes_total",
+            "Wire bytes sent across all nodes.",
+            m.total_bytes(),
+        );
+        let by_kind = m.sent_by_kind_totals();
+        let msgs: Vec<(&str, u64)> = by_kind.iter().map(|(k, (n, _))| (*k, *n)).collect();
+        let bytes: Vec<(&str, u64)> = by_kind.iter().map(|(k, (_, b))| (*k, *b)).collect();
+        snap.counter_series(
+            "icc_sent_messages_by_kind_total",
+            "Messages sent, by artifact kind.",
+            "kind",
+            &msgs,
+        );
+        snap.counter_series(
+            "icc_sent_bytes_by_kind_total",
+            "Wire bytes sent, by artifact kind.",
+            "kind",
+            &bytes,
+        );
+        snap.counter_series(
+            "icc_pool_counters",
+            "Two-tier artifact pool counters (aggregate).",
+            "field",
+            &pool.fields(),
+        );
+        snap.counter_series(
+            "icc_recovery_counters",
+            "Crash-recovery counters (aggregate).",
+            "field",
+            &rec.fields(),
+        );
+        let text = snap.render();
+        std::fs::write(path, text).unwrap_or_else(|e| usage(&format!("--metrics-out {path}: {e}")));
+        println!("metrics written         {path}");
+    }
     println!("safety                  OK (all honest chains agree on every round)");
 }
 
