@@ -20,7 +20,7 @@
 //! wholesale and the requester retries elsewhere.
 
 use icc_crypto::beacon::BeaconValue;
-use icc_types::codec::Encode;
+use icc_types::codec::{CodecError, Decode, Encode, Reader};
 use icc_types::messages::{BlockProposal, Finalization, Notarization};
 use icc_types::Round;
 use std::fmt;
@@ -53,12 +53,71 @@ impl CatchUpPackage {
     }
 
     /// Approximate wire size in bytes (metered as catch-up traffic).
+    ///
+    /// This is the *simulator metering* size: beacon entries are charged
+    /// 17 bytes (8-byte round + tag + 8-byte signature value), matching
+    /// what a compact deployment encoding would cost. The byte-exact
+    /// transport encoding (the [`Encode`] impl below, used by `icc-net`)
+    /// carries full 48-byte signature wire forms, so its length differs;
+    /// metering stays on this method so historical traffic numbers are
+    /// not perturbed.
     pub fn encoded_len(&self) -> usize {
         // Each beacon entry: 8-byte round + tag + 8-byte signature value.
         self.proposal.encoded_len()
             + self.notarization.encoded_len()
             + self.finalization.encoded_len()
             + self.beacons.len() * 17
+    }
+}
+
+impl Encode for CatchUpPackage {
+    /// Canonical transport encoding: proposal, notarization,
+    /// finalization, then the beacon segment as a counted sequence of
+    /// `(round, value)` pairs.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.proposal.encode(buf);
+        self.notarization.encode(buf);
+        self.finalization.encode(buf);
+        (self.beacons.len() as u64).encode(buf);
+        for (round, value) in &self.beacons {
+            round.encode(buf);
+            value.encode(buf);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        let beacons: usize = self
+            .beacons
+            .iter()
+            .map(|(r, v)| Encode::encoded_len(r) + Encode::encoded_len(v))
+            .sum();
+        self.proposal.encoded_len()
+            + Encode::encoded_len(&self.notarization)
+            + Encode::encoded_len(&self.finalization)
+            + 8
+            + beacons
+    }
+}
+
+impl Decode for CatchUpPackage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let proposal = BlockProposal::decode(r)?;
+        let notarization = Notarization::decode(r)?;
+        let finalization = Finalization::decode(r)?;
+        let count = u64::decode(r)?;
+        if count > icc_types::codec::MAX_LEN {
+            return Err(CodecError::LengthOverflow { len: count });
+        }
+        let mut beacons = Vec::with_capacity((count as usize).min(1024));
+        for _ in 0..count {
+            beacons.push((Round::decode(r)?, BeaconValue::decode(r)?));
+        }
+        Ok(CatchUpPackage {
+            proposal,
+            notarization,
+            finalization,
+            beacons,
+        })
     }
 }
 

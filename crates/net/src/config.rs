@@ -1,0 +1,215 @@
+//! The static peer configuration a replica process joins a cluster
+//! from: one line per node, `<index> <host:port>`.
+//!
+//! ```text
+//! # four-node localhost cluster
+//! 0 127.0.0.1:4600
+//! 1 127.0.0.1:4601
+//! 2 127.0.0.1:4602
+//! 3 127.0.0.1:4603
+//! ```
+//!
+//! Indices must be the contiguous range `0..n` (in any line order) —
+//! they are the same `NodeIndex` values the deterministic key dealer
+//! and the consensus core use, so the file is the single source of
+//! truth binding key material to socket addresses.
+
+use icc_types::NodeIndex;
+use std::error::Error;
+use std::fmt;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::Path;
+
+/// A parsed cluster membership file: the socket address of every node,
+/// indexed by `NodeIndex`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    addrs: Vec<SocketAddr>,
+}
+
+/// Why a membership file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A line was not `<index> <host:port>`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        why: String,
+    },
+    /// The same index appeared on two lines.
+    DuplicateIndex {
+        /// The repeated index.
+        index: u32,
+    },
+    /// The indices did not form the contiguous range `0..n`.
+    NonContiguous {
+        /// Number of entries found.
+        n: usize,
+        /// The first missing index.
+        missing: u32,
+    },
+    /// The file had no entries.
+    Empty,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Malformed { line, why } => {
+                write!(f, "cluster spec line {line}: {why}")
+            }
+            SpecError::DuplicateIndex { index } => {
+                write!(f, "cluster spec: node index {index} appears twice")
+            }
+            SpecError::NonContiguous { n, missing } => {
+                write!(
+                    f,
+                    "cluster spec: {n} entries but index {missing} is missing \
+                     (indices must be contiguous from 0)"
+                )
+            }
+            SpecError::Empty => f.write_str("cluster spec: no entries"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+impl ClusterSpec {
+    /// Builds a spec directly from addresses; `addrs[i]` is node `i`.
+    pub fn from_addrs(addrs: Vec<SocketAddr>) -> Result<ClusterSpec, SpecError> {
+        if addrs.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        Ok(ClusterSpec { addrs })
+    }
+
+    /// Parses the `<index> <host:port>` line format ( `#` comments and
+    /// blank lines ignored).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SpecError`] on malformed, duplicate, gapped, or empty
+    /// input.
+    pub fn parse(text: &str) -> Result<ClusterSpec, SpecError> {
+        let mut entries: Vec<(u32, SocketAddr)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(idx), Some(addr), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(SpecError::Malformed {
+                    line: lineno + 1,
+                    why: format!("expected `<index> <host:port>`, got {line:?}"),
+                });
+            };
+            let index: u32 = idx.parse().map_err(|_| SpecError::Malformed {
+                line: lineno + 1,
+                why: format!("bad node index {idx:?}"),
+            })?;
+            // `to_socket_addrs` resolves hostnames too (e.g. `localhost`),
+            // not just literal IPs.
+            let addr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .ok_or_else(|| SpecError::Malformed {
+                    line: lineno + 1,
+                    why: format!("bad socket address {addr:?}"),
+                })?;
+            if entries.iter().any(|(i, _)| *i == index) {
+                return Err(SpecError::DuplicateIndex { index });
+            }
+            entries.push((index, addr));
+        }
+        if entries.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        entries.sort_by_key(|(i, _)| *i);
+        for (want, (got, _)) in entries.iter().enumerate() {
+            if *got != want as u32 {
+                return Err(SpecError::NonContiguous {
+                    n: entries.len(),
+                    missing: want as u32,
+                });
+            }
+        }
+        Ok(ClusterSpec {
+            addrs: entries.into_iter().map(|(_, a)| a).collect(),
+        })
+    }
+
+    /// Reads and parses a membership file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or any [`SpecError`], both boxed.
+    pub fn load(path: &Path) -> Result<ClusterSpec, Box<dyn Error>> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(ClusterSpec::parse(&text)?)
+    }
+
+    /// Renders the spec back into the line format `parse` accepts.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, a) in self.addrs.iter().enumerate() {
+            writeln!(out, "{i} {a}").expect("string write");
+        }
+        out
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The socket address of node `i`.
+    pub fn addr(&self, i: NodeIndex) -> SocketAddr {
+        self.addrs[i.as_usize()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_with_comments_and_order() {
+        let text =
+            "# demo cluster\n2 127.0.0.1:4602\n0 127.0.0.1:4600 # seed\n\n1 127.0.0.1:4601\n";
+        let spec = ClusterSpec::parse(text).unwrap();
+        assert_eq!(spec.n(), 3);
+        assert_eq!(spec.addr(NodeIndex::new(1)).port(), 4601);
+        let again = ClusterSpec::parse(&spec.render()).unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn rejects_duplicates_gaps_and_garbage() {
+        assert_eq!(
+            ClusterSpec::parse("0 127.0.0.1:1\n0 127.0.0.1:2\n"),
+            Err(SpecError::DuplicateIndex { index: 0 })
+        );
+        assert_eq!(
+            ClusterSpec::parse("0 127.0.0.1:1\n2 127.0.0.1:2\n"),
+            Err(SpecError::NonContiguous { n: 2, missing: 1 })
+        );
+        assert_eq!(ClusterSpec::parse("# nothing\n"), Err(SpecError::Empty));
+        assert!(matches!(
+            ClusterSpec::parse("0 not-an-address\n"),
+            Err(SpecError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            ClusterSpec::parse("zero 127.0.0.1:1\n"),
+            Err(SpecError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            ClusterSpec::parse("0 127.0.0.1:1 extra\n"),
+            Err(SpecError::Malformed { line: 1, .. })
+        ));
+    }
+}

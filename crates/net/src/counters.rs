@@ -1,0 +1,116 @@
+//! Real-atomic transport counters.
+//!
+//! Unlike the simulator's metering (which lives in single-threaded
+//! engine state), the TCP transport's I/O happens on many threads, so
+//! its counters are genuine `AtomicU64`s shared across writer, reader,
+//! and driver threads. Snapshots feed the replica's end-of-run report
+//! and `BENCH_net.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters for one [`TcpTransport`](crate::TcpTransport).
+/// All increments use relaxed ordering — these are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Frames handed to the kernel (payloads fully written).
+    pub frames_sent: AtomicU64,
+    /// Payload bytes fully written (excluding frame headers).
+    pub bytes_sent: AtomicU64,
+    /// Frames received, CRC-checked, and decoded.
+    pub frames_recv: AtomicU64,
+    /// Payload bytes received in valid frames.
+    pub bytes_recv: AtomicU64,
+    /// Messages dropped because a peer's bounded send queue was full —
+    /// the backpressure policy in action (drop-newest, never block the
+    /// consensus driver).
+    pub send_queue_drops: AtomicU64,
+    /// Completed reconnections (a dial succeeding after the previous
+    /// connection to that peer was lost — initial dials not counted).
+    pub reconnects: AtomicU64,
+    /// Frames whose payload failed message decoding (connection dropped).
+    pub decode_errors: AtomicU64,
+    /// Framing-layer rejections: bad magic, oversized length, CRC
+    /// mismatch (connection dropped).
+    pub frame_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCountersSnapshot {
+    /// See [`NetCounters::frames_sent`].
+    pub frames_sent: u64,
+    /// See [`NetCounters::bytes_sent`].
+    pub bytes_sent: u64,
+    /// See [`NetCounters::frames_recv`].
+    pub frames_recv: u64,
+    /// See [`NetCounters::bytes_recv`].
+    pub bytes_recv: u64,
+    /// See [`NetCounters::send_queue_drops`].
+    pub send_queue_drops: u64,
+    /// See [`NetCounters::reconnects`].
+    pub reconnects: u64,
+    /// See [`NetCounters::decode_errors`].
+    pub decode_errors: u64,
+    /// See [`NetCounters::frame_errors`].
+    pub frame_errors: u64,
+}
+
+impl NetCounters {
+    /// Relaxed-increment helper.
+    pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> NetCountersSnapshot {
+        NetCountersSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_recv: self.frames_recv.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            send_queue_drops: self.send_queue_drops.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl NetCountersSnapshot {
+    /// Renders the snapshot as a JSON object fragment (stable key
+    /// order), for embedding in replica reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"frames_sent\":{},\"bytes_sent\":{},\"frames_recv\":{},\"bytes_recv\":{},\
+             \"send_queue_drops\":{},\"reconnects\":{},\"decode_errors\":{},\"frame_errors\":{}}}",
+            self.frames_sent,
+            self.bytes_sent,
+            self.frames_recv,
+            self.bytes_recv,
+            self.send_queue_drops,
+            self.reconnects,
+            self.decode_errors,
+            self.frame_errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_all_fields() {
+        let c = NetCounters::default();
+        NetCounters::bump(&c.frames_sent, 3);
+        NetCounters::bump(&c.bytes_recv, 100);
+        NetCounters::bump(&c.send_queue_drops, 1);
+        let s = c.snapshot();
+        assert_eq!(s.frames_sent, 3);
+        assert_eq!(s.bytes_recv, 100);
+        assert_eq!(s.send_queue_drops, 1);
+        assert_eq!(s.frames_recv, 0);
+        assert!(s.to_json().contains("\"send_queue_drops\":1"));
+    }
+}

@@ -25,7 +25,12 @@
 //! * [`fault`] — fault plans: scheduled crashes and restarts driven
 //!   through the engine as lifecycle events (messages to a down node are
 //!   *dropped*, unlike the delay-only policies);
-//! * [`metrics`] — per-node message/byte counters.
+//! * [`metrics`] — per-node message/byte counters;
+//! * [`runtime`] — the wall-clock counterpart: a [`Transport`] trait
+//!   (typed inbox/outbox among indexed peers) and one shared [`drive`]
+//!   loop that runs any [`Node`] on any transport;
+//! * [`live`] — the in-process transport backend: crossbeam channels as
+//!   the network (`icc-net` provides the TCP backend).
 //!
 //! # Example
 //!
@@ -67,8 +72,10 @@ pub mod live;
 pub mod metrics;
 pub mod node;
 pub mod policy;
+pub mod runtime;
 
 pub use engine::{Simulation, SimulationBuilder};
 pub use fault::{FaultPlan, LifecycleEvent};
 pub use metrics::{Metrics, MetricsSummary, NodeMetrics, PoolCounters, RecoveryCounters};
 pub use node::{Context, Node, WireMessage};
+pub use runtime::{drive, RecvError, Transport, TransportEvent};

@@ -1,28 +1,91 @@
-//! A real-time, multi-threaded transport for [`Node`] implementations.
+//! The channel backend of the wall-clock runtime: real threads, real
+//! time, crossbeam channels as the network.
 //!
 //! The protocol state machines are sans-IO, so the same nodes that run
-//! under the deterministic discrete-event engine also run here: one OS
-//! thread per node, crossbeam channels as the network, the wall clock
-//! as time. This is the "it is not coupled to the simulator" proof —
-//! useful for demos and smoke tests, not for measurements (wall-clock
-//! runs are not reproducible; use [`Simulation`](crate::Simulation) for
-//! experiments).
+//! under the deterministic discrete-event engine also run here — one OS
+//! thread per node, each executing the shared [`drive`] loop from
+//! [`crate::runtime`] over a [`ChannelTransport`]. This is the "not
+//! coupled to the simulator" proof and the reference backend for the
+//! transport abstraction: `icc-net` swaps the channels for kernel TCP
+//! sockets without the loop or the nodes changing.
 //!
-//! Message delay is whatever the channels cost (microseconds), so pace
-//! protocols with their own delay parameters (e.g. a positive `ε`).
+//! Useful for demos and smoke tests, not for measurements (wall-clock
+//! runs are not reproducible; use [`Simulation`](crate::Simulation) for
+//! experiments). Message delay is whatever the channels cost
+//! (microseconds), so pace protocols with their own delay parameters
+//! (e.g. a positive `ε`).
 
 use crate::engine::OutputRecord;
-use crate::node::{Action, Context, Node};
+use crate::node::Node;
+use crate::runtime::{drive, RecvError, Transport, TransportEvent};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use icc_types::{NodeIndex, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use icc_types::NodeIndex;
 use std::time::{Duration, Instant};
 
-enum LiveEvent<M, X> {
-    Msg { from: NodeIndex, msg: M },
-    External(X),
-    Stop,
+/// The in-process [`Transport`]: every peer is a crossbeam channel.
+/// Sends never block (channels are unbounded) and never fail visibly —
+/// a stopped peer's events are simply dropped, which is exactly the
+/// best-effort contract the trait specifies.
+pub struct ChannelTransport<M, X> {
+    me: NodeIndex,
+    peers: Vec<Sender<TransportEvent<M, X>>>,
+    inbox: Receiver<TransportEvent<M, X>>,
+}
+
+impl<M: Clone, X> ChannelTransport<M, X> {
+    /// Builds a fully-connected mesh of `n` transports. Also returns the
+    /// raw event senders, one per node, through which a harness injects
+    /// [`TransportEvent::External`] inputs and [`TransportEvent::Stop`].
+    #[allow(clippy::type_complexity)]
+    pub fn mesh(
+        n: usize,
+    ) -> (
+        Vec<ChannelTransport<M, X>>,
+        Vec<Sender<TransportEvent<M, X>>>,
+    ) {
+        let mut senders = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        let transports = inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, inbox)| ChannelTransport {
+                me: NodeIndex::new(i as u32),
+                peers: senders.clone(),
+                inbox,
+            })
+            .collect();
+        (transports, senders)
+    }
+}
+
+impl<M: Clone, X> Transport for ChannelTransport<M, X> {
+    type Msg = M;
+    type External = X;
+
+    fn me(&self) -> NodeIndex {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&mut self, to: NodeIndex, msg: M) {
+        let _ = self.peers[to.as_usize()].send(TransportEvent::Msg { from: self.me, msg });
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<TransportEvent<M, X>, RecvError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(ev) => Ok(ev),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Closed),
+        }
+    }
 }
 
 /// Handle for injecting external inputs into a running live cluster.
@@ -60,13 +123,7 @@ where
     N::Output: Send + 'static,
 {
     let n = nodes.len();
-    let mut senders: Vec<Sender<LiveEvent<N::Msg, N::External>>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Receiver<LiveEvent<N::Msg, N::External>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
+    let (transports, senders) = ChannelTransport::<N::Msg, N::External>::mesh(n);
     let (out_tx, out_rx) = unbounded::<OutputRecord<N::Output>>();
 
     // External-input fan-in: one forwarding channel per node so the
@@ -78,7 +135,7 @@ where
         let s = s.clone();
         std::thread::spawn(move || {
             for input in ext_rx {
-                if s.send(LiveEvent::External(input)).is_err() {
+                if s.send(TransportEvent::External(input)).is_err() {
                     break;
                 }
             }
@@ -87,104 +144,12 @@ where
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
-    for (i, (mut node, inbox)) in nodes.into_iter().zip(receivers).enumerate() {
-        let me = NodeIndex::new(i as u32);
-        let peers = senders.clone();
+    for (node, transport) in nodes.into_iter().zip(transports) {
         let out = out_tx.clone();
         handles.push(std::thread::spawn(move || {
-            let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
-            let mut actions: Vec<Action<N::Msg, N::Output>> = Vec::new();
-            let now_sim = |start: Instant| SimTime::from_micros(start.elapsed().as_micros() as u64);
-
-            // on_start
-            {
-                let mut ctx = Context {
-                    me,
-                    n,
-                    now: now_sim(start),
-                    alive: None,
-                    actions: &mut actions,
-                };
-                node.on_start(&mut ctx);
-            }
-            loop {
-                // Drain actions from the previous handler.
-                for action in actions.drain(..) {
-                    match action {
-                        Action::Broadcast(msg) => {
-                            for peer in &peers {
-                                let _ = peer.send(LiveEvent::Msg {
-                                    from: me,
-                                    msg: msg.clone(),
-                                });
-                            }
-                        }
-                        Action::Send(to, msg) => {
-                            let _ = peers[to.as_usize()].send(LiveEvent::Msg { from: me, msg });
-                        }
-                        Action::SetTimer { after, tag } => {
-                            timers.push(Reverse((
-                                Instant::now() + Duration::from_micros(after.as_micros()),
-                                tag,
-                            )));
-                        }
-                        Action::Output(output) => {
-                            let _ = out.send(OutputRecord {
-                                at: now_sim(start),
-                                node: me,
-                                output,
-                            });
-                        }
-                    }
-                }
-                // Fire due timers.
-                let now = Instant::now();
-                if let Some(Reverse((deadline, tag))) = timers.peek().copied() {
-                    if deadline <= now {
-                        timers.pop();
-                        let mut ctx = Context {
-                            me,
-                            n,
-                            now: now_sim(start),
-                            alive: None,
-                            actions: &mut actions,
-                        };
-                        node.on_timer(&mut ctx, tag);
-                        continue;
-                    }
-                }
-                // Wait for the next event or timer deadline.
-                let timeout = timers
-                    .peek()
-                    .map(|Reverse((d, _))| d.saturating_duration_since(now))
-                    .unwrap_or(Duration::from_millis(50));
-                match inbox.recv_timeout(timeout) {
-                    Ok(LiveEvent::Msg { from, msg }) => {
-                        let mut ctx = Context {
-                            me,
-                            n,
-                            now: now_sim(start),
-                            alive: None,
-                            actions: &mut actions,
-                        };
-                        node.on_message(&mut ctx, from, msg);
-                    }
-                    Ok(LiveEvent::External(input)) => {
-                        let mut ctx = Context {
-                            me,
-                            n,
-                            now: now_sim(start),
-                            alive: None,
-                            actions: &mut actions,
-                        };
-                        node.on_external(&mut ctx, input);
-                    }
-                    Ok(LiveEvent::Stop) => break,
-                    Err(RecvTimeoutError::Timeout) => {} // loop fires timers
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            node
+            drive(node, transport, start, |rec| {
+                let _ = out.send(rec);
+            })
         }));
     }
     drop(out_tx);
@@ -194,7 +159,7 @@ where
     });
     std::thread::sleep(duration);
     for s in &senders {
-        let _ = s.send(LiveEvent::Stop);
+        let _ = s.send(TransportEvent::Stop);
     }
     for h in handles {
         h.join().expect("node thread panicked");
@@ -205,6 +170,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::Context;
     use icc_types::SimDuration;
 
     /// Node that relays a token around the ring, counting hops.
@@ -255,5 +221,39 @@ mod tests {
         assert!(outputs
             .iter()
             .any(|o| o.output == 1007 && o.node == NodeIndex::new(0)));
+    }
+
+    /// Broadcast through the channel transport reaches all n nodes,
+    /// including the broadcaster itself (the paper's primitive).
+    struct Bcast;
+    impl Node for Bcast {
+        type Msg = u32;
+        type External = u32;
+        type Output = (NodeIndex, u32);
+        fn on_external(&mut self, ctx: &mut Context<'_, u32, (NodeIndex, u32)>, input: u32) {
+            ctx.broadcast(input);
+        }
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, u32, (NodeIndex, u32)>,
+            from: NodeIndex,
+            msg: u32,
+        ) {
+            ctx.output((from, msg));
+        }
+    }
+
+    #[test]
+    fn broadcast_includes_self_delivery() {
+        let nodes = (0..3).map(|_| Bcast).collect();
+        let outputs = run_live(nodes, Duration::from_millis(150), |handle| {
+            assert!(handle.inject(NodeIndex::new(1), 77));
+        });
+        let receivers: std::collections::BTreeSet<u32> = outputs
+            .iter()
+            .filter(|o| o.output == (NodeIndex::new(1), 77))
+            .map(|o| o.node.get())
+            .collect();
+        assert_eq!(receivers, [0u32, 1, 2].into_iter().collect());
     }
 }

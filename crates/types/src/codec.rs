@@ -75,8 +75,11 @@ impl fmt::Display for CodecError {
 impl Error for CodecError {}
 
 /// Sanity cap on any single length prefix (64 MiB) to bound allocation
-/// from corrupt input.
-const MAX_LEN: u64 = 64 << 20;
+/// from corrupt input. The stream-transport frame guard
+/// ([`crate::frame::DEFAULT_MAX_FRAME_LEN`]) sits *below* this cap, so
+/// a hostile peer is rejected at the framing layer before any
+/// payload-sized allocation can happen here.
+pub const MAX_LEN: u64 = 64 << 20;
 
 /// A cursor over input bytes.
 #[derive(Debug)]
@@ -412,6 +415,44 @@ impl Decode for MultiSig {
     }
 }
 
+impl Encode for icc_crypto::beacon::BeaconValue {
+    /// Tag byte (0 = genesis seed, 1 = threshold signature) + value.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        use icc_crypto::beacon::BeaconValue;
+        match self {
+            BeaconValue::Genesis(h) => {
+                buf.push(0);
+                h.encode(buf);
+            }
+            BeaconValue::Signature(sig) => {
+                buf.push(1);
+                sig.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        use icc_crypto::beacon::BeaconValue;
+        1 + match self {
+            BeaconValue::Genesis(_) => 32,
+            BeaconValue::Signature(_) => SIG_WIRE_BYTES,
+        }
+    }
+}
+
+impl Decode for icc_crypto::beacon::BeaconValue {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        use icc_crypto::beacon::BeaconValue;
+        match u8::decode(r)? {
+            0 => Ok(BeaconValue::Genesis(Hash256::decode(r)?)),
+            1 => Ok(BeaconValue::Signature(Signature::decode(r)?)),
+            tag => Err(CodecError::InvalidTag {
+                tag,
+                ty: "BeaconValue",
+            }),
+        }
+    }
+}
+
 impl Encode for crate::ids::NodeIndex {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.get().encode(buf);
@@ -510,6 +551,20 @@ mod tests {
             signature: Signature::from_value(0),
             signers: vec![].into(),
         });
+    }
+
+    #[test]
+    fn beacon_value_roundtrip() {
+        use icc_crypto::beacon::BeaconValue;
+        roundtrip(BeaconValue::Genesis(Hash256([3u8; 32])));
+        roundtrip(BeaconValue::Signature(Signature::from_value(42)));
+        assert!(matches!(
+            decode_from_slice::<BeaconValue>(&[7]),
+            Err(CodecError::InvalidTag {
+                ty: "BeaconValue",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   shares and aggregates, beacon shares);
 //! * [`codec`] — a compact deterministic wire codec; every artifact knows
 //!   its encoded size, which is what the simulator meters to reproduce
-//!   the paper's traffic measurements (Table 1).
+//!   the paper's traffic measurements (Table 1);
+//! * [`frame`] — length-prefixed CRC-checked frames that carry codec
+//!   payloads over byte streams (the `icc-net` TCP transport).
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 pub mod block;
 pub mod codec;
 pub mod config;
+pub mod frame;
 pub mod ids;
 pub mod messages;
 pub mod time;

@@ -1,0 +1,371 @@
+//! Launches an N-**process** consensus cluster on localhost TCP,
+//! SIGKILLs one replica mid-run, restarts it, and checks that the
+//! cluster stayed safe and live and that the restarted replica caught
+//! back up via a certified catch-up package — the networked analogue of
+//! the simulator's churn scenarios, with real kernel sockets and real
+//! process death.
+//!
+//! ```text
+//! cargo run --release -p icc-examples --bin net_cluster -- \
+//!     [--nodes N] [--secs S] [--seed U64] [--no-churn]
+//!     [--bench-out PATH] [--trace-out PATH]
+//! ```
+//!
+//! Each replica is the `replica` binary (spawned from this
+//! executable's directory) joined via a generated peer-config file on
+//! consecutive free ports. Assertions:
+//!
+//! * **safety** — for every round, all `COMMIT` lines across all
+//!   processes (including both incarnations of the churned one) name
+//!   the same block hash;
+//! * **liveness** — every replica's final committed round reaches a
+//!   floor despite the churn;
+//! * **recovery** — the restarted replica's `REPORT` shows at least
+//!   one certified catch-up package applied, and surviving replicas
+//!   redialed it (`reconnects` > 0).
+//!
+//! Results land in `BENCH_net.json` (override with `--bench-out`).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    nodes: usize,
+    secs: u64,
+    seed: u64,
+    churn: bool,
+    bench_out: String,
+    trace_out: Option<String>,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: net_cluster [--nodes N] [--secs S] [--seed U64] [--no-churn]\n\
+         \t[--bench-out PATH] [--trace-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Opts {
+    let mut opts = Opts {
+        nodes: 4,
+        secs: 12,
+        seed: 7,
+        churn: true,
+        bench_out: "BENCH_net.json".into(),
+        trace_out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} requires a value")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--nodes" => {
+                opts.nodes = val("--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --nodes"))
+            }
+            "--secs" => {
+                opts.secs = val("--secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --secs"))
+            }
+            "--seed" => {
+                opts.seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--no-churn" => opts.churn = false,
+            "--bench-out" => opts.bench_out = val("--bench-out"),
+            "--trace-out" => opts.trace_out = Some(val("--trace-out")),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if opts.nodes < 4 && opts.churn {
+        usage("churn needs at least 4 nodes (3 survivors keep quorum)");
+    }
+    if opts.nodes < 3 {
+        usage("--nodes must be at least 3");
+    }
+    if opts.secs < 6 && opts.churn {
+        usage("churn needs at least --secs 6 (kill at 1/3, restart at 2/3)");
+    }
+    opts
+}
+
+/// One spawned replica process plus the thread draining its stdout.
+struct Instance {
+    /// Which replica (`--me`) this process ran as.
+    me: usize,
+    child: Child,
+    lines: Arc<Mutex<Vec<String>>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Instance {
+    fn spawn(bin: &PathBuf, config: &PathBuf, me: usize, secs: u64, opts: &Opts) -> Instance {
+        let mut cmd = Command::new(bin);
+        cmd.arg("--config")
+            .arg(config)
+            .arg("--me")
+            .arg(me.to_string())
+            .arg("--secs")
+            .arg(secs.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .stdout(Stdio::piped());
+        if me == 0 {
+            if let Some(trace) = &opts.trace_out {
+                cmd.arg("--trace-out").arg(trace);
+            }
+        }
+        let mut child = cmd
+            .spawn()
+            .unwrap_or_else(|e| usage(&format!("spawning {}: {e}", bin.display())));
+        let stdout = child.stdout.take().expect("piped stdout");
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        let reader = std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                sink.lock().expect("stdout sink").push(line);
+            }
+        });
+        Instance {
+            me,
+            child,
+            lines,
+            reader: Some(reader),
+        }
+    }
+
+    /// Waits for exit (or kills on `kill=true`), joins the reader, and
+    /// returns the captured stdout lines.
+    fn finish(mut self, kill: bool) -> (usize, Vec<String>) {
+        if kill {
+            let _ = self.child.kill();
+        }
+        let _ = self.child.wait();
+        if let Some(r) = self.reader.take() {
+            r.join().expect("stdout reader");
+        }
+        let lines = std::mem::take(&mut *self.lines.lock().expect("stdout sink"));
+        (self.me, lines)
+    }
+}
+
+/// Pulls `"key":<u64>` out of a REPORT line (the launcher wrote the
+/// replica, so this narrow parse is safe).
+fn report_u64(report: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let Some(at) = report.find(&pat) else {
+        return 0;
+    };
+    report[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let opts = parse();
+    let n = opts.nodes;
+
+    // Reserve n consecutive free ports by binding :0 listeners, then
+    // release them for the replicas. (A tiny race with other local
+    // processes, but fine for a localhost bench.)
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind :0"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("bound").to_string())
+        .collect();
+    drop(listeners);
+
+    let config = std::env::temp_dir().join(format!("icc_net_cluster_{}.txt", std::process::id()));
+    let mut spec = String::new();
+    for (i, a) in addrs.iter().enumerate() {
+        spec.push_str(&format!("{i} {a}\n"));
+    }
+    std::fs::write(&config, &spec).expect("write cluster config");
+
+    // The replica binary sits next to this launcher in target/.
+    let bin = std::env::current_exe()
+        .expect("current exe")
+        .with_file_name(if cfg!(windows) {
+            "replica.exe"
+        } else {
+            "replica"
+        });
+    if !bin.exists() {
+        usage(&format!(
+            "{} not found — build it first (cargo build --release -p icc-examples --bin replica)",
+            bin.display()
+        ));
+    }
+
+    println!(
+        "launching {n} replica processes for {}s (seed {}, churn {})…",
+        opts.secs, opts.seed, opts.churn
+    );
+    let started = Instant::now();
+    let mut running: Vec<Instance> = (0..n)
+        .map(|me| Instance::spawn(&bin, &config, me, opts.secs, &opts))
+        .collect();
+    // (me, lines) per finished process incarnation, in finish order.
+    let mut finished: Vec<(usize, Vec<String>)> = Vec::new();
+
+    // Churn: SIGKILL the last replica a third of the way through,
+    // restart it at two thirds. The ~secs/3 outage at ICC1's localhost
+    // round rate puts it far more than `catch_up_threshold` (10) rounds
+    // behind, so rejoining MUST go through a certified catch-up
+    // package — per-round artifact replay would be too slow.
+    let victim = n - 1;
+    if opts.churn {
+        std::thread::sleep(Duration::from_secs(opts.secs / 3));
+        let pos = running
+            .iter()
+            .position(|i| i.me == victim)
+            .expect("victim running");
+        let inst = running.remove(pos);
+        finished.push(inst.finish(true));
+        println!("killed replica {victim} at t={:?}", started.elapsed());
+
+        std::thread::sleep(Duration::from_secs(opts.secs / 3));
+        // Stop when the others do: its budget is the remaining time.
+        let remaining = opts.secs.saturating_sub(started.elapsed().as_secs()).max(2);
+        running.push(Instance::spawn(&bin, &config, victim, remaining, &opts));
+        println!("restarted replica {victim} at t={:?}", started.elapsed());
+    }
+
+    for inst in running {
+        finished.push(inst.finish(false));
+    }
+    let _ = std::fs::remove_file(&config);
+
+    // --- Safety: one hash per round, across every process incarnation.
+    let mut by_round: HashMap<u64, String> = HashMap::new();
+    let mut commits_total = 0u64;
+    let mut final_round: HashMap<usize, u64> = HashMap::new();
+    let mut reports: Vec<(usize, String)> = Vec::new();
+    for (me, lines) in &finished {
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("COMMIT") => {
+                    let (Some(round), Some(hash), None) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        continue; // torn final line of a killed process
+                    };
+                    let Ok(round) = round.parse::<u64>() else {
+                        continue;
+                    };
+                    // A SIGKILL can tear a line mid-hash; only full
+                    // 32-byte digests enter the safety check.
+                    if hash.len() != 64 {
+                        continue;
+                    }
+                    commits_total += 1;
+                    let e = final_round.entry(*me).or_insert(0);
+                    *e = (*e).max(round);
+                    match by_round.get(&round) {
+                        None => {
+                            by_round.insert(round, hash.to_string());
+                        }
+                        Some(seen) => assert_eq!(
+                            seen, hash,
+                            "SAFETY VIOLATION: replica {me} committed a different block in round {round}"
+                        ),
+                    }
+                }
+                Some("REPORT") => {
+                    reports.push((*me, line["REPORT ".len()..].to_string()));
+                }
+                _ => {}
+            }
+        }
+    }
+    let rounds_checked = by_round.len() as u64;
+    assert!(rounds_checked > 0, "no rounds committed at all");
+
+    // --- Liveness: everyone's chain kept growing despite the churn.
+    // The conservative floor is ~1 round/s; localhost actually runs
+    // orders of magnitude faster.
+    let floor = opts.secs;
+    for me in 0..n {
+        let last = final_round.get(&me).copied().unwrap_or(0);
+        assert!(
+            last >= floor,
+            "LIVENESS: replica {me} stalled at round {last} (floor {floor})"
+        );
+    }
+
+    // --- Recovery: the restarted replica used certified catch-up, and
+    // the survivors' writers redialed it.
+    let catch_ups: u64 = reports
+        .iter()
+        .filter(|(me, _)| *me == victim)
+        .map(|(_, r)| report_u64(r, "catch_up_applied"))
+        .sum();
+    let reconnects: u64 = reports
+        .iter()
+        .map(|(_, r)| report_u64(r, "reconnects"))
+        .sum();
+    if opts.churn {
+        assert!(
+            catch_ups >= 1,
+            "restarted replica {victim} rejoined without a certified catch-up package"
+        );
+        assert!(
+            reconnects >= 1,
+            "no replica reported a completed reconnection"
+        );
+    }
+
+    let elapsed = started.elapsed();
+    println!(
+        "done in {elapsed:?}: {commits_total} COMMIT lines, {rounds_checked} distinct rounds, \
+         per-round safety OK"
+    );
+    println!(
+        "liveness OK (every replica ≥ round {floor}); catch-ups applied {catch_ups}, \
+         reconnects {reconnects}"
+    );
+
+    // --- BENCH_net.json: the REPORT lines are already JSON objects.
+    reports.sort_by_key(|(me, _)| *me);
+    let replica_objs: Vec<String> = reports.into_iter().map(|(_, r)| r).collect();
+    let bench = format!(
+        "{{\"bench\":\"net_cluster\",\"nodes\":{n},\"secs\":{},\"seed\":{},\"churn\":{},\
+         \"elapsed_ms\":{},\"commits_total\":{commits_total},\"rounds_checked\":{rounds_checked},\
+         \"min_final_round\":{},\"catch_up_applied\":{catch_ups},\"reconnects\":{reconnects},\
+         \"replicas\":[{}]}}\n",
+        opts.secs,
+        opts.seed,
+        opts.churn,
+        elapsed.as_millis(),
+        (0..n)
+            .map(|me| final_round.get(&me).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0),
+        replica_objs.join(","),
+    );
+    std::fs::write(&opts.bench_out, bench)
+        .unwrap_or_else(|e| usage(&format!("--bench-out {}: {e}", opts.bench_out)));
+    println!("wrote {}", opts.bench_out);
+}

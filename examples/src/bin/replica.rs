@@ -1,0 +1,320 @@
+//! A consensus **replica as an OS process**: one ICC1 node (gossip +
+//! consensus core) driven by the shared wall-clock loop over a real TCP
+//! mesh. Start `n` of these against the same peer-config file and they
+//! form a cluster on your machine — kernel sockets, frame CRCs,
+//! reconnects and all — running byte-for-byte the same `GossipNode`
+//! the discrete-event simulator tests.
+//!
+//! ```text
+//! cargo run --release -p icc-examples --bin replica -- \
+//!     --config cluster.txt --me 0 --secs 10
+//! ```
+//!
+//! where `cluster.txt` lists every peer, one `<index> <host:port>` per
+//! line (see `icc_net::ClusterSpec`). All replicas must be given the
+//! same `--seed`: the threshold keys are dealt deterministically from
+//! it, so the config file plus the seed *are* the cluster identity.
+//!
+//! Stdout is machine-readable, one record per line:
+//!
+//! * `READY <addr>` — listener bound, mesh dialing.
+//! * `COMMIT <round> <hash>` — a block joined this replica's chain
+//!   (the launcher cross-checks these across processes for safety).
+//! * `REPORT {json}` — final counters on shutdown.
+//!
+//! `--trace-out` writes this replica's flight-recorder spans as a
+//! Chrome trace; `--metrics-out` writes a Prometheus snapshot.
+
+use icc_core::byzantine::Behavior;
+use icc_core::consensus::ConsensusCore;
+use icc_core::delays::StaticDelays;
+use icc_core::events::NodeEvent;
+use icc_core::keys::generate_keys;
+use icc_gossip::{GossipConfig, GossipNode, Overlay};
+use icc_net::{ClusterSpec, NetOptions, TcpTransport};
+use icc_sim::runtime::drive;
+use icc_types::{Command, NodeIndex, SimDuration, SubnetConfig};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    config: String,
+    me: u32,
+    secs: u64,
+    seed: u64,
+    delta_bnd_ms: u64,
+    epsilon_ms: u64,
+    cmd_rate: u64,
+    cmd_size: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: replica --config PATH --me N [--secs S] [--seed U64]\n\
+         \t[--delta-bnd-ms MS] [--epsilon-ms MS] [--cmd-rate PER_S] [--cmd-size BYTES]\n\
+         \t[--trace-out PATH] [--metrics-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Opts {
+    let mut opts = Opts {
+        config: String::new(),
+        me: u32::MAX,
+        secs: 10,
+        seed: 0,
+        // Pace rounds at roughly 10/s: localhost latency is ~µs, so an
+        // unpaced cluster would spin rounds faster than the launcher
+        // can meaningfully observe (and a restarted replica could never
+        // fall a satisfying number of rounds behind).
+        delta_bnd_ms: 300,
+        epsilon_ms: 50,
+        cmd_rate: 50,
+        cmd_size: 64,
+        trace_out: None,
+        metrics_out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} requires a value")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--config" => opts.config = val("--config"),
+            "--me" => opts.me = val("--me").parse().unwrap_or_else(|_| usage("bad --me")),
+            "--secs" => {
+                opts.secs = val("--secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --secs"))
+            }
+            "--seed" => {
+                opts.seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--delta-bnd-ms" => {
+                opts.delta_bnd_ms = val("--delta-bnd-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --delta-bnd-ms"))
+            }
+            "--epsilon-ms" => {
+                opts.epsilon_ms = val("--epsilon-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --epsilon-ms"))
+            }
+            "--cmd-rate" => {
+                opts.cmd_rate = val("--cmd-rate")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --cmd-rate"))
+            }
+            "--cmd-size" => {
+                opts.cmd_size = val("--cmd-size")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --cmd-size"))
+            }
+            "--trace-out" => opts.trace_out = Some(val("--trace-out")),
+            "--metrics-out" => opts.metrics_out = Some(val("--metrics-out")),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if opts.config.is_empty() {
+        usage("--config is required");
+    }
+    if opts.me == u32::MAX {
+        usage("--me is required");
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse();
+    let spec = ClusterSpec::load(Path::new(&opts.config))
+        .unwrap_or_else(|e| usage(&format!("--config {}: {e}", opts.config)));
+    let n = spec.n();
+    if opts.me as usize >= n {
+        usage(&format!("--me {} out of range for n={n}", opts.me));
+    }
+    if n < 3 {
+        usage("a gossip cluster needs at least 3 nodes");
+    }
+    let me = NodeIndex::new(opts.me);
+
+    // Every replica deals the same deterministic key set from the
+    // shared seed and keeps only its own share — no key files needed
+    // for a local cluster.
+    let keys = generate_keys(SubnetConfig::new(n), opts.seed)
+        .into_iter()
+        .nth(opts.me as usize)
+        .expect("own key share");
+    let core = ConsensusCore::new(
+        keys,
+        StaticDelays::new(
+            SimDuration::from_millis(opts.delta_bnd_ms),
+            SimDuration::from_millis(opts.epsilon_ms),
+        ),
+        Behavior::Honest,
+    );
+    // `inline_threshold: 0` forces every proposal through the
+    // advert/request path. Adverts are round-tagged, and those tags are
+    // the *only* behind-detection signal the gossip layer has — a
+    // restarted replica discovers it must fetch a certified catch-up
+    // package precisely because adverts for far-future rounds arrive.
+    let config = GossipConfig {
+        inline_threshold: 0,
+        ..GossipConfig::default()
+    };
+    let node = GossipNode::new(core, Arc::new(Overlay::full_mesh(n)), config);
+
+    let transport: TcpTransport<_, _> = TcpTransport::bind(&spec, me, NetOptions::default())
+        .unwrap_or_else(|e| usage(&format!("bind {}: {e}", spec.addr(me))));
+    let handle = transport.handle();
+    let counters = transport.counters_handle();
+    println!("READY {}", transport.local_addr());
+    let _ = std::io::stdout().flush();
+
+    // Client-load injector: a background thread feeding commands into
+    // the driver's inbox at --cmd-rate, tagged so payloads are unique
+    // per replica and per tick. A real deployment would accept these
+    // over a client port; a thread keeps the example self-contained.
+    let injector = {
+        let handle = handle.clone();
+        let deadline = Instant::now() + Duration::from_secs(opts.secs);
+        let (rate, size, me) = (opts.cmd_rate, opts.cmd_size.max(16), opts.me);
+        std::thread::spawn(move || {
+            let mut tick: u64 = 0;
+            let period = Duration::from_nanos(1_000_000_000 / rate.max(1));
+            while Instant::now() < deadline {
+                let mut payload = format!("r{me}t{tick}").into_bytes();
+                payload.resize(size, b'.');
+                if !handle.inject(Command::new(payload)) {
+                    break;
+                }
+                tick += 1;
+                std::thread::sleep(period);
+            }
+        })
+    };
+    // Shutdown timer: ask the driver to stop once the run is over.
+    let stopper = {
+        let handle = handle.clone();
+        let secs = opts.secs;
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(secs));
+            handle.stop();
+        })
+    };
+
+    // The same driver loop the channel backend uses — only the
+    // transport differs.
+    let mut blocks: u64 = 0;
+    let mut commands: u64 = 0;
+    let node = drive(node, transport, Instant::now(), |rec| {
+        if let NodeEvent::Committed { block } = &rec.output {
+            blocks += 1;
+            commands += block.block().payload().len() as u64;
+            println!("COMMIT {} {}", block.round().get(), block.hash());
+            let _ = std::io::stdout().flush();
+        }
+    });
+    injector.join().expect("injector thread");
+    stopper.join().expect("stopper thread");
+
+    let core = node.core();
+    let rec = core.recovery_stats();
+    let net = counters.snapshot();
+    println!(
+        "REPORT {{\"me\":{},\"n\":{n},\"committed_round\":{},\"blocks\":{blocks},\
+         \"commands\":{commands},\"catch_up_applied\":{},\"catch_up_rejected\":{},\
+         \"wal_appends\":{},\"net\":{}}}",
+        opts.me,
+        core.committed_round().get(),
+        rec.catch_up_applied,
+        rec.catch_up_rejected,
+        rec.wal_appends,
+        net.to_json(),
+    );
+    let _ = std::io::stdout().flush();
+
+    if let Some(path) = &opts.trace_out {
+        let events = core.telemetry().recorder.events();
+        let trace = icc_telemetry::chrome_trace(&events);
+        // Same invariant the simulator scenario asserts: one "ph":"i"
+        // instant per recorded flight-recorder event.
+        let instants = trace.matches("\"ph\":\"i\"").count();
+        assert_eq!(
+            instants,
+            events.len(),
+            "trace instants must match flight-recorder events"
+        );
+        std::fs::write(path, &trace).unwrap_or_else(|e| usage(&format!("--trace-out {path}: {e}")));
+        eprintln!(
+            "replica {}: trace written to {path} ({instants} events)",
+            opts.me
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        let m = &core.telemetry().metrics;
+        let mut snap = icc_telemetry::PromSnapshot::new();
+        snap.counter(
+            "icc_replica_blocks_committed_total",
+            "Blocks committed by this replica.",
+            m.blocks_committed.get(),
+        );
+        snap.counter(
+            "icc_replica_commands_committed_total",
+            "Client commands committed by this replica.",
+            m.commands_committed.get(),
+        );
+        snap.counter(
+            "icc_replica_rounds_entered_total",
+            "Rounds this replica entered.",
+            m.rounds_entered.get(),
+        );
+        snap.counter(
+            "icc_replica_catch_ups_applied_total",
+            "Certified catch-up packages this replica applied.",
+            m.catch_ups_applied.get(),
+        );
+        snap.histogram(
+            "icc_replica_round_duration_us",
+            "Round entry to notarized finish, microseconds.",
+            &m.round_duration_us,
+        );
+        snap.histogram(
+            "icc_replica_finalization_latency_us",
+            "Round entry to commit of that round's block, microseconds.",
+            &m.finalization_latency_us,
+        );
+        snap.counter(
+            "icc_replica_net_frames_sent_total",
+            "Frames handed to the kernel.",
+            net.frames_sent,
+        );
+        snap.counter(
+            "icc_replica_net_frames_recv_total",
+            "Frames received, CRC-checked and decoded.",
+            net.frames_recv,
+        );
+        snap.counter(
+            "icc_replica_net_send_queue_drops_total",
+            "Messages dropped by bounded-queue backpressure.",
+            net.send_queue_drops,
+        );
+        snap.counter(
+            "icc_replica_net_reconnects_total",
+            "Completed peer reconnections.",
+            net.reconnects,
+        );
+        std::fs::write(path, snap.render())
+            .unwrap_or_else(|e| usage(&format!("--metrics-out {path}: {e}")));
+        eprintln!("replica {}: metrics written to {path}", opts.me);
+    }
+}

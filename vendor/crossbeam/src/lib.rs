@@ -9,7 +9,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvTimeoutError, SendError};
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TrySendError};
 
     /// The sending half; unifies bounded and unbounded senders under
     /// one type like `crossbeam_channel::Sender`.
@@ -36,6 +36,19 @@ pub mod channel {
             match self {
                 Sender::Unbounded(s) => s.send(msg),
                 Sender::Bounded(s) => s.send(msg),
+            }
+        }
+
+        /// Non-blocking send: on a bounded channel at capacity this
+        /// returns [`TrySendError::Full`] instead of blocking (the
+        /// backpressure primitive `icc-net`'s per-peer writer queues
+        /// use). Unbounded channels never report `Full`.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s
+                    .send(msg)
+                    .map_err(|SendError(m)| TrySendError::Disconnected(m)),
+                Sender::Bounded(s) => s.try_send(msg),
             }
         }
     }
@@ -194,6 +207,27 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(1)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(3),
+            Err(TrySendError::Full(3) | TrySendError::Disconnected(3))
+        ));
+        let (utx, urx) = unbounded::<u32>();
+        utx.try_send(7).unwrap();
+        assert_eq!(urx.recv(), Ok(7));
+        drop(urx);
+        assert!(matches!(
+            utx.try_send(8),
+            Err(TrySendError::Disconnected(8))
+        ));
     }
 
     #[test]
