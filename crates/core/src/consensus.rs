@@ -141,6 +141,10 @@ pub struct ConsensusCore {
     started: bool,
     /// The replica's "disk": checkpoint + WAL surviving `crash()`.
     store: DurableStore,
+    /// Frontier round of the store at the last restore (0 when the
+    /// replica never restored). Diagnostics for the durability tests
+    /// and the `replica` REPORT line, not protocol state.
+    last_recovered_round: u64,
     /// Recovery observability counters (restarts, catch-ups, …).
     recovery: RecoveryStats,
     /// Protocol metrics + flight recorder. Observability, not replica
@@ -194,6 +198,7 @@ impl ConsensusCore {
             committed_cmds: HashSet::new(),
             started: false,
             store: DurableStore::new(),
+            last_recovered_round: 0,
             recovery: RecoveryStats::default(),
             telemetry: NodeTelemetry::default(),
             entered_at: HashMap::new(),
@@ -211,6 +216,18 @@ impl ConsensusCore {
     /// Overrides the block payload limits.
     pub fn with_block_policy(mut self, policy: BlockPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Replaces the replica's durable store — the hook that makes a
+    /// core *file-backed*: attach a store over
+    /// [`FileBackend`](crate::storage::FileBackend) and everything the
+    /// replica certifies is persisted as it happens. Call before
+    /// [`start`](Self::start); a non-empty store (a data directory that
+    /// survived a crash) makes `start` restore from it instead of
+    /// booting fresh.
+    pub fn with_store(mut self, store: DurableStore) -> Self {
+        self.store = store;
         self
     }
 
@@ -269,6 +286,13 @@ impl ConsensusCore {
         let mut step = Step::default();
         if self.started || !self.behavior.participates() {
             return step;
+        }
+        // A fresh *process* over a surviving data directory: the store
+        // already holds certified state, so booting is a restore, not a
+        // cold start (a cold start would stall waiting for round-1
+        // beacon shares no peer will re-send).
+        if !self.store.is_empty() {
+            return self.restore(now);
         }
         self.started = true;
         if self.behavior.shares_beacon() {
@@ -392,8 +416,19 @@ impl ConsensusCore {
         // Do not re-broadcast beacon shares for rounds the restored
         // chain already covers; receivers would dedup them anyway.
         self.beacon_share_sent_upto = self.pool.latest_beacon_round();
+        // The pool was rebuilt from scratch above, so its verification
+        // counter at this point *is* the number of signature checks the
+        // replay cost — the zero the durability tests pin down.
+        self.recovery.restore_verifications += self.pool.stats().verify_calls;
+        self.last_recovered_round = self.store.frontier().get();
         self.progress(now, &mut step);
         step
+    }
+
+    /// The store frontier the last [`restore`](Self::restore) brought
+    /// back (0 if never restored).
+    pub fn last_recovered_round(&self) -> u64 {
+        self.last_recovered_round
     }
 
     /// The round up to which this replica can actually *operate*: the
@@ -574,6 +609,22 @@ impl ConsensusCore {
     /// The replica's durable store (tests, diagnostics).
     pub fn store(&self) -> &DurableStore {
         &self.store
+    }
+
+    /// Forces the store's backend durable (graceful shutdown). No-op
+    /// for the in-memory backend.
+    ///
+    /// # Errors
+    ///
+    /// The backend's I/O error, if flushing failed.
+    pub fn flush_store(&mut self) -> std::io::Result<()> {
+        self.store.flush()
+    }
+
+    /// The store backend's telemetry (all zeros for the in-memory
+    /// backend).
+    pub fn storage_counters(&self) -> crate::storage::StorageCounters {
+        self.store.storage_counters()
     }
 
     /// Broadcasts `msg` and inserts it into the local pool immediately

@@ -185,6 +185,11 @@ icc_telemetry::counter_set! {
         pub wal_appends: u64,
         /// Checkpoints taken.
         pub checkpoints: u64,
+        /// Signature verifications performed while replaying durable
+        /// state on restore. The whole point of the trusted replay path
+        /// is that this stays **zero** — the durability tests and the
+        /// `net_cluster` restart assertion enforce it.
+        pub restore_verifications: u64,
     }
 }
 
@@ -199,6 +204,7 @@ impl From<RecoveryStats> for icc_sim::RecoveryCounters {
             catch_up_latency_us: s.catch_up_latency_us,
             wal_appends: s.wal_appends,
             checkpoints: s.checkpoints,
+            restore_verifications: s.restore_verifications,
         }
     }
 }

@@ -6,12 +6,20 @@
 //! that) but would force a full re-sync and lose its input queue dedup.
 //! [`DurableStore`] is the replica's "disk": it survives
 //! [`ConsensusCore::crash`](crate::ConsensusCore::crash) while every
-//! other field of the core is volatile. In the simulator the store is
-//! plain memory owned by the node object (the engine never drops node
-//! state), which keeps executions deterministic; a real deployment
-//! would back it with fsync'd files.
+//! other field of the core is volatile.
 //!
-//! Contents:
+//! Where the bytes actually live is a [`StorageBackend`] decision:
+//!
+//! * [`MemBackend`] (the default) keeps nothing beyond the in-memory
+//!   mirror below — the simulator's choice, byte-identical executions
+//!   and no filesystem in the loop;
+//! * [`FileBackend`] persists every append to an `icc-wal` segmented
+//!   write-ahead log and every checkpoint to an atomic checkpoint file,
+//!   with a configurable fsync policy — the `replica --data-dir`
+//!   choice. A fresh process pointed at the same directory recovers the
+//!   store (and therefore the replica) from disk.
+//!
+//! Contents, whichever backend:
 //!
 //! * a [`Checkpoint`] — the latest finalized block at the time it was
 //!   taken, with its notarization + finalization certificates, the
@@ -27,19 +35,29 @@
 //! through the pool's *trusted* path: every artifact in the store was
 //! verified (or produced) by this replica before it was appended, so
 //! replay performs **zero** signature verifications — the property the
-//! `checkpoint_restore` proptests pin down.
+//! `checkpoint_restore` proptests pin down and the `net_cluster`
+//! restart assertion enforces end-to-end over a real `--data-dir`.
 //!
 //! Taking a checkpoint compacts the log: entries at or below the
-//! checkpoint round are dropped. The checkpoint stores its round's
-//! beacon value explicitly because a finalization can commit round `k`
-//! while the replica is still *in* round `k` — compaction could
-//! otherwise drop the `Beacon(k)` entry the restored chain needs.
+//! checkpoint round are dropped (on disk: whole covered segments are
+//! deleted). The checkpoint stores its round's beacon value explicitly
+//! because a finalization can commit round `k` while the replica is
+//! still *in* round `k` — compaction could otherwise drop the
+//! `Beacon(k)` entry the restored chain needs.
 
 use icc_crypto::beacon::BeaconValue;
 use icc_crypto::Hash256;
+use icc_types::codec::{
+    decode_from_slice, decode_seq, encode_seq, encode_to_vec, CodecError, Decode, Encode, Reader,
+};
 use icc_types::messages::{BlockProposal, Finalization, Notarization};
 use icc_types::Round;
+pub use icc_wal::StorageCounters;
+use icc_wal::{Wal, WalOptions};
 use std::collections::HashSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// One append-only log record.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +96,73 @@ impl WalEntry {
     }
 }
 
+impl Encode for WalEntry {
+    /// On-disk record payload: a variant tag then the artifact's
+    /// canonical wire encoding (the same codec artifacts use on the
+    /// network, so there is exactly one byte format per artifact).
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WalEntry::Beacon(r, v) => {
+                buf.push(0);
+                r.encode(buf);
+                v.encode(buf);
+            }
+            WalEntry::Notarized {
+                proposal,
+                notarization,
+            } => {
+                buf.push(1);
+                proposal.encode(buf);
+                notarization.encode(buf);
+            }
+            WalEntry::Finalization(f) => {
+                buf.push(2);
+                f.encode(buf);
+            }
+            WalEntry::Committed { round, digests } => {
+                buf.push(3);
+                round.encode(buf);
+                encode_seq(digests, buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WalEntry::Beacon(r, v) => Encode::encoded_len(r) + v.encoded_len(),
+            WalEntry::Notarized {
+                proposal,
+                notarization,
+            } => proposal.encoded_len() + notarization.encoded_len(),
+            WalEntry::Finalization(f) => Encode::encoded_len(f),
+            WalEntry::Committed { round, digests } => {
+                Encode::encoded_len(round) + 8 + digests.len() * 32
+            }
+        }
+    }
+}
+
+impl Decode for WalEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(WalEntry::Beacon(Round::decode(r)?, BeaconValue::decode(r)?)),
+            1 => Ok(WalEntry::Notarized {
+                proposal: BlockProposal::decode(r)?,
+                notarization: Option::<Notarization>::decode(r)?,
+            }),
+            2 => Ok(WalEntry::Finalization(Finalization::decode(r)?)),
+            3 => Ok(WalEntry::Committed {
+                round: Round::decode(r)?,
+                digests: decode_seq(r)?,
+            }),
+            tag => Err(CodecError::InvalidTag {
+                tag,
+                ty: "WalEntry",
+            }),
+        }
+    }
+}
+
 /// A certified snapshot: the latest finalized block when the checkpoint
 /// was taken, everything needed to install it as a trusted root.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,9 +187,245 @@ impl Checkpoint {
     }
 }
 
+impl Encode for Checkpoint {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.proposal.encode(buf);
+        self.notarization.encode(buf);
+        self.finalization.encode(buf);
+        self.beacon.encode(buf);
+        encode_seq(&self.committed, buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.proposal.encoded_len()
+            + Encode::encoded_len(&self.notarization)
+            + Encode::encoded_len(&self.finalization)
+            + self.beacon.encoded_len()
+            + 8
+            + self.committed.len() * 32
+    }
+}
+
+impl Decode for Checkpoint {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Checkpoint {
+            proposal: BlockProposal::decode(r)?,
+            notarization: Notarization::decode(r)?,
+            finalization: Finalization::decode(r)?,
+            beacon: BeaconValue::decode(r)?,
+            committed: decode_seq(r)?,
+        })
+    }
+}
+
+/// Where durable state actually lives. [`DurableStore`] keeps an
+/// in-memory mirror (the thing `restore` replays) and forwards every
+/// mutation here; the backend's only obligations are to persist what it
+/// is given and to hand back whatever survived on [`load`].
+///
+/// Persistence methods are deliberately infallible at this boundary:
+/// the consensus hot path cannot meaningfully handle a disk error
+/// mid-round, so a failing backend absorbs the error, counts it in
+/// [`StorageCounters::io_errors`], and the replica keeps running with
+/// weakened durability (the same stance as a production database's
+/// async error path — surfaced via telemetry, not a panic).
+///
+/// [`load`]: StorageBackend::load
+pub trait StorageBackend: Send {
+    /// Returns everything that survived in this backend, once, at
+    /// attach time. Later calls may return empty.
+    fn load(&mut self) -> (Option<Checkpoint>, Vec<WalEntry>);
+
+    /// Persists one appended log entry.
+    fn persist_entry(&mut self, entry: &WalEntry);
+
+    /// Persists a checkpoint (atomically) and compacts the persisted
+    /// log up to the checkpoint round.
+    fn persist_checkpoint(&mut self, cp: &Checkpoint);
+
+    /// Forces everything appended so far durable (graceful shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error — at shutdown there *is* a
+    /// caller that can report it.
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Storage telemetry snapshot.
+    fn counters(&self) -> StorageCounters;
+}
+
+/// The in-memory backend: persists nothing, loads nothing. With it the
+/// [`DurableStore`] mirror *is* the store — exactly the pre-backend
+/// behavior, keeping simulated executions deterministic and
+/// filesystem-free.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemBackend;
+
+impl StorageBackend for MemBackend {
+    fn load(&mut self) -> (Option<Checkpoint>, Vec<WalEntry>) {
+        (None, Vec::new())
+    }
+    fn persist_entry(&mut self, _entry: &WalEntry) {}
+    fn persist_checkpoint(&mut self, _cp: &Checkpoint) {}
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+    fn counters(&self) -> StorageCounters {
+        StorageCounters::default()
+    }
+}
+
+/// The file backend: entries go to an [`icc_wal::Wal`] in `dir` (one
+/// record per entry, keyed by the entry's round for segment
+/// compaction), checkpoints to an atomic `checkpoint.bin` beside it.
+pub struct FileBackend {
+    dir: PathBuf,
+    wal: Wal,
+    max_record_len: u32,
+    /// What recovery found, handed out once via [`StorageBackend::load`].
+    recovered: Option<(Option<Checkpoint>, Vec<WalEntry>)>,
+}
+
+impl fmt::Debug for FileBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileBackend")
+            .field("dir", &self.dir)
+            .field("wal", &self.wal)
+            .finish()
+    }
+}
+
+impl FileBackend {
+    /// Opens (or creates) the data directory and recovers whatever
+    /// state survives in it.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors only (directory not creatable, files not
+    /// readable). *Damaged contents are not errors*: torn tails are
+    /// truncated, corrupt records/checkpoints discarded and counted —
+    /// the recovered state is the last valid prefix.
+    pub fn open(dir: &Path, opts: WalOptions) -> io::Result<FileBackend> {
+        let (wal, records) = Wal::open(dir, opts)?;
+        Ok(FileBackend::finish_open(dir, opts, wal, records))
+    }
+
+    /// [`FileBackend::open`] over a caller-supplied segment filesystem
+    /// (the disk-fault injection harness).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileBackend::open`].
+    pub fn open_with_fs(
+        dir: &Path,
+        opts: WalOptions,
+        fs: Box<dyn icc_wal::SegmentFs>,
+    ) -> io::Result<FileBackend> {
+        let (wal, records) = Wal::open_with_fs(dir, opts, fs)?;
+        Ok(FileBackend::finish_open(dir, opts, wal, records))
+    }
+
+    fn finish_open(
+        dir: &Path,
+        opts: WalOptions,
+        mut wal: Wal,
+        records: Vec<icc_wal::RecoveredRecord>,
+    ) -> FileBackend {
+        let checkpoint =
+            match icc_wal::load_checkpoint(dir, opts.max_record_len, wal.counters_mut()) {
+                Ok(Some(bytes)) => match decode_from_slice::<Checkpoint>(&bytes) {
+                    Ok(cp) => Some(cp),
+                    Err(_) => {
+                        wal.counters_mut().decode_failures += 1;
+                        None
+                    }
+                },
+                Ok(None) => None,
+                Err(_) => {
+                    wal.counters_mut().io_errors += 1;
+                    None
+                }
+            };
+        // A crash can land between checkpoint write and WAL compaction:
+        // records the checkpoint already covers are simply skipped.
+        let bar = checkpoint.as_ref().map(|cp| cp.round().get());
+        let mut entries = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            if bar.is_some_and(|b| rec.round <= b) {
+                continue;
+            }
+            match decode_from_slice::<WalEntry>(&rec.payload) {
+                Ok(entry) => entries.push(entry),
+                Err(_) => {
+                    // Prefix invariant at the payload layer too: a
+                    // record that framed correctly but does not decode
+                    // ends the trusted log.
+                    let c = wal.counters_mut();
+                    c.decode_failures += 1;
+                    c.discarded_bytes += records[i..]
+                        .iter()
+                        .map(|r| r.payload.len() as u64 + 8)
+                        .sum::<u64>();
+                    break;
+                }
+            }
+        }
+        FileBackend {
+            dir: dir.to_path_buf(),
+            wal,
+            max_record_len: opts.max_record_len,
+            recovered: Some((checkpoint, entries)),
+        }
+    }
+
+    /// The data directory this backend persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn load(&mut self) -> (Option<Checkpoint>, Vec<WalEntry>) {
+        self.recovered.take().unwrap_or_default()
+    }
+
+    fn persist_entry(&mut self, entry: &WalEntry) {
+        let bytes = encode_to_vec(entry);
+        if bytes.len() as u64 + 8 > self.max_record_len as u64 {
+            self.wal.counters_mut().io_errors += 1;
+            return;
+        }
+        if self.wal.append(entry.round().get(), &bytes).is_err() {
+            self.wal.counters_mut().io_errors += 1;
+        }
+    }
+
+    fn persist_checkpoint(&mut self, cp: &Checkpoint) {
+        let bytes = encode_to_vec(cp);
+        if icc_wal::save_checkpoint(&self.dir, &bytes, self.wal.counters_mut()).is_err() {
+            self.wal.counters_mut().io_errors += 1;
+            // Without a durable checkpoint the covered segments must
+            // stay: compacting now would lose the only copy.
+            return;
+        }
+        if self.wal.compact_below(cp.round().get()).is_err() {
+            self.wal.counters_mut().io_errors += 1;
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    fn counters(&self) -> StorageCounters {
+        self.wal.counters()
+    }
+}
+
 /// The replica's durable state: at most one checkpoint plus the log of
-/// certified artifacts since it.
-#[derive(Debug, Default)]
+/// certified artifacts since it, mirrored in memory (for replay) and
+/// forwarded to a [`StorageBackend`] (for persistence).
 pub struct DurableStore {
     checkpoint: Option<Checkpoint>,
     wal: Vec<WalEntry>,
@@ -116,19 +437,105 @@ pub struct DurableStore {
     logged_finalizations: HashSet<Hash256>,
     wal_appends: u64,
     checkpoints_taken: u64,
+    /// Entries (plus one per checkpoint) recovered from the backend at
+    /// attach time.
+    recovered_entries: u64,
+    backend: Box<dyn StorageBackend>,
+}
+
+impl fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableStore")
+            .field(
+                "checkpoint_round",
+                &self.checkpoint.as_ref().map(Checkpoint::round),
+            )
+            .field("wal_len", &self.wal.len())
+            .field("wal_appends", &self.wal_appends)
+            .field("checkpoints_taken", &self.checkpoints_taken)
+            .field("recovered_entries", &self.recovered_entries)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for DurableStore {
+    fn default() -> Self {
+        DurableStore::new()
+    }
 }
 
 impl DurableStore {
-    /// An empty store (fresh replica, nothing durable yet).
+    /// An empty in-memory store (fresh simulated replica).
     pub fn new() -> DurableStore {
-        DurableStore::default()
+        DurableStore::with_backend(Box::new(MemBackend))
+    }
+
+    /// A store over `backend`: whatever the backend recovered becomes
+    /// the initial mirror (checkpoint, log, and the dedup sets derived
+    /// from them), so a restore right after attach replays it.
+    pub fn with_backend(mut backend: Box<dyn StorageBackend>) -> DurableStore {
+        let (checkpoint, entries) = backend.load();
+        let mut store = DurableStore {
+            checkpoint: None,
+            wal: Vec::new(),
+            beacon_upto: Round::GENESIS,
+            logged_blocks: HashSet::new(),
+            logged_finalizations: HashSet::new(),
+            wal_appends: 0,
+            checkpoints_taken: 0,
+            recovered_entries: 0,
+            backend,
+        };
+        if let Some(cp) = checkpoint {
+            store.beacon_upto = cp.round();
+            store.logged_blocks.insert((cp.proposal.block.hash(), true));
+            store
+                .logged_finalizations
+                .insert(cp.finalization.block_ref.hash);
+            store.checkpoint = Some(cp);
+            store.recovered_entries += 1;
+        }
+        for entry in entries {
+            match &entry {
+                WalEntry::Beacon(r, _) => store.beacon_upto = store.beacon_upto.max(*r),
+                WalEntry::Notarized {
+                    proposal,
+                    notarization,
+                } => {
+                    store
+                        .logged_blocks
+                        .insert((proposal.block.hash(), notarization.is_some()));
+                }
+                WalEntry::Finalization(f) => {
+                    store.logged_finalizations.insert(f.block_ref.hash);
+                }
+                WalEntry::Committed { .. } => {}
+            }
+            store.wal.push(entry);
+            store.recovered_entries += 1;
+        }
+        store
+    }
+
+    /// A store persisted to `dir` through a [`FileBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors from opening the directory; damaged contents
+    /// recover to the last valid prefix instead of erroring.
+    pub fn file(dir: &Path, opts: WalOptions) -> io::Result<DurableStore> {
+        Ok(DurableStore::with_backend(Box::new(FileBackend::open(
+            dir, opts,
+        )?)))
     }
 
     /// Logs a round's beacon value (at most once per round).
     pub fn append_beacon(&mut self, round: Round, value: BeaconValue) {
         if round > self.beacon_upto {
             self.beacon_upto = round;
-            self.wal.push(WalEntry::Beacon(round, value));
+            let entry = WalEntry::Beacon(round, value);
+            self.backend.persist_entry(&entry);
+            self.wal.push(entry);
             self.wal_appends += 1;
         }
     }
@@ -139,10 +546,12 @@ impl DurableStore {
     pub fn append_block(&mut self, proposal: BlockProposal, notarization: Option<Notarization>) {
         let key = (proposal.block.hash(), notarization.is_some());
         if self.logged_blocks.insert(key) {
-            self.wal.push(WalEntry::Notarized {
+            let entry = WalEntry::Notarized {
                 proposal,
                 notarization,
-            });
+            };
+            self.backend.persist_entry(&entry);
+            self.wal.push(entry);
             self.wal_appends += 1;
         }
     }
@@ -150,7 +559,9 @@ impl DurableStore {
     /// Logs a finalization certificate (at most once per block).
     pub fn append_finalization(&mut self, f: Finalization) {
         if self.logged_finalizations.insert(f.block_ref.hash) {
-            self.wal.push(WalEntry::Finalization(f));
+            let entry = WalEntry::Finalization(f);
+            self.backend.persist_entry(&entry);
+            self.wal.push(entry);
             self.wal_appends += 1;
         }
     }
@@ -160,16 +571,20 @@ impl DurableStore {
         if digests.is_empty() {
             return;
         }
-        self.wal.push(WalEntry::Committed { round, digests });
+        let entry = WalEntry::Committed { round, digests };
+        self.backend.persist_entry(&entry);
+        self.wal.push(entry);
         self.wal_appends += 1;
     }
 
     /// Installs a checkpoint and compacts the log: entries at or below
     /// the checkpoint round are dropped (the checkpoint carries the
-    /// beacon base itself).
+    /// beacon base itself). The backend persists the checkpoint
+    /// atomically and compacts its own log to match.
     pub fn install_checkpoint(&mut self, cp: Checkpoint) {
         let bar = cp.round();
         self.wal.retain(|e| e.round() > bar);
+        self.backend.persist_checkpoint(&cp);
         self.checkpoint = Some(cp);
         self.checkpoints_taken += 1;
     }
@@ -189,7 +604,9 @@ impl DurableStore {
         self.wal.len()
     }
 
-    /// Lifetime count of log appends.
+    /// Lifetime count of log appends by this incarnation (recovered
+    /// entries not included; see
+    /// [`recovered_entries`](Self::recovered_entries)).
     pub fn wal_appends(&self) -> u64 {
         self.wal_appends
     }
@@ -199,8 +616,37 @@ impl DurableStore {
         self.checkpoints_taken
     }
 
+    /// Checkpoint + entries recovered from the backend at attach time.
+    pub fn recovered_entries(&self) -> u64 {
+        self.recovered_entries
+    }
+
+    /// The store's round frontier: the highest round any durable record
+    /// covers (checkpoint or log). `Round::GENESIS` when empty.
+    pub fn frontier(&self) -> Round {
+        let cp = self
+            .checkpoint
+            .as_ref()
+            .map_or(Round::GENESIS, Checkpoint::round);
+        self.wal.iter().map(WalEntry::round).fold(cp, Round::max)
+    }
+
     /// Whether nothing durable has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.checkpoint.is_none() && self.wal.is_empty()
+    }
+
+    /// Forces everything appended so far durable (graceful shutdown).
+    ///
+    /// # Errors
+    ///
+    /// The backend's I/O error, if flushing failed.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.backend.flush()
+    }
+
+    /// The backend's storage telemetry (all zeros for [`MemBackend`]).
+    pub fn storage_counters(&self) -> StorageCounters {
+        self.backend.counters()
     }
 }

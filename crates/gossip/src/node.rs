@@ -363,6 +363,13 @@ impl GossipNode {
         &self.core
     }
 
+    /// Mutable access to the wrapped consensus core — what a process
+    /// host needs at shutdown (flushing the durable store) without the
+    /// node layer growing a forwarding method per core concern.
+    pub fn core_mut(&mut self) -> &mut ConsensusCore {
+        &mut self.core
+    }
+
     /// Number of outstanding body requests (diagnostics).
     pub fn pending_requests(&self) -> usize {
         self.pending.len()

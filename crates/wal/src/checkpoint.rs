@@ -1,0 +1,180 @@
+//! Atomic checkpoint files.
+//!
+//! A checkpoint replaces the log prefix it covers, so it must never be
+//! observable half-written: recovery finding a hybrid of old and new
+//! checkpoint would violate the prefix invariant in the worst possible
+//! place (the oldest state). The classic POSIX recipe provides the
+//! atomicity: write the full payload to `checkpoint.tmp`, `fsync` it,
+//! `rename` over `checkpoint.bin` (atomic within a filesystem), then
+//! `fsync` the *directory* so the rename itself survives power loss. A
+//! crash at any step leaves either the previous checkpoint or the new
+//! one — the stale `.tmp`, if any, is swept on the next load.
+//!
+//! The payload is wrapped in one [`icc_types::frame`] frame, so a
+//! checkpoint damaged on the media (rather than by a crash) is caught
+//! by the same CRC the WAL and the wire use, and treated as absent —
+//! the WAL prefix still recovers, just from further back.
+
+use crate::StorageCounters;
+use icc_types::frame::{self, FrameBuffer};
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File name of the current checkpoint inside a data directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// Atomically replaces the checkpoint at `dir` with `payload`.
+pub fn save_checkpoint(
+    dir: &Path,
+    payload: &[u8],
+    counters: &mut StorageCounters,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(CHECKPOINT_TMP);
+    let mut file = File::create(&tmp)?;
+    file.write_all(&frame::encode_frame(payload))?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+    sync_dir(dir)?;
+    counters.checkpoints_written += 1;
+    counters.checkpoint_bytes += payload.len() as u64;
+    Ok(())
+}
+
+/// Loads the checkpoint payload at `dir`, if a valid one exists.
+///
+/// Missing file → `Ok(None)`. A file that fails the frame check (torn,
+/// bit-flipped, truncated, trailing garbage) is **counted and treated
+/// as absent**, never an error: losing a checkpoint degrades recovery
+/// to an older prefix, it must not brick the replica. A leftover
+/// `checkpoint.tmp` from a crashed save is deleted.
+pub fn load_checkpoint(
+    dir: &Path,
+    max_len: u32,
+    counters: &mut StorageCounters,
+) -> io::Result<Option<Vec<u8>>> {
+    let tmp = dir.join(CHECKPOINT_TMP);
+    if tmp.exists() {
+        fs::remove_file(&tmp)?;
+    }
+    let path = dir.join(CHECKPOINT_FILE);
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+
+    let mut fb = FrameBuffer::with_max_len(max_len);
+    fb.extend(&bytes);
+    match fb.next_frame() {
+        Ok(Some(payload)) if fb.pending() == 0 => Ok(Some(payload)),
+        _ => {
+            counters.checkpoint_corruptions += 1;
+            counters.discarded_bytes += bytes.len() as u64;
+            Ok(None)
+        }
+    }
+}
+
+/// `fsync` on the directory so a just-renamed entry is durable. On
+/// non-Unix platforms directory handles can't be synced; the rename is
+/// still atomic, only its durability window is weaker.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "icc-wal-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_replace() {
+        let dir = tmp_dir("roundtrip");
+        let mut c = StorageCounters::default();
+        assert_eq!(load_checkpoint(&dir, 1 << 20, &mut c).unwrap(), None);
+        save_checkpoint(&dir, b"state v1", &mut c).unwrap();
+        assert_eq!(
+            load_checkpoint(&dir, 1 << 20, &mut c).unwrap().as_deref(),
+            Some(&b"state v1"[..])
+        );
+        save_checkpoint(&dir, b"state v2 (bigger)", &mut c).unwrap();
+        assert_eq!(
+            load_checkpoint(&dir, 1 << 20, &mut c).unwrap().as_deref(),
+            Some(&b"state v2 (bigger)"[..])
+        );
+        assert_eq!(c.checkpoints_written, 2);
+        assert_eq!(c.checkpoint_corruptions, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_treated_as_absent() {
+        let dir = tmp_dir("corrupt");
+        let mut c = StorageCounters::default();
+        save_checkpoint(&dir, b"good state", &mut c).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+
+        // Bit flip.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_checkpoint(&dir, 1 << 20, &mut c).unwrap(), None);
+        assert_eq!(c.checkpoint_corruptions, 1);
+
+        // Truncation (torn write without the atomic rename).
+        save_checkpoint(&dir, b"good state", &mut c).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(load_checkpoint(&dir, 1 << 20, &mut c).unwrap(), None);
+
+        // Trailing garbage after a valid frame.
+        save_checkpoint(&dir, b"good state", &mut c).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"junk");
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load_checkpoint(&dir, 1 << 20, &mut c).unwrap(), None);
+        assert_eq!(c.checkpoint_corruptions, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_swept_and_ignored() {
+        let dir = tmp_dir("staletmp");
+        let mut c = StorageCounters::default();
+        save_checkpoint(&dir, b"committed", &mut c).unwrap();
+        // A crash mid-save leaves a tmp file; it must not shadow the
+        // committed checkpoint.
+        fs::write(dir.join(CHECKPOINT_TMP), b"half written ...").unwrap();
+        assert_eq!(
+            load_checkpoint(&dir, 1 << 20, &mut c).unwrap().as_deref(),
+            Some(&b"committed"[..])
+        );
+        assert!(!dir.join(CHECKPOINT_TMP).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

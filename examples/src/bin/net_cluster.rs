@@ -22,14 +22,20 @@
 //!   floor despite the churn;
 //! * **recovery** — the restarted replica's `REPORT` shows at least
 //!   one certified catch-up package applied, and surviving replicas
-//!   redialed it (`reconnects` > 0).
+//!   redialed it (`reconnects` > 0);
+//! * **durability** — every replica runs with `--data-dir`, and the
+//!   restarted replica's `REPORT` proves it recovered its pre-crash
+//!   state from its own WAL (`recovered_round ≥ 1`, storage
+//!   `recovered_records > 0`) with **zero** signature re-verifications
+//!   (`restore_verifications == 0`) — the catch-up package only covers
+//!   the rounds it missed *while dead*.
 //!
 //! Results land in `BENCH_net.json` (override with `--bench-out`).
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader};
 use std::net::TcpListener;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -114,7 +120,14 @@ struct Instance {
 }
 
 impl Instance {
-    fn spawn(bin: &PathBuf, config: &PathBuf, me: usize, secs: u64, opts: &Opts) -> Instance {
+    fn spawn(
+        bin: &PathBuf,
+        config: &PathBuf,
+        data_root: &Path,
+        me: usize,
+        secs: u64,
+        opts: &Opts,
+    ) -> Instance {
         let mut cmd = Command::new(bin);
         cmd.arg("--config")
             .arg(config)
@@ -124,6 +137,10 @@ impl Instance {
             .arg(secs.to_string())
             .arg("--seed")
             .arg(opts.seed.to_string())
+            // Same directory across incarnations: the restarted victim
+            // must find (and recover from) its own pre-crash WAL.
+            .arg("--data-dir")
+            .arg(data_root.join(format!("replica-{me}")))
             .stdout(Stdio::piped());
         if me == 0 {
             if let Some(trace) = &opts.trace_out {
@@ -202,6 +219,12 @@ fn main() {
         spec.push_str(&format!("{i} {a}\n"));
     }
     std::fs::write(&config, &spec).expect("write cluster config");
+    // Per-replica durable state. The victim's directory survives its
+    // SIGKILL — that surviving WAL is what the recovery assertion is
+    // about.
+    let data_root =
+        std::env::temp_dir().join(format!("icc_net_cluster_data_{}", std::process::id()));
+    std::fs::create_dir_all(&data_root).expect("create data root");
 
     // The replica binary sits next to this launcher in target/.
     let bin = std::env::current_exe()
@@ -224,7 +247,7 @@ fn main() {
     );
     let started = Instant::now();
     let mut running: Vec<Instance> = (0..n)
-        .map(|me| Instance::spawn(&bin, &config, me, opts.secs, &opts))
+        .map(|me| Instance::spawn(&bin, &config, &data_root, me, opts.secs, &opts))
         .collect();
     // (me, lines) per finished process incarnation, in finish order.
     let mut finished: Vec<(usize, Vec<String>)> = Vec::new();
@@ -248,7 +271,9 @@ fn main() {
         std::thread::sleep(Duration::from_secs(opts.secs / 3));
         // Stop when the others do: its budget is the remaining time.
         let remaining = opts.secs.saturating_sub(started.elapsed().as_secs()).max(2);
-        running.push(Instance::spawn(&bin, &config, victim, remaining, &opts));
+        running.push(Instance::spawn(
+            &bin, &config, &data_root, victim, remaining, &opts,
+        ));
         println!("restarted replica {victim} at t={:?}", started.elapsed());
     }
 
@@ -326,6 +351,29 @@ fn main() {
         .iter()
         .map(|(_, r)| report_u64(r, "reconnects"))
         .sum();
+    // --- Durability: the restarted victim (the only incarnation that
+    // lives long enough to print a REPORT) must have restored its
+    // pre-crash state from its own WAL — without re-verifying a single
+    // signature. The SIGKILLed incarnation never reported, so these
+    // aggregates are exactly the restarted one's numbers.
+    let victim_reports: Vec<&String> = reports
+        .iter()
+        .filter(|(me, _)| *me == victim)
+        .map(|(_, r)| r)
+        .collect();
+    let recovered_round: u64 = victim_reports
+        .iter()
+        .map(|r| report_u64(r, "recovered_round"))
+        .max()
+        .unwrap_or(0);
+    let recovered_records: u64 = victim_reports
+        .iter()
+        .map(|r| report_u64(r, "recovered_records"))
+        .sum();
+    let restore_verifications: u64 = victim_reports
+        .iter()
+        .map(|r| report_u64(r, "restore_verifications"))
+        .sum();
     if opts.churn {
         assert!(
             catch_ups >= 1,
@@ -334,6 +382,20 @@ fn main() {
         assert!(
             reconnects >= 1,
             "no replica reported a completed reconnection"
+        );
+        assert!(
+            recovered_round >= 1,
+            "restarted replica {victim} recovered nothing from its WAL \
+             (recovered_round {recovered_round})"
+        );
+        assert!(
+            recovered_records >= 1,
+            "restarted replica {victim} read no records back from disk"
+        );
+        assert_eq!(
+            restore_verifications, 0,
+            "restarted replica {victim} re-verified signatures during WAL restore \
+             — trusted replay is broken"
         );
     }
 
@@ -346,6 +408,12 @@ fn main() {
         "liveness OK (every replica ≥ round {floor}); catch-ups applied {catch_ups}, \
          reconnects {reconnects}"
     );
+    if opts.churn {
+        println!(
+            "durability OK: victim recovered to round {recovered_round} from \
+             {recovered_records} WAL records with {restore_verifications} re-verifications"
+        );
+    }
 
     // --- BENCH_net.json: the REPORT lines are already JSON objects.
     reports.sort_by_key(|(me, _)| *me);
@@ -354,7 +422,8 @@ fn main() {
         "{{\"bench\":\"net_cluster\",\"nodes\":{n},\"secs\":{},\"seed\":{},\"churn\":{},\
          \"elapsed_ms\":{},\"commits_total\":{commits_total},\"rounds_checked\":{rounds_checked},\
          \"min_final_round\":{},\"catch_up_applied\":{catch_ups},\"reconnects\":{reconnects},\
-         \"replicas\":[{}]}}\n",
+         \"recovered_round\":{recovered_round},\"recovered_records\":{recovered_records},\
+         \"restore_verifications\":{restore_verifications},\"replicas\":[{}]}}\n",
         opts.secs,
         opts.seed,
         opts.churn,
@@ -368,4 +437,5 @@ fn main() {
     std::fs::write(&opts.bench_out, bench)
         .unwrap_or_else(|e| usage(&format!("--bench-out {}: {e}", opts.bench_out)));
     println!("wrote {}", opts.bench_out);
+    let _ = std::fs::remove_dir_all(&data_root);
 }
