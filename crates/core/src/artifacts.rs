@@ -56,12 +56,22 @@ pub fn finalization_share(keys: &NodeKeys, block_ref: BlockRef) -> FinalizationS
 }
 
 /// Builds this party's threshold share of the round-`round` beacon,
-/// given the previous beacon value `prev` (= `R_{round−1}`).
+/// given the previous beacon value `prev` (= `R_{round−1}`). The share
+/// is produced with the signing handle of the round's *epoch* — its
+/// signer index is this party's position in that epoch's member list.
+///
+/// # Panics
+///
+/// Panics if this party is not a member of the round's epoch (a
+/// non-member holds no share to sign with).
 pub fn beacon_share(keys: &NodeKeys, round: Round, prev: &BeaconValue) -> BeaconShare {
     let msg = beacon_sign_message(round.get(), prev);
+    let signer = keys
+        .beacon_signer_for(round)
+        .expect("non-member of the round's epoch holds no beacon share");
     BeaconShare {
         round,
-        share: keys.beacon.sign_share(&msg),
+        share: signer.sign_share(&msg),
     }
 }
 

@@ -18,8 +18,9 @@
 use crate::byzantine::Behavior;
 use crate::consensus::{BlockPolicy, ConsensusCore};
 use crate::delays::{AdaptiveDelays, StaticDelays};
+use crate::epoch::EpochSchedule;
 use crate::events::NodeEvent;
-use crate::keys::generate_keys;
+use crate::keys::{generate_keys, generate_keys_with_schedule};
 use crate::node::IccNode;
 use icc_crypto::Hash256;
 use icc_sim::delay::{DelayModel, FixedDelay};
@@ -72,6 +73,7 @@ pub struct ClusterBuilder {
     disable_beacon_pipelining: bool,
     fault_plan: FaultPlan,
     checkpoint_interval: Option<u64>,
+    epochs: Option<EpochSchedule>,
 }
 
 impl ClusterBuilder {
@@ -95,7 +97,20 @@ impl ClusterBuilder {
             disable_beacon_pipelining: false,
             fault_plan: FaultPlan::new(),
             checkpoint_interval: None,
+            epochs: None,
         }
+    }
+
+    /// Installs a membership [`EpochSchedule`]: the dealer reshares the
+    /// beacon key at every boundary and each node participates only in
+    /// rounds of epochs it belongs to. `n` is the *universe* size; every
+    /// index the schedule mentions must be `< n`. Compose with
+    /// [`fault_plan`](Self::fault_plan)'s
+    /// [`depart_at`](icc_sim::FaultPlan::depart_at) to take the replaced
+    /// node's process down near the boundary.
+    pub fn with_epochs(mut self, schedule: EpochSchedule) -> Self {
+        self.epochs = Some(schedule);
+        self
     }
 
     /// Ablation: disable Fig. 1's beacon-share pipelining in every node.
@@ -213,7 +228,10 @@ impl ClusterBuilder {
         F: Fn(ConsensusCore) -> N,
     {
         let config = SubnetConfig::new(self.n);
-        let keys = generate_keys(config, self.seed);
+        let keys = match &self.epochs {
+            Some(schedule) => generate_keys_with_schedule(config, self.seed, schedule),
+            None => generate_keys(config, self.seed),
+        };
         let nodes: Vec<N> = keys
             .into_iter()
             .zip(&self.behaviors)
@@ -410,6 +428,17 @@ impl<N: Node<External = Command, Output = NodeEvent> + CoreAccess> Cluster<N> {
                     duration,
                     notarized_rank,
                 } => Some((*round, *duration, *notarized_rank)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(boundary round, epoch index)` of every epoch boundary `node`
+    /// crossed, in order.
+    pub fn epochs_entered(&self, node: usize) -> Vec<(Round, u64)> {
+        self.events_of(node)
+            .filter_map(|o| match &o.output {
+                NodeEvent::EpochEntered { round, epoch } => Some((*round, *epoch)),
                 _ => None,
             })
             .collect()

@@ -29,7 +29,7 @@ use crate::delays::Delays;
 use crate::events::NodeEvent;
 use crate::keys::{NodeKeys, PublicSetup};
 use crate::pool::Pool;
-use crate::recovery::{CatchUpError, CatchUpPackage, RecoveryStats};
+use crate::recovery::{CatchUpError, CatchUpPackage, EpochTransition, RecoveryStats};
 use crate::storage::{Checkpoint, DurableStore, WalEntry};
 use crate::telemetry::NodeTelemetry;
 use icc_crypto::beacon::RankPermutation;
@@ -38,7 +38,7 @@ use icc_telemetry::{SpanEvent, SpanKind};
 use icc_types::block::{Block, HashedBlock, Payload};
 use icc_types::messages::{BlockProposal, BlockRef, ConsensusMessage};
 use icc_types::{Command, Rank, Round, SimTime};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -85,7 +85,10 @@ pub struct Step {
 struct RoundState {
     t0: SimTime,
     perm: RankPermutation,
-    my_rank: Rank,
+    /// This party's rank in the round's permutation; `None` when it is
+    /// not a member of the round's epoch (it then observes — tracks the
+    /// round, echoes blocks — but never proposes or signs).
+    my_rank: Option<Rank>,
     /// `N`: the ranks this party broadcast a notarization share for,
     /// with the block it supported (at most one per rank).
     n_set: HashMap<u32, Hash256>,
@@ -102,7 +105,7 @@ struct RoundState {
 }
 
 impl RoundState {
-    fn new(t0: SimTime, perm: RankPermutation, my_rank: Rank) -> RoundState {
+    fn new(t0: SimTime, perm: RankPermutation, my_rank: Option<Rank>) -> RoundState {
         RoundState {
             t0,
             perm,
@@ -132,6 +135,11 @@ pub struct ConsensusCore {
     kmax: Round,
     notarizations_broadcast: HashSet<Hash256>,
     finalizations_broadcast: HashSet<Hash256>,
+    /// Archived epoch-transition certificates by epoch index: the
+    /// handoff finalization of each boundary the finalized chain has
+    /// crossed. Volatile (rebuilt from the store on restore); the
+    /// source this replica serves cross-epoch catch-up packages from.
+    transition_certs: BTreeMap<u64, EpochTransition>,
     /// Client input queue with cached command hashes (hashing large
     /// commands once, not once per proposal).
     pending: VecDeque<(Command, Hash256)>,
@@ -193,6 +201,7 @@ impl ConsensusCore {
             kmax: Round::GENESIS,
             notarizations_broadcast: HashSet::new(),
             finalizations_broadcast: HashSet::new(),
+            transition_certs: BTreeMap::new(),
             pending: VecDeque::new(),
             pending_digests: HashSet::new(),
             committed_cmds: HashSet::new(),
@@ -295,7 +304,7 @@ impl ConsensusCore {
             return self.restore(now);
         }
         self.started = true;
-        if self.behavior.shares_beacon() {
+        if self.behavior.shares_beacon() && self.keys.beacon_signer_for(Round::new(1)).is_some() {
             let share =
                 artifacts::beacon_share(&self.keys, Round::new(1), &self.keys.setup.genesis_beacon);
             self.emit(ConsensusMessage::BeaconShare(share), &mut step);
@@ -355,6 +364,7 @@ impl ConsensusCore {
         self.kmax = Round::GENESIS;
         self.notarizations_broadcast.clear();
         self.finalizations_broadcast.clear();
+        self.transition_certs.clear();
         self.pending.clear();
         self.pending_digests.clear();
         self.committed_cmds.clear();
@@ -383,6 +393,9 @@ impl ConsensusCore {
         if let Some(cp) = self.store.checkpoint().cloned() {
             self.pool.install_checkpoint(&cp);
             self.committed_cmds.extend(cp.committed.iter().copied());
+            for t in &cp.transitions {
+                self.transition_certs.insert(t.epoch, t.clone());
+            }
             self.kmax = cp.round();
         }
         let entries: Vec<WalEntry> = self.store.wal().to_vec();
@@ -404,6 +417,9 @@ impl ConsensusCore {
                 }
                 WalEntry::Committed { digests, .. } => {
                     self.committed_cmds.extend(digests);
+                }
+                WalEntry::EpochTransition(t) => {
+                    self.transition_certs.insert(t.epoch, t);
                 }
             }
         }
@@ -475,7 +491,14 @@ impl ConsensusCore {
         if !advances_chain && !advances_beacons {
             return Err(CatchUpError::Stale);
         }
-        self.pool.verify_and_install_catch_up(pkg)?;
+        // Epoch window this replica is about to cross, anchored *before*
+        // the install moves the finalized frontier.
+        let local_epoch = self
+            .keys
+            .setup
+            .epoch_index_of(self.pool.latest_finalized_round());
+        let target_epoch = self.keys.setup.epoch_index_of(pkg_round);
+        let crossed = self.pool.verify_and_install_catch_up(pkg)?;
         let mut step = Step::default();
         // Journal the package: a re-crash restores past this point.
         for &(r, v) in &pkg.beacons {
@@ -484,6 +507,26 @@ impl ConsensusCore {
         self.store
             .append_block(pkg.proposal.clone(), Some(pkg.notarization.clone()));
         self.store.append_finalization(pkg.finalization.clone());
+        if crossed > 0 {
+            // Archive the verified chain links (only those covering the
+            // boundaries actually crossed — anything outside
+            // `(local_epoch, target_epoch]` was not verified above).
+            self.recovery.cross_epoch_catch_ups += 1;
+            for t in &pkg.transitions {
+                let e = t.epoch as usize;
+                if e > local_epoch
+                    && e <= target_epoch
+                    && !self.transition_certs.contains_key(&t.epoch)
+                {
+                    self.store.append_epoch_transition(t.clone());
+                    self.transition_certs.insert(t.epoch, t.clone());
+                    self.recovery.epoch_transitions += 1;
+                    let tr = t.round();
+                    let te = t.epoch;
+                    self.record_span(now, tr, SpanKind::EpochTransition { epoch: te });
+                }
+            }
+        }
         step.events.push(NodeEvent::CaughtUp {
             from_round: self.kmax,
             to_round: pkg_round,
@@ -531,8 +574,10 @@ impl ConsensusCore {
     /// Builds a catch-up package for a peer that reports knowing the
     /// beacon chain up to `have_round`. Returns `None` when this
     /// replica cannot help: it has nothing finalized past `have_round`,
-    /// or its beacon chain no longer reaches back to `have_round + 1`
-    /// (purged) — the requester then rotates to another peer.
+    /// its beacon chain no longer reaches back to `have_round + 1`
+    /// (purged), or the package would cross an epoch boundary whose
+    /// transition certificate this replica has not archived — the
+    /// requester then rotates to another peer.
     pub fn build_catch_up_package(&self, have_round: Round) -> Option<CatchUpPackage> {
         let block = self.pool.latest_finalized_block()?.clone();
         let round = block.round();
@@ -556,6 +601,14 @@ impl ConsensusCore {
         if beacons.last().map(|(r, _)| *r) < Some(round.next()) {
             return None;
         }
+        // Cross-epoch certificate chain: one archived link per boundary
+        // between the requester's epoch and the packaged block's.
+        let from_epoch = self.keys.setup.epoch_index_of(have_round);
+        let to_epoch = self.keys.setup.epoch_index_of(round);
+        let mut transitions = Vec::with_capacity(to_epoch - from_epoch);
+        for e in (from_epoch + 1)..=to_epoch {
+            transitions.push(self.transition_certs.get(&(e as u64))?.clone());
+        }
         Some(CatchUpPackage {
             proposal: BlockProposal {
                 block,
@@ -565,6 +618,7 @@ impl ConsensusCore {
             notarization,
             finalization,
             beacons,
+            transitions,
         })
     }
 
@@ -691,6 +745,7 @@ impl ConsensusCore {
         if self.disable_beacon_pipelining
             && self.beacon_share_sent_upto < self.round
             && self.behavior.shares_beacon()
+            && self.keys.beacon_signer_for(self.round).is_some()
         {
             if let Some(prev) = self.round.prev().and_then(|p| self.pool.beacon(p)).copied() {
                 self.beacon_share_sent_upto = self.round;
@@ -708,9 +763,16 @@ impl ConsensusCore {
         // re-derive their permutations from it, and catch-up segments
         // chain from its tip.
         self.store.append_beacon(self.round, beacon);
-        let n = self.keys.setup.config.n();
-        let perm = RankPermutation::derive(&beacon, n);
-        let my_rank = Rank::new(perm.rank_of(self.keys.index.get()));
+        // Ranks are drawn over the *round's epoch members* only: a
+        // departed (or not-yet-joined) party observes the round without
+        // a rank, so it can never lead, propose, or sign.
+        let (perm, my_rank, epoch_index, at_boundary) = {
+            let epoch = self.keys.setup.epoch_of(self.round);
+            let perm = RankPermutation::derive_members(&beacon, &epoch.members);
+            let my_rank = perm.try_rank_of(self.keys.index.get()).map(Rank::new);
+            let at_boundary = epoch.index > 0 && epoch.start_round == self.round;
+            (perm, my_rank, epoch.index, at_boundary)
+        };
         let leader = perm.leader();
         step.events.push(NodeEvent::EnteredRound {
             round: self.round,
@@ -723,10 +785,19 @@ impl ConsensusCore {
             now,
             round,
             SpanKind::RoundStart {
-                rank: my_rank.get(),
+                rank: my_rank.map_or(u32::MAX, Rank::get),
                 leader,
             },
         );
+        if at_boundary {
+            // The membership/reshare schedule activates here: from this
+            // round on, the new epoch's signer set governs.
+            self.record_span(now, round, SpanKind::EpochTransition { epoch: epoch_index });
+            step.events.push(NodeEvent::EpochEntered {
+                round,
+                epoch: epoch_index,
+            });
+        }
         self.telemetry.metrics.rounds_entered.inc();
         self.entered_at.insert(round.get(), now);
         self.rstate = Some(RoundState::new(now, perm, my_rank));
@@ -736,6 +807,7 @@ impl ConsensusCore {
         if !self.disable_beacon_pipelining
             && self.beacon_share_sent_upto < next
             && self.behavior.shares_beacon()
+            && self.keys.beacon_signer_for(next).is_some()
         {
             self.beacon_share_sent_upto = next;
             let share = artifacts::beacon_share(&self.keys, next, &beacon);
@@ -795,6 +867,7 @@ impl ConsensusCore {
         let rs = self.rstate.as_mut().expect("in a round");
         // "if N ⊆ {B} then broadcast a finalization share for B".
         let n_subset = rs.n_set.values().all(|h| *h == block_ref.hash);
+        let i_am_member = rs.my_rank.is_some();
         step.events.push(NodeEvent::RoundFinished {
             round: self.round,
             duration,
@@ -802,7 +875,7 @@ impl ConsensusCore {
         });
         self.delays
             .observe_round(duration, notarized_rank.is_leader());
-        if n_subset && self.behavior.shares_finalization() {
+        if n_subset && i_am_member && self.behavior.shares_finalization() {
             let fs = artifacts::finalization_share(&self.keys, block_ref);
             self.emit(ConsensusMessage::FinalizationShare(fs), step);
         }
@@ -814,6 +887,11 @@ impl ConsensusCore {
         let (t0, my_rank, proposed) = {
             let rs = self.rstate.as_ref().expect("in a round");
             (rs.t0, rs.my_rank, rs.proposed)
+        };
+        // A non-member of the round's epoch has no rank: it never
+        // proposes.
+        let Some(my_rank) = my_rank else {
+            return false;
         };
         if proposed || now < t0 + self.delays.prop(my_rank) {
             return false;
@@ -956,8 +1034,9 @@ impl ConsensusCore {
         // Echo (re-broadcast) other parties' blocks so every honest
         // party gets a chance to see them and disqualify equivocators.
         let rs = self.rstate.as_mut().expect("in a round");
-        let should_echo = rank != rs.my_rank.get() && rs.echoed.insert(block.hash());
+        let should_echo = Some(rank) != rs.my_rank.map(Rank::get) && rs.echoed.insert(block.hash());
         let already_shared_this_rank = rs.n_set.contains_key(&rank);
+        let i_am_member = rs.my_rank.is_some();
         if already_shared_this_rank {
             rs.d_set.insert(rank);
         } else {
@@ -985,7 +1064,7 @@ impl ConsensusCore {
                     parent_notarization,
                 }));
         }
-        if !already_shared_this_rank && self.behavior.shares_notarization() {
+        if !already_shared_this_rank && i_am_member && self.behavior.shares_notarization() {
             let share = artifacts::notarization_share(&self.keys, block_ref);
             self.emit(ConsensusMessage::NotarizationShare(share), step);
         }
@@ -1078,12 +1157,60 @@ impl ConsensusCore {
             // fresh latency sample (their entries were consumed above,
             // or the round was skipped over by a certificate).
             self.entered_at.retain(|r, _| *r > self.kmax.get());
+            self.maybe_archive_transitions();
             self.maybe_checkpoint();
             if let Some(depth) = self.policy.purge_depth {
                 if self.kmax.get() > depth {
                     self.pool.purge_below(Round::new(self.kmax.get() - depth));
                 }
             }
+        }
+    }
+
+    /// Archives the handoff certificate of every epoch boundary the
+    /// finalized chain has crossed: the highest finalized block of the
+    /// *outgoing* epoch, with its notarization + finalization. Retried
+    /// on every commit until the certificate pair is pooled, so a
+    /// boundary crossed while a certificate raced ahead is picked up
+    /// later. These archives are what
+    /// [`build_catch_up_package`](Self::build_catch_up_package) chains
+    /// into cross-epoch packages.
+    fn maybe_archive_transitions(&mut self) {
+        let setup = Arc::clone(&self.keys.setup);
+        for e in 1..setup.epoch_count() as u64 {
+            let info = setup.epoch(e).expect("epoch index in range");
+            if info.start_round > self.kmax {
+                break;
+            }
+            if self.transition_certs.contains_key(&e) {
+                continue;
+            }
+            let out_start = setup
+                .epoch(e - 1)
+                .expect("epoch index in range")
+                .start_round;
+            let Some(block) = self.pool.finalized_below(info.start_round) else {
+                continue;
+            };
+            // The handoff block must belong to the outgoing epoch.
+            if block.round() < out_start {
+                continue;
+            }
+            let hash = block.hash();
+            let (Some(notarization), Some(finalization)) = (
+                self.pool.notarization_of(&hash).cloned(),
+                self.pool.finalization_of(&hash).cloned(),
+            ) else {
+                continue;
+            };
+            let t = EpochTransition {
+                epoch: e,
+                notarization,
+                finalization,
+            };
+            self.store.append_epoch_transition(t.clone());
+            self.transition_certs.insert(e, t);
+            self.recovery.epoch_transitions += 1;
         }
     }
 
@@ -1126,6 +1253,7 @@ impl ConsensusCore {
             finalization,
             beacon,
             committed,
+            transitions: self.transition_certs.values().cloned().collect(),
         });
     }
 
@@ -1169,8 +1297,8 @@ impl ConsensusCore {
                 wake = Some(wake.map_or(t, |w: SimTime| w.min(t)));
             }
         };
-        if !rs.proposed {
-            consider(rs.t0 + self.delays.prop(rs.my_rank));
+        if let (false, Some(my_rank)) = (rs.proposed, rs.my_rank) {
+            consider(rs.t0 + self.delays.prop(my_rank));
         }
         for b in self.pool.valid_blocks(self.round) {
             let r = rs.perm.rank_of(b.proposer().get());

@@ -1,0 +1,276 @@
+//! Epochs: the membership schedule and the per-epoch key registry
+//! (ROADMAP item 5, dynamic membership).
+//!
+//! The paper fixes one `(t, t+1, n)` committee for the lifetime of the
+//! subnet; real deployments rotate node providers. An **epoch** is a
+//! maximal run of rounds with a fixed member set. The schedule of
+//! epochs — which universe indices are members from which round on — is
+//! agreed out of band and activated only at the predetermined boundary
+//! rounds, so every party switches signer sets at the same round.
+//!
+//! Key material across epochs:
+//!
+//! * `S_auth`, `S_notary`, `S_final` keys span the whole node
+//!   *universe*; an epoch restricts who may sign (membership gating in
+//!   the pool classifier) and how many shares a quorum takes
+//!   (per-epoch `m − t` / `t + 1` thresholds, checked with
+//!   [`MultiSigScheme::verify_subset`](icc_crypto::multisig::MultiSigScheme::verify_subset)).
+//! * `S_beacon` is *reshared* at every boundary
+//!   ([`ReshareDealing`](icc_crypto::dkg::ReshareDealing) →
+//!   [`reshare_aggregate`](icc_crypto::dkg::reshare_aggregate)): the
+//!   group public key — and therefore the beacon value sequence — is
+//!   preserved byte-for-byte, while the share vector moves to the new
+//!   member positions. Old-epoch shares do not verify against the new
+//!   epoch's share commitments.
+//!
+//! Within an epoch, threshold-instance indices are **positions** in the
+//! sorted member list (0‥m), while multi-signature and authenticator
+//! indices remain universe node indices.
+
+use icc_crypto::threshold::ThresholdPublic;
+use icc_types::{Round, SubnetConfig};
+use std::sync::Arc;
+
+/// One entry of a membership schedule: from `start_round` on (until the
+/// next entry's start), the member set is `members`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSpec {
+    /// First round governed by this epoch.
+    pub start_round: Round,
+    /// Sorted, deduplicated universe node indices.
+    pub members: Vec<u32>,
+}
+
+impl EpochSpec {
+    /// A spec entry with `members` normalised (sorted, deduplicated).
+    pub fn new(start_round: Round, mut members: Vec<u32>) -> EpochSpec {
+        members.sort_unstable();
+        members.dedup();
+        EpochSpec {
+            start_round,
+            members,
+        }
+    }
+}
+
+/// A full membership schedule over the node universe.
+///
+/// Epoch 0 starts at the genesis round; later epochs start at strictly
+/// increasing boundary rounds. The *universe* is `0 ‥ 1 + max index
+/// mentioned anywhere in the schedule`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSchedule {
+    epochs: Vec<EpochSpec>,
+}
+
+impl EpochSchedule {
+    /// Builds a schedule from spec entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty, the first epoch does not start
+    /// at genesis, boundary rounds are not strictly increasing, or any
+    /// member set is empty.
+    pub fn new(epochs: Vec<EpochSpec>) -> EpochSchedule {
+        assert!(!epochs.is_empty(), "schedule needs at least one epoch");
+        assert!(
+            epochs[0].start_round == Round::GENESIS,
+            "epoch 0 must start at the genesis round"
+        );
+        for (e, spec) in epochs.iter().enumerate() {
+            assert!(!spec.members.is_empty(), "epoch {e} has no members");
+            assert!(
+                spec.members.windows(2).all(|w| w[0] < w[1]),
+                "epoch {e} members must be sorted and unique"
+            );
+            if e > 0 {
+                assert!(
+                    spec.start_round > epochs[e - 1].start_round,
+                    "epoch boundaries must be strictly increasing"
+                );
+            }
+        }
+        EpochSchedule { epochs }
+    }
+
+    /// The trivial schedule: one epoch, all of `0‥n`, forever.
+    pub fn static_membership(n: usize) -> EpochSchedule {
+        EpochSchedule::new(vec![EpochSpec::new(
+            Round::GENESIS,
+            (0..n as u32).collect(),
+        )])
+    }
+
+    /// Parses the command-line form
+    /// `"0:0,1,2,3;30:0,1,2,4"` — semicolon-separated
+    /// `start_round:comma-separated-members` entries. Every process of a
+    /// cluster must be handed the identical string.
+    pub fn parse(spec: &str) -> Result<EpochSchedule, String> {
+        let mut epochs = Vec::new();
+        for (i, entry) in spec.split(';').enumerate() {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (round, members) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("epoch entry {i}: expected `round:members`"))?;
+            let start: u64 = round
+                .trim()
+                .parse()
+                .map_err(|e| format!("epoch entry {i}: bad round: {e}"))?;
+            let members: Vec<u32> = members
+                .split(',')
+                .map(|m| m.trim().parse::<u32>())
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("epoch entry {i}: bad member index: {e}"))?;
+            if members.is_empty() {
+                return Err(format!("epoch entry {i}: no members"));
+            }
+            epochs.push(EpochSpec::new(Round::new(start), members));
+        }
+        if epochs.is_empty() {
+            return Err("empty epoch schedule".into());
+        }
+        if epochs[0].start_round != Round::GENESIS {
+            return Err("epoch 0 must start at round 0".into());
+        }
+        if !epochs
+            .windows(2)
+            .all(|w| w[0].start_round < w[1].start_round)
+        {
+            return Err("epoch boundaries must be strictly increasing".into());
+        }
+        Ok(EpochSchedule { epochs })
+    }
+
+    /// The inverse of [`parse`](Self::parse), for handing a schedule to
+    /// child processes.
+    pub fn to_spec_string(&self) -> String {
+        self.epochs
+            .iter()
+            .map(|e| {
+                let members: Vec<String> = e.members.iter().map(u32::to_string).collect();
+                format!("{}:{}", e.start_round.get(), members.join(","))
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// The schedule entries, in epoch order.
+    pub fn epochs(&self) -> &[EpochSpec] {
+        &self.epochs
+    }
+
+    /// Number of epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Never true: schedules hold at least one epoch.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The universe size: one past the highest node index mentioned.
+    pub fn universe(&self) -> usize {
+        1 + self
+            .epochs
+            .iter()
+            .flat_map(|e| e.members.iter().copied())
+            .max()
+            .expect("schedules are non-empty") as usize
+    }
+}
+
+/// The resolved public material of one epoch: its member set, the
+/// thresholds induced by the member count, and the reshared beacon
+/// instance for this epoch's positions.
+#[derive(Debug, Clone)]
+pub struct EpochInfo {
+    /// Epoch number (0-based).
+    pub index: u64,
+    /// First round governed by this epoch.
+    pub start_round: Round,
+    /// Sorted universe node indices of the members.
+    pub members: Vec<u32>,
+    /// Subnet parameters over `members.len()` parties — the per-epoch
+    /// `n − t` / `t + 1` quorum sizes.
+    pub config: SubnetConfig,
+    /// The beacon threshold instance for this epoch: same group public
+    /// key as every other epoch, share commitments at this epoch's
+    /// positions.
+    pub beacon: Arc<ThresholdPublic>,
+}
+
+impl EpochInfo {
+    /// Member count `m`.
+    pub fn m(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `node` (universe index) is a member of this epoch.
+    pub fn is_member(&self, node: u32) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// The position of `node` in the sorted member list — the node's
+    /// threshold-instance index for this epoch — or `None` for a
+    /// non-member.
+    pub fn position_of(&self, node: u32) -> Option<u32> {
+        self.members.binary_search(&node).ok().map(|p| p as u32)
+    }
+
+    /// Per-epoch notarization quorum (`m − t`).
+    pub fn notarization_threshold(&self) -> usize {
+        self.config.notarization_threshold()
+    }
+
+    /// Per-epoch finalization quorum (`m − t`).
+    pub fn finalization_threshold(&self) -> usize {
+        self.config.finalization_threshold()
+    }
+
+    /// Per-epoch beacon quorum (`t + 1`).
+    pub fn beacon_threshold(&self) -> usize {
+        self.config.beacon_threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_schedule_roundtrips_through_spec_string() {
+        let s = EpochSchedule::static_membership(4);
+        assert_eq!(s.to_spec_string(), "0:0,1,2,3");
+        assert_eq!(EpochSchedule::parse(&s.to_spec_string()).unwrap(), s);
+        assert_eq!(s.universe(), 4);
+    }
+
+    #[test]
+    fn parse_replace_schedule() {
+        let s = EpochSchedule::parse("0:0,1,2,3;30:0,1,2,4").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.universe(), 5);
+        assert_eq!(s.epochs()[1].start_round, Round::new(30));
+        assert_eq!(s.epochs()[1].members, vec![0, 1, 2, 4]);
+        assert_eq!(s.to_spec_string(), "0:0,1,2,3;30:0,1,2,4");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_schedules() {
+        assert!(EpochSchedule::parse("").is_err());
+        assert!(EpochSchedule::parse("5:0,1,2").is_err()); // no genesis epoch
+        assert!(EpochSchedule::parse("0:0,1;0:0,1").is_err()); // non-increasing
+        assert!(EpochSchedule::parse("0:").is_err()); // no members
+        assert!(EpochSchedule::parse("0;1,2").is_err()); // missing colon
+    }
+
+    #[test]
+    fn spec_normalises_member_order() {
+        let e = EpochSpec::new(Round::GENESIS, vec![3, 1, 1, 0]);
+        assert_eq!(e.members, vec![0, 1, 3]);
+    }
+}

@@ -16,10 +16,19 @@ pub enum NodeEvent {
     EnteredRound {
         /// The round entered.
         round: Round,
-        /// This node's rank for the round.
-        my_rank: Rank,
+        /// This node's rank for the round; `None` when it is not a
+        /// member of the round's epoch (observer).
+        my_rank: Option<Rank>,
         /// The round's leader (the rank-0 party).
         leader: NodeIndex,
+    },
+    /// The node crossed an epoch boundary: from this round on the new
+    /// epoch's member set and reshared beacon keys govern.
+    EpochEntered {
+        /// The boundary round (the new epoch's first round).
+        round: Round,
+        /// Index of the epoch entered.
+        epoch: u64,
     },
     /// The node broadcast its own proposal for a round.
     Proposed {
@@ -70,6 +79,7 @@ impl NodeEvent {
     pub fn round(&self) -> Round {
         match self {
             NodeEvent::EnteredRound { round, .. }
+            | NodeEvent::EpochEntered { round, .. }
             | NodeEvent::Proposed { round, .. }
             | NodeEvent::RoundFinished { round, .. } => *round,
             NodeEvent::Committed { block } => block.round(),

@@ -12,14 +12,16 @@
 //! [`generate_keys`] plays the trusted dealer and returns one
 //! [`NodeKeys`] per party plus the shared [`PublicSetup`].
 
+use crate::epoch::{EpochInfo, EpochSchedule};
 use icc_crypto::beacon::BeaconValue;
+use icc_crypto::dkg::{reshare_aggregate, ReshareDealing};
 use icc_crypto::multisig::MultiSigScheme;
 use icc_crypto::sig::{PublicKey, SecretKey};
 use icc_crypto::threshold::{Dealer, ThresholdPublic, ThresholdSigner};
 use icc_crypto::{hash_parts, Hash256};
 use icc_types::block::{Block, HashedBlock};
 use icc_types::messages::domains;
-use icc_types::{NodeIndex, SubnetConfig};
+use icc_types::{NodeIndex, Round, SubnetConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -27,20 +29,56 @@ use std::sync::Arc;
 
 /// Public material shared by all parties of one subnet.
 pub struct PublicSetup {
-    /// The subnet parameters.
+    /// The subnet parameters over the node *universe*.
     pub config: SubnetConfig,
-    /// Every party's `S_auth` public key, by index.
+    /// Every universe party's `S_auth` public key, by index.
     pub auth_keys: Vec<PublicKey>,
-    /// The `(t, n−t, n)` notarization multi-signature instance.
+    /// The `(t, n−t, n)` notarization multi-signature instance over the
+    /// universe. Per-epoch quorums are checked via `verify_subset`.
     pub notary: MultiSigScheme,
     /// The `(t, n−t, n)` finalization multi-signature instance.
     pub finality: MultiSigScheme,
-    /// The `(t, t+1, n)` beacon threshold instance (public part).
+    /// The epoch-0 beacon threshold instance (public part). Its *group*
+    /// key is shared by every epoch, so combined beacon values verify
+    /// under it regardless of the epoch that produced them; only share
+    /// verification is per-epoch (see [`epoch_of`](Self::epoch_of)).
     pub beacon: Arc<ThresholdPublic>,
     /// The genesis (`root`) block, identical for all parties.
     pub genesis: HashedBlock,
     /// `R_0`, the fixed initial beacon value.
     pub genesis_beacon: BeaconValue,
+    /// The resolved membership schedule: one entry per epoch, in order.
+    pub epochs: Vec<EpochInfo>,
+}
+
+impl PublicSetup {
+    /// The epoch index governing `round` (binary search over boundaries).
+    pub fn epoch_index_of(&self, round: Round) -> usize {
+        match self.epochs.binary_search_by(|e| e.start_round.cmp(&round)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The epoch governing `round`.
+    pub fn epoch_of(&self, round: Round) -> &EpochInfo {
+        &self.epochs[self.epoch_index_of(round)]
+    }
+
+    /// The epoch with number `index`, if scheduled.
+    pub fn epoch(&self, index: u64) -> Option<&EpochInfo> {
+        self.epochs.get(index as usize)
+    }
+
+    /// Number of scheduled epochs.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether the schedule ever changes membership.
+    pub fn has_membership_changes(&self) -> bool {
+        self.epochs.windows(2).any(|w| w[0].members != w[1].members)
+    }
 }
 
 impl fmt::Debug for PublicSetup {
@@ -62,10 +100,36 @@ pub struct NodeKeys {
     pub notary: SecretKey,
     /// `S_final` secret key.
     pub finality: SecretKey,
-    /// `S_beacon` threshold signing handle.
-    pub beacon: ThresholdSigner,
+    /// `S_beacon` threshold signing handles, one per epoch; `None` in
+    /// epochs this party is not a member of.
+    pub epoch_beacons: Vec<Option<ThresholdSigner>>,
     /// The shared public setup.
     pub setup: Arc<PublicSetup>,
+}
+
+impl NodeKeys {
+    /// The beacon signing handle valid for `round`, or `None` when this
+    /// party is not a member of the round's epoch.
+    pub fn beacon_signer_for(&self, round: Round) -> Option<&ThresholdSigner> {
+        self.epoch_beacons[self.setup.epoch_index_of(round)].as_ref()
+    }
+
+    /// The epoch-0 beacon signing handle — the single-epoch call sites'
+    /// shorthand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this party is not a member of epoch 0.
+    pub fn beacon(&self) -> &ThresholdSigner {
+        self.epoch_beacons[0]
+            .as_ref()
+            .expect("party is not a member of epoch 0")
+    }
+
+    /// Whether this party is a member of the epoch governing `round`.
+    pub fn is_member_at(&self, round: Round) -> bool {
+        self.setup.epoch_of(round).is_member(self.index.get())
+    }
 }
 
 impl fmt::Debug for NodeKeys {
@@ -88,8 +152,40 @@ impl fmt::Debug for NodeKeys {
 /// assert_eq!(keys[0].setup.notary.threshold(), 3); // n - t = 4 - 1
 /// ```
 pub fn generate_keys(config: SubnetConfig, seed: u64) -> Vec<NodeKeys> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    generate_keys_with_schedule(config, seed, &EpochSchedule::static_membership(config.n()))
+}
+
+/// The epoch-aware dealer: generates universe-wide `S_auth` / `S_notary`
+/// / `S_final` material, deals the epoch-0 beacon over the first member
+/// set, then *reshares* the beacon key at every scheduled boundary
+/// (each old member deals a [`ReshareDealing`] of its existing share;
+/// [`reshare_aggregate`] verifies every dealing and interpolates the new
+/// share vector). The group beacon key — and so the beacon value
+/// sequence — is identical in every epoch.
+///
+/// Returns one [`NodeKeys`] per *universe* party; parties outside an
+/// epoch's member set carry `None` beacon handles for that epoch.
+///
+/// Deterministic in `seed`; with a static full-universe schedule the
+/// output is identical to [`generate_keys`].
+///
+/// # Panics
+///
+/// Panics if `config.n()` is smaller than the schedule's universe, or
+/// if resharing fails (impossible for honestly generated dealings).
+pub fn generate_keys_with_schedule(
+    config: SubnetConfig,
+    seed: u64,
+    schedule: &EpochSchedule,
+) -> Vec<NodeKeys> {
     let n = config.n();
+    assert!(
+        n >= schedule.universe(),
+        "universe config covers {} parties, schedule mentions index {}",
+        n,
+        schedule.universe() - 1
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
 
     let (notary, notary_sks) = MultiSigScheme::generate(
         domains::NOTARY,
@@ -99,8 +195,60 @@ pub fn generate_keys(config: SubnetConfig, seed: u64) -> Vec<NodeKeys> {
     );
     let (finality, finality_sks) =
         MultiSigScheme::generate(domains::FINAL, config.finalization_threshold(), n, &mut rng);
-    let beacon_dealt =
-        Dealer::deal_with_domain(domains::BEACON, config.beacon_threshold(), n, &mut rng);
+
+    // Per-epoch subnet parameters: the universe config when the member
+    // set is the full universe (so custom `t` choices survive), else
+    // derived from the member count.
+    let epoch_config = |members: &[u32]| -> SubnetConfig {
+        if members.len() == n {
+            config
+        } else {
+            SubnetConfig::new(members.len())
+        }
+    };
+
+    // Epoch 0: a fresh deal over the first member set's positions.
+    let first = &schedule.epochs()[0];
+    let cfg0 = epoch_config(&first.members);
+    let dealt0 = Dealer::deal_with_domain(
+        domains::BEACON,
+        cfg0.beacon_threshold(),
+        first.members.len(),
+        &mut rng,
+    );
+
+    // Later epochs: reshare from the previous epoch's signers. Every
+    // dealing is verified inside `reshare_aggregate` (binding to the
+    // registered share commitments plus per-position consistency), so
+    // this path exercises the same checks a distributed run would.
+    let mut dealt = vec![dealt0];
+    for spec in &schedule.epochs()[1..] {
+        let prev = dealt.last().expect("epoch 0 exists");
+        let cfg = epoch_config(&spec.members);
+        let new_threshold = cfg.beacon_threshold();
+        let dealings: Vec<ReshareDealing> = prev
+            .signers()
+            .iter()
+            .map(|s| ReshareDealing::deal(s, new_threshold, spec.members.len(), &mut rng))
+            .collect();
+        let next = reshare_aggregate(&prev.public(), new_threshold, &dealings)
+            .expect("honest resharing aggregates");
+        dealt.push(next);
+    }
+
+    let epochs: Vec<EpochInfo> = schedule
+        .epochs()
+        .iter()
+        .zip(&dealt)
+        .enumerate()
+        .map(|(i, (spec, d))| EpochInfo {
+            index: i as u64,
+            start_round: spec.start_round,
+            members: spec.members.clone(),
+            config: epoch_config(&spec.members),
+            beacon: d.public(),
+        })
+        .collect();
 
     let auth_sks: Vec<SecretKey> = (0..n).map(|_| SecretKey::generate(&mut rng)).collect();
     let auth_keys: Vec<PublicKey> = auth_sks.iter().map(SecretKey::public_key).collect();
@@ -113,26 +261,40 @@ pub fn generate_keys(config: SubnetConfig, seed: u64) -> Vec<NodeKeys> {
         auth_keys,
         notary,
         finality,
-        beacon: beacon_dealt.public(),
+        beacon: epochs[0].beacon.clone(),
         genesis,
         genesis_beacon,
+        epochs,
     });
 
-    let beacon_signers = beacon_dealt.into_signers();
+    // Distribute each epoch's signing handles to the member occupying
+    // the corresponding position.
+    let epoch_count = schedule.len();
+    let mut per_node: Vec<Vec<Option<ThresholdSigner>>> = (0..n)
+        .map(|_| (0..epoch_count).map(|_| None).collect())
+        .collect();
+    for (e, (spec, d)) in schedule.epochs().iter().zip(dealt).enumerate() {
+        for (pos, signer) in d.into_signers().into_iter().enumerate() {
+            per_node[spec.members[pos] as usize][e] = Some(signer);
+        }
+    }
+
     auth_sks
         .into_iter()
         .zip(notary_sks)
         .zip(finality_sks)
-        .zip(beacon_signers)
+        .zip(per_node)
         .enumerate()
-        .map(|(i, (((auth, notary), finality), beacon))| NodeKeys {
-            index: NodeIndex::new(i as u32),
-            auth,
-            notary,
-            finality,
-            beacon,
-            setup: Arc::clone(&setup),
-        })
+        .map(
+            |(i, (((auth, notary), finality), epoch_beacons))| NodeKeys {
+                index: NodeIndex::new(i as u32),
+                auth,
+                notary,
+                finality,
+                epoch_beacons,
+                setup: Arc::clone(&setup),
+            },
+        )
         .collect()
 }
 
@@ -190,7 +352,7 @@ mod tests {
         let shares: Vec<_> = keys
             .iter()
             .take(2)
-            .map(|k| k.beacon.sign_share(&msg))
+            .map(|k| k.beacon().sign_share(&msg))
             .collect();
         let sig = keys[0].setup.beacon.combine(&msg, shares).unwrap();
         assert!(keys[3].setup.beacon.verify(&msg, &sig));
@@ -212,5 +374,92 @@ mod tests {
         assert_eq!(a[0].setup.auth_keys, b[0].setup.auth_keys);
         let c = generate_keys(SubnetConfig::new(4), 10);
         assert_ne!(a[0].setup.auth_keys, c[0].setup.auth_keys);
+    }
+
+    #[test]
+    fn static_schedule_matches_plain_generation() {
+        let plain = generate_keys(SubnetConfig::new(4), 9);
+        let sched = generate_keys_with_schedule(
+            SubnetConfig::new(4),
+            9,
+            &EpochSchedule::static_membership(4),
+        );
+        assert_eq!(plain[0].setup.auth_keys, sched[0].setup.auth_keys);
+        assert_eq!(
+            plain[0].setup.beacon.global_key(),
+            sched[0].setup.beacon.global_key()
+        );
+        assert_eq!(sched[0].setup.epoch_count(), 1);
+        assert!(!sched[0].setup.has_membership_changes());
+    }
+
+    #[test]
+    fn reshared_epochs_share_one_group_key_and_beacon_sequence() {
+        use crate::epoch::EpochSpec;
+        use icc_types::Round;
+        // Universe of 5; epoch 0 = {0,1,2,3}, epoch 1 replaces 3 with 4.
+        let schedule = EpochSchedule::new(vec![
+            EpochSpec::new(Round::GENESIS, vec![0, 1, 2, 3]),
+            EpochSpec::new(Round::new(10), vec![0, 1, 2, 4]),
+        ]);
+        let keys = generate_keys_with_schedule(SubnetConfig::new(5), 5, &schedule);
+        let setup = &keys[0].setup;
+        assert_eq!(setup.epoch_count(), 2);
+        assert!(setup.has_membership_changes());
+        let e0 = setup.epoch_of(Round::new(9));
+        let e1 = setup.epoch_of(Round::new(10));
+        assert_eq!((e0.index, e1.index), (0, 1));
+        assert_eq!(e0.beacon.global_key(), e1.beacon.global_key());
+
+        // A beacon value for an epoch-1 round combined from epoch-1
+        // members' shares verifies under the epoch-0 public instance
+        // (same group key): the beacon survives resharing.
+        let msg = icc_crypto::beacon::beacon_sign_message(10, &setup.genesis_beacon);
+        let shares: Vec<_> = [0usize, 1, 4]
+            .iter()
+            .map(|&i| {
+                keys[i]
+                    .beacon_signer_for(Round::new(10))
+                    .expect("epoch-1 member")
+                    .sign_share(&msg)
+            })
+            .take(e1.beacon_threshold())
+            .collect();
+        let sig = e1.beacon.combine(&msg, shares).unwrap();
+        assert!(setup.beacon.verify(&msg, &sig));
+
+        // Node 3 left: no handle for epoch 1. Node 4 joined: none for 0.
+        assert!(keys[3].beacon_signer_for(Round::new(10)).is_none());
+        assert!(keys[4].beacon_signer_for(Round::new(9)).is_none());
+        assert!(keys[3].is_member_at(Round::new(9)));
+        assert!(!keys[3].is_member_at(Round::new(10)));
+
+        // An old-epoch share does not verify under the new epoch's
+        // share commitments (positions reshared).
+        let stale = keys[3].beacon_signer_for(Round::new(9)).unwrap();
+        let old_share = stale.sign_share(&msg);
+        assert!(!e1.beacon.verify_share(&msg, &old_share));
+    }
+
+    #[test]
+    fn epoch_lookup_is_by_boundary_round() {
+        use crate::epoch::EpochSpec;
+        use icc_types::Round;
+        let schedule = EpochSchedule::new(vec![
+            EpochSpec::new(Round::GENESIS, vec![0, 1, 2]),
+            EpochSpec::new(Round::new(5), vec![0, 1, 3]),
+            EpochSpec::new(Round::new(12), vec![1, 2, 3]),
+        ]);
+        let keys = generate_keys_with_schedule(SubnetConfig::new(4), 1, &schedule);
+        let setup = &keys[0].setup;
+        assert_eq!(setup.epoch_index_of(Round::GENESIS), 0);
+        assert_eq!(setup.epoch_index_of(Round::new(4)), 0);
+        assert_eq!(setup.epoch_index_of(Round::new(5)), 1);
+        assert_eq!(setup.epoch_index_of(Round::new(11)), 1);
+        assert_eq!(setup.epoch_index_of(Round::new(12)), 2);
+        assert_eq!(setup.epoch_index_of(Round::new(1000)), 2);
+        let e2 = setup.epoch(2).unwrap();
+        assert_eq!(e2.position_of(2), Some(1));
+        assert_eq!(e2.position_of(0), None);
     }
 }

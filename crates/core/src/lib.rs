@@ -18,6 +18,7 @@
 //! # Crate layout
 //!
 //! * [`keys`] — trusted setup for the four signature schemes;
+//! * [`epoch`] — membership schedules and the per-epoch key registry;
 //! * [`delays`] — `Δprop` / `Δntry` delay functions (eq. 2) and the
 //!   adaptive-`Δbnd` variant;
 //! * [`pool`] — the artifact pool and §3.4 block classification;
@@ -54,6 +55,7 @@ pub mod byzantine;
 pub mod cluster;
 pub mod consensus;
 pub mod delays;
+pub mod epoch;
 pub mod events;
 pub mod keys;
 pub mod node;
@@ -66,6 +68,7 @@ pub mod telemetry;
 pub use byzantine::Behavior;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use consensus::{BlockPolicy, ConsensusCore, Step};
+pub use epoch::{EpochInfo, EpochSchedule, EpochSpec};
 pub use events::NodeEvent;
 pub use node::IccNode;
 pub use recovery::{CatchUpError, CatchUpPackage, RecoveryStats};

@@ -133,19 +133,25 @@ pub(crate) fn process_changes(
             .entry(block_hash)
             .or_insert_with(|| block_ref.sign_bytes());
 
+        // Per-epoch signer sets: the proposer of a block, every signer
+        // of an aggregate, and every share signer must be a *member* of
+        // the epoch governing the artifact's round. Departed (or
+        // not-yet-joined) parties hold valid universe keys, so the
+        // membership gate — not signature verification — is what
+        // refuses them.
+        let epoch = setup.epoch_of(round);
         let decided = match artifact {
             UnvalidatedArtifact::Block {
                 block,
                 authenticator,
             } => {
-                let digest = *digest_memo
-                    .entry((SchemeKind::Auth, block_hash))
-                    .or_insert_with(|| MessageDigest::compute(domains::AUTH, sign_bytes));
-                let verified = setup
-                    .auth_keys
-                    .get(block.proposer().as_usize())
-                    .is_some_and(|pk| {
+                let proposer = block.proposer().get();
+                let verified = epoch.is_member(proposer)
+                    && setup.auth_keys.get(proposer as usize).is_some_and(|pk| {
                         stats.verify_calls += 1;
+                        let digest = *digest_memo
+                            .entry((SchemeKind::Auth, block_hash))
+                            .or_insert_with(|| MessageDigest::compute(domains::AUTH, sign_bytes));
                         pk.verify_digest(digest, authenticator)
                     });
                 Some((verified, RejectReason::BadAuthenticator))
@@ -156,7 +162,12 @@ pub(crate) fn process_changes(
                     .or_insert_with(|| setup.notary.digest(sign_bytes));
                 stats.verify_calls += 1;
                 Some((
-                    setup.notary.verify_digest(digest, &n.sig),
+                    setup.notary.verify_subset_digest(
+                        digest,
+                        &n.sig,
+                        epoch.notarization_threshold(),
+                        &epoch.members,
+                    ),
                     RejectReason::BadSignature,
                 ))
             }
@@ -166,23 +177,36 @@ pub(crate) fn process_changes(
                     .or_insert_with(|| setup.finality.digest(sign_bytes));
                 stats.verify_calls += 1;
                 Some((
-                    setup.finality.verify_digest(digest, &f.sig),
+                    setup.finality.verify_subset_digest(
+                        digest,
+                        &f.sig,
+                        epoch.finalization_threshold(),
+                        &epoch.members,
+                    ),
                     RejectReason::BadSignature,
                 ))
             }
-            UnvalidatedArtifact::NotarizationShare(_) => {
-                share_batches
-                    .entry((SchemeKind::Notary, block_hash))
-                    .or_default()
-                    .push(pos);
-                None
+            UnvalidatedArtifact::NotarizationShare(s) => {
+                if epoch.is_member(s.share.signer) {
+                    share_batches
+                        .entry((SchemeKind::Notary, block_hash))
+                        .or_default()
+                        .push(pos);
+                    None
+                } else {
+                    Some((false, RejectReason::BadSignature))
+                }
             }
-            UnvalidatedArtifact::FinalizationShare(_) => {
-                share_batches
-                    .entry((SchemeKind::Finality, block_hash))
-                    .or_default()
-                    .push(pos);
-                None
+            UnvalidatedArtifact::FinalizationShare(s) => {
+                if epoch.is_member(s.share.signer) {
+                    share_batches
+                        .entry((SchemeKind::Finality, block_hash))
+                        .or_default()
+                        .push(pos);
+                    None
+                } else {
+                    Some((false, RejectReason::BadSignature))
+                }
             }
             UnvalidatedArtifact::BeaconShare(_) => unreachable!("handled above: no block_ref"),
         };

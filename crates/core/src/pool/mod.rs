@@ -396,6 +396,12 @@ impl Pool {
         self.validated.highest_notarized_round()
     }
 
+    /// The highest finalized non-genesis block with round < `below`, if
+    /// any — the handoff block of an epoch whose boundary is `below`.
+    pub fn finalized_below(&self, below: Round) -> Option<&HashedBlock> {
+        self.validated.finalized_below(below)
+    }
+
     // ------------------------------------------------------------------
     // Certified installs (checkpoint restore and catch-up)
     // ------------------------------------------------------------------
@@ -455,10 +461,18 @@ impl Pool {
     /// cache semantics: certificates already verified once are cache
     /// hits, everything else counts into `verify_calls`, and any failure
     /// rejects the whole package with nothing installed.
+    ///
+    /// When the package's block lies in a later epoch than this
+    /// replica's finalized knowledge, the package must carry one
+    /// [`EpochTransition`](crate::recovery::EpochTransition) per crossed
+    /// boundary; each link is verified under the *outgoing* epoch's
+    /// signer set before the target epoch's certificates are trusted.
+    /// Returns the number of epoch boundaries the verified chain
+    /// crossed (0 for a same-epoch catch-up).
     pub fn verify_and_install_catch_up(
         &mut self,
         pkg: &CatchUpPackage,
-    ) -> Result<(), CatchUpError> {
+    ) -> Result<usize, CatchUpError> {
         let block = &pkg.proposal.block;
         let round = block.round();
         let bref = BlockRef::of_hashed(block);
@@ -468,7 +482,58 @@ impl Pool {
         }
         let sign_bytes = bref.sign_bytes();
 
-        // Authenticator (S_auth by the claimed proposer).
+        // Cross-epoch certificate chain first: the later per-epoch
+        // checks assume the target epoch is reachable from what this
+        // replica already finalized.
+        let target_epoch = self.setup.epoch_index_of(round);
+        let local_epoch = self
+            .setup
+            .epoch_index_of(self.validated.latest_finalized_round());
+        if !pkg.transitions.windows(2).all(|w| w[0].epoch < w[1].epoch) {
+            self.stats.rejected += 1;
+            return Err(CatchUpError::BadTransition);
+        }
+        let mut crossed = 0usize;
+        for e in (local_epoch + 1)..=target_epoch {
+            let Some(link) = pkg.transitions.iter().find(|t| t.epoch == e as u64) else {
+                self.stats.rejected += 1;
+                return Err(CatchUpError::MissingTransition);
+            };
+            if link.notarization.block_ref != link.finalization.block_ref {
+                self.stats.rejected += 1;
+                return Err(CatchUpError::BadTransition);
+            }
+            // The handoff block must belong to the outgoing epoch.
+            let out = &self.setup.epochs[e - 1];
+            let lr = link.round();
+            if lr < out.start_round || lr >= self.setup.epochs[e].start_round {
+                self.stats.rejected += 1;
+                return Err(CatchUpError::BadTransition);
+            }
+            let link_bytes = link.finalization.block_ref.sign_bytes();
+            self.stats.verify_calls += 2;
+            let ok = self.setup.notary.verify_subset(
+                &link_bytes,
+                &link.notarization.sig,
+                out.notarization_threshold(),
+                &out.members,
+            ) && self.setup.finality.verify_subset(
+                &link_bytes,
+                &link.finalization.sig,
+                out.finalization_threshold(),
+                &out.members,
+            );
+            if !ok {
+                self.stats.rejected += 1;
+                return Err(CatchUpError::BadTransition);
+            }
+            crossed += 1;
+        }
+
+        let epoch = self.setup.epoch_of(round);
+
+        // Authenticator (S_auth by the claimed proposer, who must be a
+        // member of the block's epoch).
         let block_id = UnvalidatedArtifact::Block {
             block: block.clone(),
             authenticator: pkg.proposal.authenticator,
@@ -478,13 +543,14 @@ impl Pool {
             self.stats.verify_cache_hits += 1;
         } else {
             self.stats.verify_calls += 1;
-            let ok = self
-                .setup
-                .auth_keys
-                .get(bref.proposer.as_usize())
-                .is_some_and(|pk| {
-                    pk.verify(domains::AUTH, &sign_bytes, &pkg.proposal.authenticator)
-                });
+            let ok = epoch.is_member(bref.proposer.get())
+                && self
+                    .setup
+                    .auth_keys
+                    .get(bref.proposer.as_usize())
+                    .is_some_and(|pk| {
+                        pk.verify(domains::AUTH, &sign_bytes, &pkg.proposal.authenticator)
+                    });
             if !ok {
                 self.stats.rejected += 1;
                 return Err(CatchUpError::BadAuthenticator);
@@ -492,13 +558,18 @@ impl Pool {
             self.cache.record(block_id, round);
         }
 
-        // Notarization aggregate.
+        // Notarization aggregate, under the epoch's signer set.
         let notz_id = UnvalidatedArtifact::Notarization(pkg.notarization.clone()).id();
         if self.cache.contains(&notz_id) {
             self.stats.verify_cache_hits += 1;
         } else {
             self.stats.verify_calls += 1;
-            if !self.setup.notary.verify(&sign_bytes, &pkg.notarization.sig) {
+            if !self.setup.notary.verify_subset(
+                &sign_bytes,
+                &pkg.notarization.sig,
+                epoch.notarization_threshold(),
+                &epoch.members,
+            ) {
                 self.stats.rejected += 1;
                 return Err(CatchUpError::BadNotarization);
             }
@@ -511,11 +582,12 @@ impl Pool {
             self.stats.verify_cache_hits += 1;
         } else {
             self.stats.verify_calls += 1;
-            if !self
-                .setup
-                .finality
-                .verify(&sign_bytes, &pkg.finalization.sig)
-            {
+            if !self.setup.finality.verify_subset(
+                &sign_bytes,
+                &pkg.finalization.sig,
+                epoch.finalization_threshold(),
+                &epoch.members,
+            ) {
                 self.stats.rejected += 1;
                 return Err(CatchUpError::BadFinalization);
             }
@@ -575,7 +647,7 @@ impl Pool {
             self.validated.install_beacon(r, v);
         }
         self.validated.recheck_validity();
-        Ok(())
+        Ok(crossed)
     }
 
     // ------------------------------------------------------------------

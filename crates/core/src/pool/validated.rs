@@ -387,9 +387,10 @@ impl ValidatedSection {
     }
 
     /// A *valid but non-notarized* block of `round` holding a full set
-    /// of `n − t` notarization shares; combines them (Fig. 1 clause (a)).
+    /// of `m − t` notarization shares for the round's epoch; combines
+    /// them (Fig. 1 clause (a)).
     pub fn completable_notarization(&self, round: Round) -> Option<Notarization> {
-        let need = self.setup.config.notarization_threshold();
+        let need = self.setup.epoch_of(round).notarization_threshold();
         for h in self.by_round.get(&round).into_iter().flatten() {
             if !self.valid.contains(h) || self.notarized.contains(h) {
                 continue;
@@ -400,7 +401,11 @@ impl ValidatedSection {
                     let sig = self
                         .setup
                         .notary
-                        .combine(&block_ref.sign_bytes(), shares.values().map(|s| s.share))
+                        .combine_with_threshold(
+                            &block_ref.sign_bytes(),
+                            shares.values().map(|s| s.share),
+                            need,
+                        )
                         .expect("shares were verified in the ChangeSet step");
                     return Some(Notarization { block_ref, sig });
                 }
@@ -412,12 +417,8 @@ impl ValidatedSection {
     /// A *valid but non-finalized* block of round > `above` holding a
     /// full set of finalization shares; combines them (Fig. 2 case ii).
     pub fn completable_finalization(&self, above: Round) -> Option<Finalization> {
-        let need = self.setup.config.finalization_threshold();
-        for hashes in self
-            .finalization_share_rounds
-            .range(above.next()..)
-            .map(|(_, hs)| hs)
-        {
+        for (round, hashes) in self.finalization_share_rounds.range(above.next()..) {
+            let need = self.setup.epoch_of(*round).finalization_threshold();
             for h in hashes {
                 let shares = &self.finalization_shares[h];
                 if shares.len() < need || !self.valid.contains(h) || self.finalized.contains(h) {
@@ -427,7 +428,11 @@ impl ValidatedSection {
                 let sig = self
                     .setup
                     .finality
-                    .combine(&block_ref.sign_bytes(), shares.values().map(|s| s.share))
+                    .combine_with_threshold(
+                        &block_ref.sign_bytes(),
+                        shares.values().map(|s| s.share),
+                        need,
+                    )
                     .expect("shares were verified in the ChangeSet step");
                 return Some(Finalization { block_ref, sig });
             }
@@ -459,6 +464,15 @@ impl ValidatedSection {
             .rev()
             .find_map(|(r, hs)| hs.iter().any(|h| self.notarized.contains(h)).then_some(*r))
             .unwrap_or(Round::GENESIS)
+    }
+
+    /// The highest finalized non-genesis block with round < `below`, if
+    /// any — the handoff block of an epoch whose boundary is `below`.
+    pub fn finalized_below(&self, below: Round) -> Option<&HashedBlock> {
+        self.finalized_by_round
+            .range(..below)
+            .next_back()
+            .and_then(|(r, h)| (!r.is_genesis()).then(|| &self.blocks[h]))
     }
 
     /// The highest finalized block with round > `above`, if any
@@ -517,7 +531,10 @@ impl ValidatedSection {
         let prev = *self.beacons.get(&round.prev()?)?;
         let msg = beacon_sign_message(round.get(), &prev);
         let shares = self.beacon_shares.entry(round).or_default();
-        let setup = &self.setup;
+        // The round's epoch owns the share commitments: an old-epoch
+        // share (same party, pre-reshare position) fails here even
+        // though the group key never changes.
+        let epoch = self.setup.epoch_of(round);
         // Drop shares that fail verification now that we can check them.
         let mut dropped = 0u64;
         shares.retain(|_, s| {
@@ -527,7 +544,7 @@ impl ValidatedSection {
                 return true;
             }
             stats.verify_calls += 1;
-            let ok = setup.beacon.verify_share(&msg, s);
+            let ok = epoch.beacon.verify_share(&msg, s);
             if ok {
                 cache.record(id, round);
             } else {
@@ -536,11 +553,10 @@ impl ValidatedSection {
             ok
         });
         stats.rejected += dropped;
-        if shares.len() < self.setup.config.beacon_threshold() {
+        if shares.len() < epoch.beacon_threshold() {
             return None;
         }
-        let sig = self
-            .setup
+        let sig = epoch
             .beacon
             .combine(&msg, shares.values().copied())
             .expect("verified shares combine");

@@ -19,11 +19,74 @@
 //! — a forged or truncated package from a Byzantine peer is rejected
 //! wholesale and the requester retries elsewhere.
 
+//!
+//! With dynamic membership the package also certifies *across epoch
+//! boundaries*: a requester that slept through one or more reshares
+//! receives one [`EpochTransition`] per crossed boundary — a
+//! finalization from the *outgoing* epoch, verified under that epoch's
+//! signer set — forming a certificate chain from the requester's last
+//! known epoch to the epoch of the packaged block. A forged link (bad
+//! signature, wrong signer set, out-of-epoch round) or a missing link
+//! rejects the whole package.
+
 use icc_crypto::beacon::BeaconValue;
 use icc_types::codec::{CodecError, Decode, Encode, Reader};
 use icc_types::messages::{BlockProposal, Finalization, Notarization};
 use icc_types::Round;
 use std::fmt;
+
+/// One link of the cross-epoch certificate chain: a certified block of
+/// the epoch *before* `epoch`, vouching for the handoff into `epoch`.
+///
+/// Both certificates reference the same block — the highest finalized
+/// round of the outgoing epoch — and are verified under the *outgoing*
+/// epoch's member set and quorum (the keys the requester can already
+/// trust), which is what lets a replica walk forward through reshares
+/// it slept through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochTransition {
+    /// The epoch being entered (the certificates are from `epoch − 1`).
+    pub epoch: u64,
+    /// Notarization of the handoff block.
+    pub notarization: Notarization,
+    /// Finalization of the handoff block — the actual handoff
+    /// certificate.
+    pub finalization: Finalization,
+}
+
+impl EpochTransition {
+    /// The round of the certified handoff block.
+    pub fn round(&self) -> Round {
+        self.finalization.block_ref.round
+    }
+
+    /// Simulator-metered wire size (8-byte epoch + both certificates).
+    pub fn encoded_len(&self) -> usize {
+        8 + self.notarization.encoded_len() + self.finalization.encoded_len()
+    }
+}
+
+impl Encode for EpochTransition {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+        self.notarization.encode(buf);
+        self.finalization.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + Encode::encoded_len(&self.notarization) + Encode::encoded_len(&self.finalization)
+    }
+}
+
+impl Decode for EpochTransition {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(EpochTransition {
+            epoch: u64::decode(r)?,
+            notarization: Notarization::decode(r)?,
+            finalization: Finalization::decode(r)?,
+        })
+    }
+}
 
 /// A certified fast-forward package: the serving replica's latest
 /// finalized block, the certificates proving it, and the beacon chain
@@ -44,6 +107,10 @@ pub struct CatchUpPackage {
     /// `have_round + 1`, extending at least one round past the
     /// finalized block (needed to enter the next round).
     pub beacons: Vec<(Round, BeaconValue)>,
+    /// The cross-epoch certificate chain: one entry per epoch boundary
+    /// between the requester's `have_round` and the packaged block, in
+    /// ascending epoch order. Empty when no boundary is crossed.
+    pub transitions: Vec<EpochTransition>,
 }
 
 impl CatchUpPackage {
@@ -67,6 +134,11 @@ impl CatchUpPackage {
             + self.notarization.encoded_len()
             + self.finalization.encoded_len()
             + self.beacons.len() * 17
+            + self
+                .transitions
+                .iter()
+                .map(EpochTransition::encoded_len)
+                .sum::<usize>()
     }
 }
 
@@ -83,6 +155,10 @@ impl Encode for CatchUpPackage {
             round.encode(buf);
             value.encode(buf);
         }
+        (self.transitions.len() as u64).encode(buf);
+        for t in &self.transitions {
+            t.encode(buf);
+        }
     }
 
     fn encoded_len(&self) -> usize {
@@ -91,11 +167,14 @@ impl Encode for CatchUpPackage {
             .iter()
             .map(|(r, v)| Encode::encoded_len(r) + Encode::encoded_len(v))
             .sum();
+        let transitions: usize = self.transitions.iter().map(Encode::encoded_len).sum();
         self.proposal.encoded_len()
             + Encode::encoded_len(&self.notarization)
             + Encode::encoded_len(&self.finalization)
             + 8
             + beacons
+            + 8
+            + transitions
     }
 }
 
@@ -112,11 +191,20 @@ impl Decode for CatchUpPackage {
         for _ in 0..count {
             beacons.push((Round::decode(r)?, BeaconValue::decode(r)?));
         }
+        let tcount = u64::decode(r)?;
+        if tcount > icc_types::codec::MAX_LEN {
+            return Err(CodecError::LengthOverflow { len: tcount });
+        }
+        let mut transitions = Vec::with_capacity((tcount as usize).min(1024));
+        for _ in 0..tcount {
+            transitions.push(EpochTransition::decode(r)?);
+        }
         Ok(CatchUpPackage {
             proposal,
             notarization,
             finalization,
             beacons,
+            transitions,
         })
     }
 }
@@ -140,6 +228,14 @@ pub enum CatchUpError {
     /// The beacon segment stops before the round after the finalized
     /// block, so the requester could not enter the next round.
     Truncated,
+    /// An epoch-transition certificate failed verification: mismatched
+    /// references, a round outside the outgoing epoch, out-of-order
+    /// links, or a signature that does not verify under the outgoing
+    /// epoch's signer set.
+    BadTransition,
+    /// The package crosses one or more epoch boundaries but is missing
+    /// the transition certificate for at least one of them.
+    MissingTransition,
 }
 
 impl fmt::Display for CatchUpError {
@@ -152,6 +248,8 @@ impl fmt::Display for CatchUpError {
             CatchUpError::BadFinalization => "finalization failed verification",
             CatchUpError::BadBeacon => "beacon segment invalid",
             CatchUpError::Truncated => "beacon segment truncated",
+            CatchUpError::BadTransition => "epoch transition certificate invalid",
+            CatchUpError::MissingTransition => "epoch transition certificate missing",
         };
         f.write_str(s)
     }
@@ -190,6 +288,13 @@ icc_telemetry::counter_set! {
         /// is that this stays **zero** — the durability tests and the
         /// `net_cluster` restart assertion enforce it.
         pub restore_verifications: u64,
+        /// Catch-up packages applied whose certificate chain crossed at
+        /// least one epoch boundary (each chain link verified under the
+        /// outgoing epoch's signer set).
+        pub cross_epoch_catch_ups: u64,
+        /// Epoch boundaries this replica activated (locally finalized
+        /// its way across, or crossed via a certified catch-up).
+        pub epoch_transitions: u64,
     }
 }
 
@@ -205,6 +310,8 @@ impl From<RecoveryStats> for icc_sim::RecoveryCounters {
             wal_appends: s.wal_appends,
             checkpoints: s.checkpoints,
             restore_verifications: s.restore_verifications,
+            cross_epoch_catch_ups: s.cross_epoch_catch_ups,
+            epoch_transitions: s.epoch_transitions,
         }
     }
 }

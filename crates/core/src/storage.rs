@@ -45,6 +45,7 @@
 //! still *in* round `k` — compaction could otherwise drop the
 //! `Beacon(k)` entry the restored chain needs.
 
+use crate::recovery::EpochTransition;
 use icc_crypto::beacon::BeaconValue;
 use icc_crypto::Hash256;
 use icc_types::codec::{
@@ -82,6 +83,14 @@ pub enum WalEntry {
         /// Digests of the commands the block committed.
         digests: Vec<Hash256>,
     },
+    /// An archived epoch-transition certificate (the handoff
+    /// finalization of the outgoing epoch). Restoring it lets the
+    /// replica serve cross-epoch catch-up packages without
+    /// re-finalizing the boundary; like everything else in the log it
+    /// replays trusted. Checkpoints carry the full transition chain
+    /// themselves (see [`Checkpoint::transitions`]), so compaction may
+    /// drop these entries.
+    EpochTransition(EpochTransition),
 }
 
 impl WalEntry {
@@ -92,6 +101,7 @@ impl WalEntry {
             WalEntry::Notarized { proposal, .. } => proposal.block.round(),
             WalEntry::Finalization(f) => f.block_ref.round,
             WalEntry::Committed { round, .. } => *round,
+            WalEntry::EpochTransition(t) => t.round(),
         }
     }
 }
@@ -124,6 +134,10 @@ impl Encode for WalEntry {
                 round.encode(buf);
                 encode_seq(digests, buf);
             }
+            WalEntry::EpochTransition(t) => {
+                buf.push(4);
+                t.encode(buf);
+            }
         }
     }
 
@@ -138,6 +152,7 @@ impl Encode for WalEntry {
             WalEntry::Committed { round, digests } => {
                 Encode::encoded_len(round) + 8 + digests.len() * 32
             }
+            WalEntry::EpochTransition(t) => Encode::encoded_len(t),
         }
     }
 }
@@ -155,6 +170,7 @@ impl Decode for WalEntry {
                 round: Round::decode(r)?,
                 digests: decode_seq(r)?,
             }),
+            4 => Ok(WalEntry::EpochTransition(EpochTransition::decode(r)?)),
             tag => Err(CodecError::InvalidTag {
                 tag,
                 ty: "WalEntry",
@@ -178,6 +194,12 @@ pub struct Checkpoint {
     pub beacon: BeaconValue,
     /// All command digests committed up to (and including) this round.
     pub committed: Vec<Hash256>,
+    /// The full cross-epoch certificate chain archived so far (one
+    /// entry per activated epoch boundary, ascending). Carried by the
+    /// checkpoint itself so log compaction can drop the
+    /// [`WalEntry::EpochTransition`] records without the replica losing
+    /// its ability to serve cross-epoch catch-up packages.
+    pub transitions: Vec<EpochTransition>,
 }
 
 impl Checkpoint {
@@ -194,6 +216,10 @@ impl Encode for Checkpoint {
         self.finalization.encode(buf);
         self.beacon.encode(buf);
         encode_seq(&self.committed, buf);
+        (self.transitions.len() as u64).encode(buf);
+        for t in &self.transitions {
+            t.encode(buf);
+        }
     }
 
     fn encoded_len(&self) -> usize {
@@ -203,17 +229,37 @@ impl Encode for Checkpoint {
             + self.beacon.encoded_len()
             + 8
             + self.committed.len() * 32
+            + 8
+            + self
+                .transitions
+                .iter()
+                .map(Encode::encoded_len)
+                .sum::<usize>()
     }
 }
 
 impl Decode for Checkpoint {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let proposal = BlockProposal::decode(r)?;
+        let notarization = Notarization::decode(r)?;
+        let finalization = Finalization::decode(r)?;
+        let beacon = BeaconValue::decode(r)?;
+        let committed = decode_seq(r)?;
+        let tcount = u64::decode(r)?;
+        if tcount > icc_types::codec::MAX_LEN {
+            return Err(CodecError::LengthOverflow { len: tcount });
+        }
+        let mut transitions = Vec::with_capacity((tcount as usize).min(1024));
+        for _ in 0..tcount {
+            transitions.push(EpochTransition::decode(r)?);
+        }
         Ok(Checkpoint {
-            proposal: BlockProposal::decode(r)?,
-            notarization: Notarization::decode(r)?,
-            finalization: Finalization::decode(r)?,
-            beacon: BeaconValue::decode(r)?,
-            committed: decode_seq(r)?,
+            proposal,
+            notarization,
+            finalization,
+            beacon,
+            committed,
+            transitions,
         })
     }
 }
@@ -435,6 +481,8 @@ pub struct DurableStore {
     logged_blocks: HashSet<(Hash256, bool)>,
     /// Block hashes whose finalization is already logged.
     logged_finalizations: HashSet<Hash256>,
+    /// Epoch indices whose transition certificate is already logged.
+    logged_transitions: HashSet<u64>,
     wal_appends: u64,
     checkpoints_taken: u64,
     /// Entries (plus one per checkpoint) recovered from the backend at
@@ -481,6 +529,7 @@ impl DurableStore {
             beacon_upto: Round::GENESIS,
             logged_blocks: HashSet::new(),
             logged_finalizations: HashSet::new(),
+            logged_transitions: HashSet::new(),
             wal_appends: 0,
             checkpoints_taken: 0,
             recovered_entries: 0,
@@ -492,6 +541,9 @@ impl DurableStore {
             store
                 .logged_finalizations
                 .insert(cp.finalization.block_ref.hash);
+            store
+                .logged_transitions
+                .extend(cp.transitions.iter().map(|t| t.epoch));
             store.checkpoint = Some(cp);
             store.recovered_entries += 1;
         }
@@ -510,6 +562,9 @@ impl DurableStore {
                     store.logged_finalizations.insert(f.block_ref.hash);
                 }
                 WalEntry::Committed { .. } => {}
+                WalEntry::EpochTransition(t) => {
+                    store.logged_transitions.insert(t.epoch);
+                }
             }
             store.wal.push(entry);
             store.recovered_entries += 1;
@@ -560,6 +615,16 @@ impl DurableStore {
     pub fn append_finalization(&mut self, f: Finalization) {
         if self.logged_finalizations.insert(f.block_ref.hash) {
             let entry = WalEntry::Finalization(f);
+            self.backend.persist_entry(&entry);
+            self.wal.push(entry);
+            self.wal_appends += 1;
+        }
+    }
+
+    /// Logs an epoch-transition certificate (at most once per epoch).
+    pub fn append_epoch_transition(&mut self, t: EpochTransition) {
+        if self.logged_transitions.insert(t.epoch) {
+            let entry = WalEntry::EpochTransition(t);
             self.backend.persist_entry(&entry);
             self.wal.push(entry);
             self.wal_appends += 1;

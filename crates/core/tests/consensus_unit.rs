@@ -50,8 +50,8 @@ fn round1_perm(keys: &[NodeKeys]) -> RankPermutation {
     let prev = keys[0].setup.genesis_beacon;
     let msg = icc_crypto::beacon::beacon_sign_message(1, &prev);
     let shares = vec![
-        keys[0].beacon.sign_share(&msg),
-        keys[1].beacon.sign_share(&msg),
+        keys[0].beacon().sign_share(&msg),
+        keys[1].beacon().sign_share(&msg),
     ];
     let sig = keys[0].setup.beacon.combine(&msg, shares).unwrap();
     RankPermutation::derive(&BeaconValue::Signature(sig), N)

@@ -81,10 +81,33 @@ impl RankPermutation {
     /// Panics if `n` is zero.
     pub fn derive(beacon: &BeaconValue, n: usize) -> RankPermutation {
         assert!(n > 0, "permutation requires at least one party");
-        let mut party_at: Vec<u32> = (0..n as u32).collect();
+        let members: Vec<u32> = (0..n as u32).collect();
+        Self::derive_members(beacon, &members)
+    }
+
+    /// Derives the round permutation over an explicit **member subset**
+    /// of the node universe — the epoch-aware variant. Ranks run
+    /// `0..members.len()` and are assigned only to members; a departed
+    /// party has no rank (see [`try_rank_of`](Self::try_rank_of)).
+    ///
+    /// For the full universe (`members == [0, 1, …, n−1]`) this is
+    /// byte-identical to [`derive`](Self::derive): same shuffle, same
+    /// seed consumption — a reshare that changes no membership changes
+    /// no leader schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn derive_members(beacon: &BeaconValue, members: &[u32]) -> RankPermutation {
+        assert!(
+            !members.is_empty(),
+            "permutation requires at least one party"
+        );
+        let mut party_at: Vec<u32> = members.to_vec();
         let mut rng = HashRng::from_hash(beacon.digest());
         rng.shuffle(&mut party_at);
-        let mut rank_of = vec![0u32; n];
+        let universe = 1 + *members.iter().max().expect("non-empty") as usize;
+        let mut rank_of = vec![u32::MAX; universe];
         for (rank, &party) in party_at.iter().enumerate() {
             rank_of[party as usize] = rank as u32;
         }
@@ -106,9 +129,21 @@ impl RankPermutation {
     ///
     /// # Panics
     ///
-    /// Panics if `party` is out of range.
+    /// Panics if `party` is out of range or not a member of this
+    /// permutation's party set.
     pub fn rank_of(&self, party: u32) -> u32 {
-        self.rank_of[party as usize]
+        self.try_rank_of(party)
+            .unwrap_or_else(|| panic!("party {party} has no rank in this permutation"))
+    }
+
+    /// The rank assigned to `party`, or `None` if `party` is not in
+    /// this permutation's member set — the epoch-aware query: a
+    /// non-member cannot lead, propose, or be ranked.
+    pub fn try_rank_of(&self, party: u32) -> Option<u32> {
+        match self.rank_of.get(party as usize) {
+            Some(&r) if r != u32::MAX => Some(r),
+            _ => None,
+        }
     }
 
     /// The party holding `rank`.
@@ -213,5 +248,38 @@ mod tests {
     #[should_panic(expected = "at least one party")]
     fn zero_parties_panics() {
         RankPermutation::derive(&BeaconValue::Genesis(sha256(b"a")), 0);
+    }
+
+    #[test]
+    fn full_membership_permutation_matches_derive() {
+        let b = BeaconValue::Genesis(sha256(b"epoch"));
+        let members: Vec<u32> = (0..9).collect();
+        assert_eq!(
+            RankPermutation::derive(&b, 9),
+            RankPermutation::derive_members(&b, &members),
+            "identity membership must not perturb the leader schedule"
+        );
+    }
+
+    #[test]
+    fn member_subset_permutation_ranks_only_members() {
+        let b = BeaconValue::Genesis(sha256(b"epoch"));
+        let members = vec![0u32, 2, 3, 6];
+        let p = RankPermutation::derive_members(&b, &members);
+        assert_eq!(p.len(), 4);
+        let mut ranked: Vec<u32> = (0..4).map(|r| p.party_at_rank(r)).collect();
+        ranked.sort_unstable();
+        assert_eq!(ranked, members);
+        assert!(members.contains(&p.leader()));
+        for party in [1u32, 4, 5, 7, 99] {
+            assert_eq!(
+                p.try_rank_of(party),
+                None,
+                "non-member {party} must have no rank"
+            );
+        }
+        for &m in &members {
+            assert_eq!(p.party_at_rank(p.try_rank_of(m).unwrap()), m);
+        }
     }
 }

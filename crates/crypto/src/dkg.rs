@@ -24,10 +24,11 @@
 use crate::field::Fp;
 use crate::shamir;
 use crate::sig::{PublicKey, SecretKey};
-use crate::threshold::ThresholdSigShare;
+use crate::threshold::{Dealt, ThresholdPublic, ThresholdSigShare, ThresholdSigner};
 use crate::CryptoError;
 use rand::Rng;
 use std::fmt;
+use std::sync::Arc;
 
 /// One dealer's contribution: a share for each party plus public
 /// commitments that let each recipient verify its share.
@@ -164,6 +165,220 @@ pub fn aggregate(
     })
 }
 
+/// One old-committee member's **resharing** contribution: a Shamir
+/// sharing of its *existing* threshold key share (not a fresh secret),
+/// dealt to the new committee's positions.
+///
+/// Resharing is how the threshold beacon survives membership change
+/// (epoch transitions): each old party `d` shares its share `s_d` with
+/// a degree-`(h' − 1)` polynomial `f_d` where `f_d(0) = s_d`. Any
+/// old-threshold set of such dealings combines — with the Lagrange
+/// coefficients `λ_d` of the *dealers'* positions — into a fresh
+/// sharing of the **same** master secret: the new party `j`'s share is
+/// `Σ_d λ_d · f_d(j+1)`, and `Σ_d λ_d · s_d` is the master by Shamir
+/// reconstruction. The group public key is therefore preserved, so
+/// beacon values remain the same unique sequence across the reshare,
+/// while the *share* keys are brand new — old-epoch shares no longer
+/// verify against the new commitments.
+#[derive(Clone)]
+pub struct ReshareDealing {
+    /// The dealer's party index in the **old** instance.
+    pub dealer: u32,
+    /// The dealer's claimed old public key share — the binding
+    /// commitment that [`ReshareDealing::verify_binding`] checks
+    /// against the old instance's registry *and* against the dealt
+    /// polynomial's value at zero. A dealing that shares anything other
+    /// than the dealer's registered share fails this check.
+    pub dealer_public: PublicKey,
+    /// `share_publics[j]` commits to new-position `j`'s sub-share
+    /// (`f_d(j+1)·g`).
+    pub share_publics: Vec<PublicKey>,
+    /// The private sub-shares, one per new-committee position.
+    shares: Vec<Fp>,
+}
+
+impl fmt::Debug for ReshareDealing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ReshareDealing(dealer {}, {} sub-shares)",
+            self.dealer,
+            self.shares.len()
+        )
+    }
+}
+
+impl ReshareDealing {
+    /// Creates a resharing dealing of `signer`'s existing share for a
+    /// new `(new_threshold, n_new)` committee.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= new_threshold <= n_new`.
+    pub fn deal(
+        signer: &ThresholdSigner,
+        new_threshold: usize,
+        n_new: usize,
+        rng: &mut impl Rng,
+    ) -> ReshareDealing {
+        let secret = *signer.secret();
+        let shares = shamir::split(secret.0, new_threshold, n_new, rng);
+        ReshareDealing {
+            dealer: signer.index(),
+            dealer_public: secret.public_key(),
+            share_publics: shares
+                .iter()
+                .map(|s| SecretKey::from_fp(s.value).public_key())
+                .collect(),
+            shares: shares.into_iter().map(|s| s.value).collect(),
+        }
+    }
+
+    /// The private sub-share destined for new-committee position `j`.
+    pub fn share_for(&self, j: usize) -> Fp {
+        self.shares[j]
+    }
+
+    /// Verifies that `share` matches this dealing's commitment for new
+    /// position `j` — same recipient-side check as [`Dealing::verify_share`].
+    pub fn verify_share(&self, j: usize, share: Fp) -> bool {
+        self.share_publics
+            .get(j)
+            .is_some_and(|pk| SecretKey::from_fp(share).public_key() == *pk)
+    }
+
+    /// Verifies this dealing's **binding** to the old instance: the
+    /// dealer must be a registered old party, its claimed public share
+    /// must match the old registry, and the dealt polynomial must
+    /// actually pass through that share at zero (checked on the public
+    /// commitments via Lagrange interpolation — no secrets needed).
+    ///
+    /// A forged dealing — wrong dealer index, a made-up secret, or
+    /// commitments inconsistent with the claimed share — fails here.
+    pub fn verify_binding(&self, old: &ThresholdPublic, new_threshold: usize) -> bool {
+        let Some(registered) = old.share_public(self.dealer as usize) else {
+            return false;
+        };
+        if registered != self.dealer_public {
+            return false;
+        }
+        if self.share_publics.len() < new_threshold || self.shares.len() != self.share_publics.len()
+        {
+            return false;
+        }
+        // Interpolate the committed polynomial at zero from the first
+        // `new_threshold` commitments: must equal the claimed share key.
+        let indices: Vec<u32> = (0..new_threshold as u32).collect();
+        let Some(lambdas) = shamir::lagrange_at_zero(&indices) else {
+            return false;
+        };
+        let at_zero: Fp = self
+            .share_publics
+            .iter()
+            .take(new_threshold)
+            .zip(&lambdas)
+            .map(|(pk, &l)| Fp::new(pk.value()) * l)
+            .sum();
+        at_zero.value() == self.dealer_public.value()
+    }
+}
+
+/// Aggregates an old-threshold set of verified resharing dealings into
+/// the **new epoch's** complete threshold instance.
+///
+/// The returned [`Dealt`] shares the old instance's domain and global
+/// public key (the master secret is preserved — the combined beacon
+/// signature stays byte-identical across the reshare) but carries
+/// fresh per-party shares and commitments for the new committee of
+/// `n_new = dealings[0].share_publics.len()` positions with threshold
+/// `new_threshold`.
+///
+/// Deterministic: dealings are sorted by dealer index and exactly the
+/// first `old.threshold()` are combined, so every honest party that
+/// sees the same qualified set derives bit-identical key material.
+///
+/// # Errors
+///
+/// * [`CryptoError::InsufficientShares`] — fewer than `old.threshold()`
+///   dealings qualify.
+/// * [`CryptoError::DuplicateShare`] — two dealings from one dealer.
+/// * [`CryptoError::InvalidShare`] — a dealing fails its binding check
+///   or one of its sub-shares fails its commitment.
+/// * [`CryptoError::VerificationFailed`] — the combined instance does
+///   not reproduce the old global key (defense-in-depth; unreachable
+///   for dealings that passed binding).
+pub fn reshare_aggregate(
+    old: &ThresholdPublic,
+    new_threshold: usize,
+    dealings: &[ReshareDealing],
+) -> Result<Dealt, CryptoError> {
+    let needed = old.threshold();
+    let mut qualified: Vec<&ReshareDealing> = dealings.iter().collect();
+    qualified.sort_by_key(|d| d.dealer);
+    for w in qualified.windows(2) {
+        if w[0].dealer == w[1].dealer {
+            return Err(CryptoError::DuplicateShare {
+                signer: w[0].dealer,
+            });
+        }
+    }
+    if qualified.len() < needed {
+        return Err(CryptoError::InsufficientShares {
+            needed,
+            got: qualified.len(),
+        });
+    }
+    // The signature is unique whichever qualified subset we combine;
+    // take the first `old.threshold()` dealers for determinism.
+    qualified.truncate(needed);
+    let n_new = qualified[0].share_publics.len();
+    for d in &qualified {
+        if !d.verify_binding(old, new_threshold) || d.share_publics.len() != n_new {
+            return Err(CryptoError::InvalidShare { signer: d.dealer });
+        }
+    }
+    // Lagrange coefficients over the *dealers'* old positions: these
+    // weights reconstruct the master secret from the dealers' shares,
+    // and by linearity turn the sub-sharings into one sharing of it.
+    let dealer_indices: Vec<u32> = qualified.iter().map(|d| d.dealer).collect();
+    let lambdas =
+        shamir::lagrange_at_zero(&dealer_indices).expect("duplicate dealers were rejected above");
+    let mut new_shares = vec![Fp::ZERO; n_new];
+    let mut new_publics = vec![Fp::ZERO; n_new];
+    let mut new_global = Fp::ZERO;
+    for (d, &lambda) in qualified.iter().zip(&lambdas) {
+        new_global += Fp::new(d.dealer_public.value()) * lambda;
+        for j in 0..n_new {
+            let sub = d.share_for(j);
+            if !d.verify_share(j, sub) {
+                return Err(CryptoError::InvalidShare { signer: d.dealer });
+            }
+            new_shares[j] += sub * lambda;
+            new_publics[j] += Fp::new(d.share_publics[j].value()) * lambda;
+        }
+    }
+    if new_global.value() != old.global_key().value() {
+        return Err(CryptoError::VerificationFailed);
+    }
+    let public = Arc::new(ThresholdPublic::from_parts(
+        old.domain(),
+        new_threshold,
+        old.global_key(),
+        new_publics
+            .into_iter()
+            .map(|v| PublicKey::from_value(v.value()))
+            .collect(),
+    ));
+    let signers = new_shares
+        .into_iter()
+        .enumerate()
+        .map(|(j, s)| {
+            ThresholdSigner::from_parts(j as u32, SecretKey::from_fp(s), Arc::clone(&public))
+        })
+        .collect();
+    Ok(Dealt::from_parts(public, signers))
+}
+
 /// Runs a full honest DKG in one call (testing/simulation convenience):
 /// all `n` parties deal, everything qualifies, and each party's output
 /// is returned.
@@ -259,6 +474,138 @@ mod tests {
             aggregate(0, 2, &[]),
             Err(CryptoError::InsufficientShares { .. })
         ));
+    }
+
+    #[test]
+    fn reshare_preserves_group_key_and_signature() {
+        let mut r = rng();
+        let old = crate::threshold::Dealer::deal_with_domain("beacon", 3, 7, &mut r);
+        let msg = b"R_41";
+        let old_sig = old
+            .public()
+            .combine(
+                msg,
+                (0..3)
+                    .map(|i| old.signer(i).sign_share(msg))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        // Three old parties (the old threshold) reshare to a larger
+        // committee with a higher threshold.
+        let dealings: Vec<ReshareDealing> = [1usize, 4, 6]
+            .iter()
+            .map(|&i| ReshareDealing::deal(&old.signer(i), 4, 10, &mut r))
+            .collect();
+        let new = reshare_aggregate(&old.public(), 4, &dealings).unwrap();
+        assert_eq!(new.public().global_key(), old.public().global_key());
+        assert_eq!(new.public().threshold(), 4);
+        assert_eq!(new.public().parties(), 10);
+        let new_sig = new
+            .public()
+            .combine(
+                msg,
+                [9usize, 2, 5, 7]
+                    .iter()
+                    .map(|&i| new.signer(i).sign_share(msg))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        assert_eq!(new_sig, old_sig, "beacon values survive the reshare");
+    }
+
+    #[test]
+    fn reshare_is_deterministic_over_dealer_order() {
+        let mut r = rng();
+        let old = crate::threshold::Dealer::deal_with_domain("beacon", 2, 5, &mut r);
+        let dealings: Vec<ReshareDealing> = (0..3)
+            .map(|i| ReshareDealing::deal(&old.signer(i), 2, 5, &mut r))
+            .collect();
+        let mut reversed = dealings.clone();
+        reversed.reverse();
+        let a = reshare_aggregate(&old.public(), 2, &dealings).unwrap();
+        let b = reshare_aggregate(&old.public(), 2, &reversed).unwrap();
+        for j in 0..5 {
+            assert_eq!(
+                a.public().share_public(j),
+                b.public().share_public(j),
+                "aggregate must not depend on presentation order"
+            );
+        }
+    }
+
+    #[test]
+    fn old_shares_refused_under_new_commitments() {
+        let mut r = rng();
+        let old = crate::threshold::Dealer::deal_with_domain("beacon", 2, 4, &mut r);
+        let dealings: Vec<ReshareDealing> = (0..2)
+            .map(|i| ReshareDealing::deal(&old.signer(i), 2, 4, &mut r))
+            .collect();
+        let new = reshare_aggregate(&old.public(), 2, &dealings).unwrap();
+        let msg = b"stale";
+        for i in 0..4 {
+            let stale = old.signer(i).sign_share(msg);
+            assert!(
+                !new.public().verify_share(msg, &stale),
+                "old-epoch share {i} must fail under the new commitments"
+            );
+            assert!(new
+                .public()
+                .verify_share(msg, &new.signer(i).sign_share(msg)));
+        }
+    }
+
+    #[test]
+    fn forged_reshare_dealings_rejected() {
+        let mut r = rng();
+        let old = crate::threshold::Dealer::deal_with_domain("beacon", 2, 4, &mut r);
+        let honest = ReshareDealing::deal(&old.signer(0), 2, 4, &mut r);
+
+        // (a) Dealer claims a share key that is not its registered one.
+        let mut wrong_key = ReshareDealing::deal(&old.signer(1), 2, 4, &mut r);
+        wrong_key.dealer_public = old.public().share_public(2).unwrap();
+        assert!(!wrong_key.verify_binding(&old.public(), 2));
+        assert_eq!(
+            reshare_aggregate(&old.public(), 2, &[honest.clone(), wrong_key]).unwrap_err(),
+            CryptoError::InvalidShare { signer: 1 }
+        );
+
+        // (b) Dealer index outside the old committee.
+        let mut ghost = ReshareDealing::deal(&old.signer(1), 2, 4, &mut r);
+        ghost.dealer = 99;
+        assert!(!ghost.verify_binding(&old.public(), 2));
+
+        // (c) Commitments inconsistent with the claimed share (a
+        // made-up secret was shared instead).
+        let fresh = crate::threshold::Dealer::deal_with_domain("beacon", 2, 4, &mut r);
+        let mut forged = ReshareDealing::deal(&fresh.signer(1), 2, 4, &mut r);
+        forged.dealer_public = old.public().share_public(1).unwrap();
+        assert!(!forged.verify_binding(&old.public(), 2));
+        assert_eq!(
+            reshare_aggregate(&old.public(), 2, &[honest, forged]).unwrap_err(),
+            CryptoError::InvalidShare { signer: 1 }
+        );
+    }
+
+    #[test]
+    fn reshare_requires_old_threshold_dealings() {
+        let mut r = rng();
+        let old = crate::threshold::Dealer::deal_with_domain("beacon", 3, 7, &mut r);
+        let dealings: Vec<ReshareDealing> = (0..2)
+            .map(|i| ReshareDealing::deal(&old.signer(i), 3, 7, &mut r))
+            .collect();
+        assert_eq!(
+            reshare_aggregate(&old.public(), 3, &dealings).unwrap_err(),
+            CryptoError::InsufficientShares { needed: 3, got: 2 }
+        );
+        let dup = vec![
+            dealings[0].clone(),
+            dealings[0].clone(),
+            dealings[1].clone(),
+        ];
+        assert_eq!(
+            reshare_aggregate(&old.public(), 3, &dup).unwrap_err(),
+            CryptoError::DuplicateShare { signer: 0 }
+        );
     }
 
     #[test]

@@ -200,6 +200,20 @@ impl MultiSigScheme {
         msg: &[u8],
         shares: impl IntoIterator<Item = MultiSigShare>,
     ) -> Result<MultiSig, CryptoError> {
+        self.combine_with_threshold(msg, shares, self.threshold)
+    }
+
+    /// [`combine`](Self::combine) with an explicit aggregation threshold
+    /// — the epoch-aware entry point. Under dynamic membership each
+    /// epoch has its own quorum `h_e = m_e − t_e` over its member
+    /// subset, while the key registry (and hence this scheme) spans the
+    /// whole node universe; callers pass the epoch's threshold here.
+    pub fn combine_with_threshold(
+        &self,
+        msg: &[u8],
+        shares: impl IntoIterator<Item = MultiSigShare>,
+        threshold: usize,
+    ) -> Result<MultiSig, CryptoError> {
         // Digest-once: one hash for the whole combine, however many shares.
         let digest = self.digest(msg);
         let mut seen: Vec<MultiSigShare> = Vec::new();
@@ -222,9 +236,9 @@ impl MultiSigScheme {
             }
             seen.push(share);
         }
-        if seen.len() < self.threshold {
+        if seen.len() < threshold {
             return Err(CryptoError::InsufficientShares {
-                needed: self.threshold,
+                needed: threshold,
                 got: seen.len(),
             });
         }
@@ -278,6 +292,54 @@ impl MultiSigScheme {
             .map(|&s| Fp::new(self.public_keys[s as usize].value()))
             .sum();
         PublicKey::from_value(agg_pk.value()).verify_digest(digest, &sig.signature)
+    }
+
+    /// Epoch-aware verification: the aggregate must carry at least
+    /// `threshold` distinct signers, **every** signer must appear in
+    /// `allowed` (a sorted list of member indices — an epoch's member
+    /// subset of the key universe), and the aggregate must verify
+    /// against the sum of those members' keys. A certificate signed by
+    /// enough parties that include even one non-member is rejected: the
+    /// quorum argument only holds within the epoch's committee.
+    pub fn verify_subset_digest(
+        &self,
+        digest: MessageDigest,
+        sig: &MultiSig,
+        threshold: usize,
+        allowed: &[u32],
+    ) -> bool {
+        debug_assert!(
+            allowed.windows(2).all(|w| w[0] < w[1]),
+            "allowed must be sorted"
+        );
+        if sig.signers.len() < threshold {
+            return false;
+        }
+        for (i, &s) in sig.signers.iter().enumerate() {
+            if s as usize >= self.public_keys.len()
+                || allowed.binary_search(&s).is_err()
+                || sig.signers[i + 1..].contains(&s)
+            {
+                return false;
+            }
+        }
+        let agg_pk: Fp = sig
+            .signers
+            .iter()
+            .map(|&s| Fp::new(self.public_keys[s as usize].value()))
+            .sum();
+        PublicKey::from_value(agg_pk.value()).verify_digest(digest, &sig.signature)
+    }
+
+    /// Hashing variant of [`verify_subset_digest`](Self::verify_subset_digest).
+    pub fn verify_subset(
+        &self,
+        msg: &[u8],
+        sig: &MultiSig,
+        threshold: usize,
+        allowed: &[u32],
+    ) -> bool {
+        self.verify_subset_digest(self.digest(msg), sig, threshold, allowed)
     }
 }
 
@@ -412,6 +474,44 @@ mod tests {
             .unwrap();
         assert!(s.verify(b"b", &agg));
         assert!(agg.signers.len() >= 5);
+    }
+
+    #[test]
+    fn subset_verification_enforces_membership_and_epoch_threshold() {
+        // Universe of 7 keys, scheme threshold 5; an "epoch" of members
+        // {0,2,3,5} with quorum 3.
+        let (s, keys) = scheme(5, 7);
+        let members: Vec<u32> = vec![0, 2, 3, 5];
+        let agg = s
+            .combine_with_threshold(b"m", shares(&s, &keys, &[0, 2, 5], b"m"), 3)
+            .unwrap();
+        assert!(s.verify_subset(b"m", &agg, 3, &members));
+        // Same aggregate fails the universe-level verify (below scheme
+        // threshold) — the epoch path is the only one that accepts it.
+        assert!(!s.verify(b"m", &agg));
+        // Too few signers for the epoch quorum.
+        assert!(!s.verify_subset(b"m", &agg, 4, &members));
+        // A non-member signer poisons the whole aggregate even though
+        // its key is in the universe.
+        let outsider = s
+            .combine_with_threshold(b"m", shares(&s, &keys, &[0, 1, 2], b"m"), 3)
+            .unwrap();
+        assert!(!s.verify_subset(b"m", &outsider, 3, &members));
+    }
+
+    #[test]
+    fn combine_with_threshold_still_verifies_shares() {
+        let (s, keys) = scheme(5, 7);
+        let forged = MultiSigShare {
+            signer: 2,
+            signature: keys[0].sign("test", b"m"),
+        };
+        let good = s.sign_share(&keys[0], 0, b"m");
+        assert_eq!(
+            s.combine_with_threshold(b"m", vec![good, forged], 2)
+                .unwrap_err(),
+            CryptoError::InvalidShare { signer: 2 }
+        );
     }
 
     #[test]

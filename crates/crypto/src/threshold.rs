@@ -128,6 +128,13 @@ impl Dealer {
 }
 
 impl Dealt {
+    /// Assembles a dealt instance from externally produced material —
+    /// the constructor used by [`crate::dkg::reshare_aggregate`], which
+    /// re-shares an existing instance instead of sampling a fresh one.
+    pub fn from_parts(public: Arc<ThresholdPublic>, signers: Vec<ThresholdSigner>) -> Dealt {
+        Dealt { public, signers }
+    }
+
     /// The shared public material.
     pub fn public(&self) -> Arc<ThresholdPublic> {
         Arc::clone(&self.public)
@@ -143,12 +150,36 @@ impl Dealt {
     }
 
     /// All signing handles, in party order.
+    pub fn signers(&self) -> &[ThresholdSigner] {
+        &self.signers
+    }
+
+    /// All signing handles, in party order, by value.
     pub fn into_signers(self) -> Vec<ThresholdSigner> {
         self.signers
     }
 }
 
 impl ThresholdSigner {
+    /// Assembles a signing handle from externally produced key material
+    /// (DKG / resharing output).
+    pub fn from_parts(index: u32, secret: SecretKey, public: Arc<ThresholdPublic>) -> Self {
+        ThresholdSigner {
+            index,
+            secret,
+            public,
+        }
+    }
+
+    /// This signer's secret key share — the input to a resharing
+    /// dealing, where the party re-shares its *existing* share rather
+    /// than a fresh secret. Crate-internal: secrecy of shares is a
+    /// convention of the simulation scheme, but the public API still
+    /// never leaks them.
+    pub(crate) fn secret(&self) -> &SecretKey {
+        &self.secret
+    }
+
     /// This signer's party index.
     pub fn index(&self) -> u32 {
         self.index
@@ -169,6 +200,38 @@ impl ThresholdSigner {
 }
 
 impl ThresholdPublic {
+    /// Assembles public material from externally produced parts (DKG /
+    /// resharing output). The Lagrange cache starts empty.
+    pub fn from_parts(
+        domain: impl Into<String>,
+        threshold: usize,
+        global: PublicKey,
+        share_publics: Vec<PublicKey>,
+    ) -> Self {
+        assert!(
+            threshold >= 1 && threshold <= share_publics.len(),
+            "threshold {threshold} out of range for {} parties",
+            share_publics.len()
+        );
+        ThresholdPublic {
+            domain: domain.into(),
+            threshold,
+            global,
+            share_publics,
+            lagrange: Arc::new(LagrangeCache::new(LAGRANGE_CACHE_CAP)),
+        }
+    }
+
+    /// The domain-separation tag this instance signs under.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// Party `i`'s public key share, if `i` is in range.
+    pub fn share_public(&self, i: usize) -> Option<PublicKey> {
+        self.share_publics.get(i).copied()
+    }
+
     /// The reconstruction threshold `h`.
     pub fn threshold(&self) -> usize {
         self.threshold

@@ -854,6 +854,36 @@ impl Node for GossipNode {
         let step = self.core.restore(ctx.now());
         self.apply_step(ctx, step);
     }
+
+    /// Evicts a peer that left the membership. Without this the sweep
+    /// kept retrying bodies whose only advertiser was gone: `peer_up`
+    /// suppressed the send, but the entry (and its ever-growing backoff
+    /// state) lingered forever and kept the sweep timer armed.
+    fn on_peer_departed(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        peer: NodeIndex,
+    ) {
+        // Drop its advertised-round intelligence: a departed peer must
+        // never be picked as a catch-up target again.
+        self.peer_rounds.remove(&peer);
+        // Strip it from outstanding requests' advertiser lists; requests
+        // nobody else advertises are dropped outright.
+        self.pending.retain(|_, req| {
+            req.advertisers.retain(|a| *a != peer);
+            if req.next_advertiser >= req.advertisers.len() {
+                req.next_advertiser = 0;
+            }
+            !req.advertisers.is_empty()
+        });
+        // An in-flight catch-up request to the departed peer will never
+        // be answered: rotate to the next ahead peer immediately.
+        if matches!(self.catch_up_inflight, Some((p, _, _)) if p == peer) {
+            self.catch_up_inflight = None;
+            self.catch_up_rotation += 1;
+            self.maybe_request_catch_up(ctx);
+        }
+    }
 }
 
 impl CoreAccess for GossipNode {

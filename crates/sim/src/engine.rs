@@ -41,6 +41,12 @@ enum EventKind<M, X> {
         node: NodeIndex,
         up: bool,
     },
+    /// A fault-plan departure: the node leaves the membership — it goes
+    /// down like a crash and every other live node gets an
+    /// `on_peer_departed` call (in index order).
+    Depart {
+        node: NodeIndex,
+    },
 }
 
 struct QueuedEvent<M, X> {
@@ -176,6 +182,8 @@ impl SimulationBuilder {
         for (at, node, ev) in self.fault_plan.into_events() {
             if at == SimTime::ZERO && ev == LifecycleEvent::Down {
                 sim.alive[node.as_usize()] = false;
+            } else if ev == LifecycleEvent::Depart {
+                sim.push(at, EventKind::Depart { node });
             } else {
                 sim.push(
                     at,
@@ -321,6 +329,14 @@ impl<N: Node> Simulation<N> {
         self.push(at, EventKind::Lifecycle { node, up: true });
     }
 
+    /// Schedules a membership departure of `node` at absolute time `at`
+    /// (clamped to now), equivalent to
+    /// [`FaultPlan::depart_at`](crate::FaultPlan::depart_at).
+    pub fn schedule_depart(&mut self, at: SimTime, node: NodeIndex) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Depart { node });
+    }
+
     /// Processes the single next event. Returns its time, or `None` if
     /// the queue is empty.
     ///
@@ -429,6 +445,35 @@ impl<N: Node> Simulation<N> {
                         kind: SpanKind::NodeDown,
                     });
                     self.nodes[i].on_crash();
+                }
+            }
+            EventKind::Depart { node } => {
+                let i = node.as_usize();
+                if self.alive[i] {
+                    self.alive[i] = false;
+                    self.recorder.record(SpanEvent {
+                        at_us: self.now.as_micros(),
+                        node: node.get(),
+                        round: 0,
+                        kind: SpanKind::NodeDown,
+                    });
+                    self.nodes[i].on_crash();
+                }
+                // Survivors evict the departed peer, in index order.
+                for j in 0..self.nodes.len() {
+                    if j == i || !self.alive[j] {
+                        continue;
+                    }
+                    let me = NodeIndex::new(j as u32);
+                    let mut ctx = Context {
+                        me,
+                        n: self.nodes.len(),
+                        now: self.now,
+                        alive: Some(&self.alive),
+                        actions: &mut actions,
+                    };
+                    self.nodes[j].on_peer_departed(&mut ctx, node);
+                    self.apply_actions(me, &mut actions);
                 }
             }
         }

@@ -24,6 +24,13 @@ pub enum LifecycleEvent {
     Down,
     /// The node restarts: `on_restart` runs, then handlers resume.
     Up,
+    /// The node *departs the membership*: it goes down like a crash,
+    /// and every other live node is told via
+    /// [`Node::on_peer_departed`](crate::Node::on_peer_departed) so
+    /// dissemination layers can evict it (drop retry/backoff state,
+    /// stop dialing). Pairs with an epoch schedule that removes the
+    /// node at a boundary round.
+    Depart,
 }
 
 /// A deterministic schedule of node crashes and restarts.
@@ -54,6 +61,14 @@ impl FaultPlan {
     /// Restarts `node` at `at`.
     pub fn restart_at(mut self, node: NodeIndex, at: SimTime) -> Self {
         self.events.push((at, node, LifecycleEvent::Up));
+        self
+    }
+
+    /// Departs `node` from the membership at `at`: it crashes for good
+    /// and surviving nodes get a
+    /// [`Node::on_peer_departed`](crate::Node::on_peer_departed) call.
+    pub fn depart_at(mut self, node: NodeIndex, at: SimTime) -> Self {
+        self.events.push((at, node, LifecycleEvent::Depart));
         self
     }
 

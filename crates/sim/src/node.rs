@@ -98,6 +98,20 @@ pub trait Node {
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
         let _ = ctx;
     }
+
+    /// Called when `peer` *departs the membership* (a
+    /// [`FaultPlan::depart_at`](crate::FaultPlan::depart_at) event, or
+    /// the deployment equivalent of a node being replaced at an epoch
+    /// boundary). Dissemination layers should evict the peer: drop
+    /// pending-request/backoff state tied to it and stop addressing it.
+    /// Default: no-op.
+    fn on_peer_departed(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+        peer: NodeIndex,
+    ) {
+        let _ = (ctx, peer);
+    }
 }
 
 /// An action queued by a node during one handler invocation; drained by

@@ -218,7 +218,8 @@ pub fn round_timelines(events: &[SpanEvent]) -> Vec<RoundTimeline> {
             | SpanKind::CatchUpRequested
             | SpanKind::GossipRetry { .. }
             | SpanKind::NodeDown
-            | SpanKind::NodeUp => {}
+            | SpanKind::NodeUp
+            | SpanKind::EpochTransition { .. } => {}
         }
     }
     rounds.into_values().collect()

@@ -63,6 +63,9 @@ pub fn chrome_trace(events: &[SpanEvent]) -> String {
             SpanKind::GossipRetry { attempts } => {
                 let _ = write!(args, ",\"attempts\":{attempts}");
             }
+            SpanKind::EpochTransition { epoch } => {
+                let _ = write!(args, ",\"epoch\":{epoch}");
+            }
             _ => {}
         }
         entries.push(format!(

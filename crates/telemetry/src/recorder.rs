@@ -64,6 +64,13 @@ pub enum SpanKind {
     NodeDown,
     /// The simulator restarted the node.
     NodeUp,
+    /// The node crossed an epoch boundary: the membership/reshare
+    /// schedule activated `epoch` (either by finalizing its way across
+    /// or via a certified cross-epoch catch-up).
+    EpochTransition {
+        /// Index of the epoch being entered.
+        epoch: u64,
+    },
 }
 
 impl SpanKind {
@@ -81,6 +88,7 @@ impl SpanKind {
             SpanKind::GossipRetry { .. } => "gossip_retry",
             SpanKind::NodeDown => "node_down",
             SpanKind::NodeUp => "node_up",
+            SpanKind::EpochTransition { .. } => "epoch_transition",
         }
     }
 }

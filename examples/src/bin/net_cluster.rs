@@ -7,9 +7,20 @@
 //!
 //! ```text
 //! cargo run --release -p icc-examples --bin net_cluster -- \
-//!     [--nodes N] [--secs S] [--seed U64] [--no-churn]
+//!     [--nodes N] [--secs S] [--seed U64] [--no-churn] [--replace-node]
 //!     [--bench-out PATH] [--trace-out PATH]
 //! ```
+//!
+//! `--replace-node` runs the **reconfiguration** scenario instead of
+//! churn: the cluster starts with N members out of an (N+1)-party
+//! universe under an `--epochs` schedule whose boundary swaps the last
+//! original member for the spare. A third of the way through, the
+//! spare is spawned as a *fresh process* — it joins, certified
+//! cross-epoch catch-up package first, and co-signs from the boundary
+//! on; at two thirds the replaced member is retired (killed). Asserted:
+//! the joiner applied a catch-up package whose certificate chain
+//! crossed the boundary, and every survivor activated the epoch
+//! transition.
 //!
 //! Each replica is the `replica` binary (spawned from this
 //! executable's directory) joined via a generated peer-config file on
@@ -46,15 +57,18 @@ struct Opts {
     secs: u64,
     seed: u64,
     churn: bool,
+    replace: bool,
     bench_out: String,
     trace_out: Option<String>,
+    /// `--epochs` spec passed to every replica (replace mode only).
+    epochs: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: net_cluster [--nodes N] [--secs S] [--seed U64] [--no-churn]\n\
-         \t[--bench-out PATH] [--trace-out PATH]"
+         \t[--replace-node] [--bench-out PATH] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -65,8 +79,10 @@ fn parse() -> Opts {
         secs: 12,
         seed: 7,
         churn: true,
+        replace: false,
         bench_out: "BENCH_net.json".into(),
         trace_out: None,
+        epochs: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -93,6 +109,10 @@ fn parse() -> Opts {
                     .unwrap_or_else(|_| usage("bad --seed"))
             }
             "--no-churn" => opts.churn = false,
+            "--replace-node" => {
+                opts.replace = true;
+                opts.churn = false;
+            }
             "--bench-out" => opts.bench_out = val("--bench-out"),
             "--trace-out" => opts.trace_out = Some(val("--trace-out")),
             other => usage(&format!("unknown flag {other}")),
@@ -106,6 +126,14 @@ fn parse() -> Opts {
     }
     if opts.secs < 6 && opts.churn {
         usage("churn needs at least --secs 6 (kill at 1/3, restart at 2/3)");
+    }
+    if opts.replace {
+        if opts.nodes < 4 {
+            usage("--replace-node needs at least 4 initial members");
+        }
+        if opts.secs < 9 {
+            usage("--replace-node needs at least --secs 9 (join at 1/3, retire at 2/3)");
+        }
     }
     opts
 }
@@ -142,6 +170,9 @@ impl Instance {
             .arg("--data-dir")
             .arg(data_root.join(format!("replica-{me}")))
             .stdout(Stdio::piped());
+        if let Some(epochs) = &opts.epochs {
+            cmd.arg("--epochs").arg(epochs);
+        }
         if me == 0 {
             if let Some(trace) = &opts.trace_out {
                 cmd.arg("--trace-out").arg(trace);
@@ -197,14 +228,37 @@ fn report_u64(report: &str, key: &str) -> u64 {
         .unwrap_or(0)
 }
 
-fn main() {
-    let opts = parse();
-    let n = opts.nodes;
+/// Epoch boundary round for `--replace-node`. Low enough that it has
+/// certainly passed by the time the joiner spawns (a third into the
+/// run), so the joiner's catch-up package must certify *across* it.
+const REPLACE_BOUNDARY: u64 = 10;
 
-    // Reserve n consecutive free ports by binding :0 listeners, then
-    // release them for the replicas. (A tiny race with other local
+fn main() {
+    let mut opts = parse();
+    let n = opts.nodes;
+    // Replace mode runs an (n+1)-party universe: the spare (index n)
+    // joins at the boundary, the last original member (n-1) leaves.
+    let universe = if opts.replace { n + 1 } else { n };
+    let joiner = n;
+    let retiree = n - 1;
+    if opts.replace {
+        let initial: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+        let next: Vec<String> = (0..n - 1)
+            .chain(std::iter::once(joiner))
+            .map(|i| i.to_string())
+            .collect();
+        opts.epochs = Some(format!(
+            "0:{};{REPLACE_BOUNDARY}:{}",
+            initial.join(","),
+            next.join(",")
+        ));
+    }
+    let opts = opts;
+
+    // Reserve one free port per universe slot by binding :0 listeners,
+    // then release them for the replicas. (A tiny race with other local
     // processes, but fine for a localhost bench.)
-    let listeners: Vec<TcpListener> = (0..n)
+    let listeners: Vec<TcpListener> = (0..universe)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind :0"))
         .collect();
     let addrs: Vec<String> = listeners
@@ -242,8 +296,8 @@ fn main() {
     }
 
     println!(
-        "launching {n} replica processes for {}s (seed {}, churn {})…",
-        opts.secs, opts.seed, opts.churn
+        "launching {n} replica processes for {}s (seed {}, churn {}, replace {})…",
+        opts.secs, opts.seed, opts.churn, opts.replace
     );
     let started = Instant::now();
     let mut running: Vec<Instance> = (0..n)
@@ -251,6 +305,29 @@ fn main() {
         .collect();
     // (me, lines) per finished process incarnation, in finish order.
     let mut finished: Vec<(usize, Vec<String>)> = Vec::new();
+
+    // Replace: spawn the spare as a brand-new process a third in (the
+    // boundary has long passed, so it must join via a certified
+    // cross-epoch catch-up package), retire the replaced member at two
+    // thirds. The retiree spends its post-boundary life as an observer
+    // — killing it must not dent liveness.
+    if opts.replace {
+        std::thread::sleep(Duration::from_secs(opts.secs / 3));
+        let remaining = opts.secs.saturating_sub(started.elapsed().as_secs()).max(2);
+        running.push(Instance::spawn(
+            &bin, &config, &data_root, joiner, remaining, &opts,
+        ));
+        println!("spawned joiner {joiner} at t={:?}", started.elapsed());
+
+        std::thread::sleep(Duration::from_secs(opts.secs / 3));
+        let pos = running
+            .iter()
+            .position(|i| i.me == retiree)
+            .expect("retiree running");
+        let inst = running.remove(pos);
+        finished.push(inst.finish(true));
+        println!("retired replica {retiree} at t={:?}", started.elapsed());
+    }
 
     // Churn: SIGKILL the last replica a third of the way through,
     // restart it at two thirds. The ~secs/3 outage at ICC1's localhost
@@ -332,7 +409,7 @@ fn main() {
     // The conservative floor is ~1 round/s; localhost actually runs
     // orders of magnitude faster.
     let floor = opts.secs;
-    for me in 0..n {
+    for me in 0..universe {
         let last = final_round.get(&me).copied().unwrap_or(0);
         assert!(
             last >= floor,
@@ -399,6 +476,41 @@ fn main() {
         );
     }
 
+    // --- Reconfiguration: the joiner came in through a certified
+    // catch-up package whose certificate chain crossed the epoch
+    // boundary, and every survivor activated the transition.
+    let mut joiner_cross_epoch = 0u64;
+    let mut epoch_transitions_min = 0u64;
+    if opts.replace {
+        let stat = |who: usize, key: &str| -> u64 {
+            reports
+                .iter()
+                .filter(|(me, _)| *me == who)
+                .map(|(_, r)| report_u64(r, key))
+                .max()
+                .unwrap_or(0)
+        };
+        joiner_cross_epoch = stat(joiner, "cross_epoch_catch_ups");
+        assert!(
+            stat(joiner, "catch_up_applied") >= 1,
+            "joiner {joiner} rejoined without a certified catch-up package"
+        );
+        assert!(
+            joiner_cross_epoch >= 1,
+            "joiner {joiner}'s catch-up package did not cross the epoch boundary"
+        );
+        // The retiree was killed and never reported; every other
+        // original member must have crossed the boundary live.
+        epoch_transitions_min = (0..n - 1)
+            .map(|me| stat(me, "epoch_transitions"))
+            .min()
+            .unwrap_or(0);
+        assert!(
+            epoch_transitions_min >= 1,
+            "a surviving replica never activated the epoch transition"
+        );
+    }
+
     let elapsed = started.elapsed();
     println!(
         "done in {elapsed:?}: {commits_total} COMMIT lines, {rounds_checked} distinct rounds, \
@@ -414,12 +526,21 @@ fn main() {
              {recovered_records} WAL records with {restore_verifications} re-verifications"
         );
     }
+    if opts.replace {
+        println!(
+            "reconfiguration OK: joiner {joiner} joined via {joiner_cross_epoch} cross-epoch \
+             catch-up package(s), every survivor activated >= {epoch_transitions_min} \
+             epoch transition(s), retiree {retiree} removed"
+        );
+    }
 
     // --- BENCH_net.json: the REPORT lines are already JSON objects.
     reports.sort_by_key(|(me, _)| *me);
     let replica_objs: Vec<String> = reports.into_iter().map(|(_, r)| r).collect();
     let bench = format!(
         "{{\"bench\":\"net_cluster\",\"nodes\":{n},\"secs\":{},\"seed\":{},\"churn\":{},\
+         \"replace\":{},\"joiner_cross_epoch\":{joiner_cross_epoch},\
+         \"epoch_transitions_min\":{epoch_transitions_min},\
          \"elapsed_ms\":{},\"commits_total\":{commits_total},\"rounds_checked\":{rounds_checked},\
          \"min_final_round\":{},\"catch_up_applied\":{catch_ups},\"reconnects\":{reconnects},\
          \"recovered_round\":{recovered_round},\"recovered_records\":{recovered_records},\
@@ -427,8 +548,9 @@ fn main() {
         opts.secs,
         opts.seed,
         opts.churn,
+        opts.replace,
         elapsed.as_millis(),
-        (0..n)
+        (0..universe)
             .map(|me| final_round.get(&me).copied().unwrap_or(0))
             .min()
             .unwrap_or(0),

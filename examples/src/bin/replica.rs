@@ -38,8 +38,9 @@
 use icc_core::byzantine::Behavior;
 use icc_core::consensus::ConsensusCore;
 use icc_core::delays::StaticDelays;
+use icc_core::epoch::EpochSchedule;
 use icc_core::events::NodeEvent;
-use icc_core::keys::generate_keys;
+use icc_core::keys::{generate_keys, generate_keys_with_schedule};
 use icc_core::storage::DurableStore;
 use icc_gossip::{GossipConfig, GossipNode, Overlay};
 use icc_net::{ClusterSpec, NetOptions, TcpTransport};
@@ -65,6 +66,7 @@ struct Opts {
     fsync: FsyncPolicy,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    epochs: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
@@ -73,7 +75,8 @@ fn usage(err: &str) -> ! {
         "usage: replica --config PATH --me N [--secs S] [--seed U64]\n\
          \t[--delta-bnd-ms MS] [--epsilon-ms MS] [--cmd-rate PER_S] [--cmd-size BYTES]\n\
          \t[--data-dir PATH] [--fsync per-commit|group:MAX:WINDOW_MS|periodic:MS]\n\
-         \t[--trace-out PATH] [--metrics-out PATH]"
+         \t[--trace-out PATH] [--metrics-out PATH] [--epochs SPEC]\n\
+         \twhere SPEC is 'round:members;round:members', e.g. '0:0,1,2,3;30:0,1,2,4'"
     );
     std::process::exit(2);
 }
@@ -128,6 +131,7 @@ fn parse() -> Opts {
         fsync: FsyncPolicy::PerCommit,
         trace_out: None,
         metrics_out: None,
+        epochs: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -177,6 +181,7 @@ fn parse() -> Opts {
             }
             "--trace-out" => opts.trace_out = Some(val("--trace-out")),
             "--metrics-out" => opts.metrics_out = Some(val("--metrics-out")),
+            "--epochs" => opts.epochs = Some(val("--epochs")),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -204,8 +209,25 @@ fn main() {
 
     // Every replica deals the same deterministic key set from the
     // shared seed and keeps only its own share — no key files needed
-    // for a local cluster.
-    let keys = generate_keys(SubnetConfig::new(n), opts.seed)
+    // for a local cluster. `--epochs` layers a membership schedule on
+    // top: the config file then lists the *universe* (every party that
+    // is ever a member), and all replicas must agree on the spec string
+    // exactly — it determines the reshared per-epoch beacon keys.
+    let all_keys = match &opts.epochs {
+        Some(spec_str) => {
+            let schedule =
+                EpochSchedule::parse(spec_str).unwrap_or_else(|e| usage(&format!("--epochs: {e}")));
+            if schedule.universe() > n {
+                usage(&format!(
+                    "--epochs mentions node {} but --config lists only {n} peers",
+                    schedule.universe() - 1
+                ));
+            }
+            generate_keys_with_schedule(SubnetConfig::new(n), opts.seed, &schedule)
+        }
+        None => generate_keys(SubnetConfig::new(n), opts.seed),
+    };
+    let keys = all_keys
         .into_iter()
         .nth(opts.me as usize)
         .expect("own key share");
@@ -323,7 +345,8 @@ fn main() {
         "REPORT {{\"me\":{},\"n\":{n},\"committed_round\":{},\"blocks\":{blocks},\
          \"commands\":{commands},\"catch_up_applied\":{},\"catch_up_rejected\":{},\
          \"wal_appends\":{},\"restarts\":{},\"recovered_round\":{},\
-         \"restore_verifications\":{},\"storage\":{},\"net\":{}}}",
+         \"restore_verifications\":{},\"cross_epoch_catch_ups\":{},\
+         \"epoch_transitions\":{},\"storage\":{},\"net\":{}}}",
         opts.me,
         core.committed_round().get(),
         rec.catch_up_applied,
@@ -332,6 +355,8 @@ fn main() {
         rec.restarts,
         core.last_recovered_round(),
         rec.restore_verifications,
+        rec.cross_epoch_catch_ups,
+        rec.epoch_transitions,
         storage.to_json(),
         net.to_json(),
     );

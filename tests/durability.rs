@@ -116,6 +116,7 @@ fn checkpoint(round: u64) -> Checkpoint {
         finalization: finalization(round, 2, 24),
         beacon: BeaconValue::Signature(Signature::from_value(round ^ 0xbea)),
         committed: vec![Hash256([7u8; 32]), Hash256([9u8; 32])],
+        transitions: Vec::new(),
     }
 }
 
@@ -434,6 +435,116 @@ fn restart_loop_recovers_monotone_frontier_with_zero_reverification() {
         prev_frontier.iter().all(|&f| f > 40),
         "cluster barely progressed across restarts: {prev_frontier:?}"
     );
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+/// Crash *during a reshare window*: the whole cluster is torn down
+/// after the epoch boundary activated but **before the next
+/// checkpoint**, so the `EpochTransition` handoff certificate exists
+/// only as a WAL entry. Every node must recover into the correct epoch
+/// purely from trusted replay — zero signature re-verifications — and
+/// still be able to serve the cross-epoch certificate chain afterwards.
+#[test]
+fn crash_during_reshare_recovers_into_correct_epoch() {
+    use icc_core::epoch::{EpochSchedule, EpochSpec};
+    const N: usize = 5;
+    const BOUNDARY: u64 = 20;
+    let schedule = EpochSchedule::new(vec![
+        EpochSpec::new(Round::GENESIS, vec![0, 1, 2, 3]),
+        EpochSpec::new(Round::new(BOUNDARY), vec![0, 1, 2, 4]),
+    ]);
+    let dirs: Vec<PathBuf> = (0..N)
+        .map(|i| scratch(&format!("reshare_crash_{i}")))
+        .collect();
+
+    let build = |dirs: &[PathBuf], schedule: &EpochSchedule| {
+        let overlay = Arc::new(Overlay::full_mesh(N));
+        let cfg = GossipConfig {
+            inline_threshold: 0,
+            ..GossipConfig::default()
+        };
+        let idx = Cell::new(0usize);
+        let dirs_ref = dirs.to_vec();
+        ClusterBuilder::new(N)
+            .seed(31)
+            .network(FixedDelay::new(SimDuration::from_millis(10)))
+            .protocol_delays(SimDuration::from_millis(60), SimDuration::ZERO)
+            // A cadence so sparse the first checkpoint would land far
+            // past the boundary: the transition cert stays WAL-only.
+            .checkpoint_interval(64)
+            .with_epochs(schedule.clone())
+            .build_with(move |core| {
+                let i = idx.get();
+                idx.set(i + 1);
+                let store = DurableStore::file(&dirs_ref[i], per_commit()).expect("open data dir");
+                GossipNode::new(core.with_store(store), Arc::clone(&overlay), cfg)
+            })
+    };
+
+    // Incarnation 1: cross the boundary, then power off mid-window.
+    let mut committed_before = [0u64; N];
+    {
+        let mut cluster = build(&dirs, &schedule);
+        cluster.run_for(SimDuration::from_millis(1200));
+        for (i, before) in committed_before.iter_mut().enumerate() {
+            *before = cluster.committed_round(i);
+            assert!(
+                (BOUNDARY + 2..64).contains(before),
+                "node {i} must crash inside the reshare-to-checkpoint window \
+                 (committed {before})"
+            );
+            let cp = cluster.sim.node(i).core().store().checkpoint();
+            assert!(
+                cp.is_none(),
+                "node {i}: a checkpoint landed before the crash; the test \
+                 would not exercise WAL-only transition recovery"
+            );
+        }
+        cluster.assert_safety();
+    }
+
+    // Incarnation 2: recover from disk alone.
+    let mut cluster = build(&dirs, &schedule);
+    for i in 0..N {
+        let core = cluster.sim.node(i).core();
+        let rec = core.recovery_stats();
+        assert_eq!(rec.restarts, 1, "node {i} must have restored");
+        assert_eq!(
+            rec.restore_verifications, 0,
+            "node {i}: restore re-verified signatures"
+        );
+        assert!(
+            core.last_recovered_round() >= BOUNDARY,
+            "node {i} recovered only to round {}",
+            core.last_recovered_round()
+        );
+    }
+    // The restored replicas resumed in epoch 1 and still serve the
+    // certified handoff chain: the transition cert was replayed from
+    // the WAL (no checkpoint ever carried it).
+    let pkg = cluster
+        .sim
+        .node(0)
+        .core()
+        .build_catch_up_package(Round::GENESIS)
+        .expect("restored replica holds a finalized chain");
+    assert_eq!(
+        pkg.transitions.iter().map(|t| t.epoch).collect::<Vec<_>>(),
+        vec![1],
+        "the epoch-1 handoff certificate must survive the crash"
+    );
+
+    // And the cluster keeps finalizing in the new epoch.
+    cluster.run_for(SimDuration::from_secs(2));
+    cluster.assert_safety();
+    for (i, before) in committed_before.iter().enumerate() {
+        assert!(
+            cluster.committed_round(i) > before + 10,
+            "node {i} stalled after the reshare crash"
+        );
+    }
     for d in &dirs {
         let _ = std::fs::remove_dir_all(d);
     }

@@ -132,3 +132,109 @@ fn gossip_cluster_over_tcp_backend() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Peer lifecycle: eviction of departed members from the gossip layer.
+// ---------------------------------------------------------------------
+
+/// Directional throttle for the eviction scenario below: node 0 is cut
+/// off in both directions (everything it sends, and everything sent to
+/// it, is held until `heal`) — *except* that node 3's messages reach it
+/// normally for the first `advert_window`. Node 0 therefore accumulates
+/// body requests whose **only** advertiser is node 3.
+struct LopsidedCut {
+    heal: icc_types::SimTime,
+    advert_window: icc_types::SimTime,
+}
+
+impl icc_sim::policy::DeliveryPolicy for LopsidedCut {
+    fn deliver_at(
+        &mut self,
+        from: NodeIndex,
+        to: NodeIndex,
+        sent: icc_types::SimTime,
+        tentative: icc_types::SimTime,
+    ) -> icc_types::SimTime {
+        let zero = NodeIndex::new(0);
+        let three = NodeIndex::new(3);
+        if from == zero || (to == zero && !(from == three && sent < self.advert_window)) {
+            tentative.max(self.heal)
+        } else {
+            tentative
+        }
+    }
+}
+
+/// Regression: the retry sweep must stop tracking artifacts whose only
+/// advertiser *departed the membership*. Before the eviction hook, such
+/// `PendingRequest` entries lingered forever — `peer_up` suppressed the
+/// actual retransmissions, but the entries (and their growing backoff
+/// state) kept the sweep timer armed for the rest of the run.
+#[test]
+fn departed_peer_is_evicted_from_retry_state() {
+    use icc_core::cluster::ClusterBuilder;
+    use icc_sim::delay::FixedDelay;
+    use icc_sim::FaultPlan;
+
+    let ms = |v: u64| SimDuration::from_millis(v);
+    let at = |v: u64| icc_types::SimTime::ZERO + ms(v);
+
+    let mut cluster = icc_gossip::gossip_cluster(
+        ClusterBuilder::new(N)
+            .seed(5)
+            .network(FixedDelay::new(ms(10)))
+            .protocol_delays(ms(60), SimDuration::ZERO)
+            .policy(LopsidedCut {
+                heal: at(3500),
+                advert_window: at(500),
+            })
+            // Node 3 leaves the membership mid-cut, while node 0 still
+            // owes it body requests.
+            .fault_plan(FaultPlan::new().depart_at(NodeIndex::new(3), at(1500))),
+        Overlay::full_mesh(N),
+        GossipConfig {
+            // Every proposal travels advert → request → deliver, so the
+            // cut-off node is guaranteed to build up pending requests.
+            inline_threshold: 0,
+            ..GossipConfig::default()
+        },
+    );
+
+    // Before the departure: node 0 holds pending body requests, all of
+    // them advertised solely by node 3 (its requests out never arrive).
+    cluster.run_until(at(1400));
+    let stuck = cluster.sim.node(0).pending_requests();
+    assert!(
+        stuck > 0,
+        "scenario must produce node-3-only pending requests before the depart"
+    );
+    assert_eq!(
+        cluster.committed_round(0),
+        0,
+        "the cut-off node must not have committed past genesis yet"
+    );
+
+    // After the departure: the eviction hook stripped node 3 from every
+    // advertiser list and dropped the now-unservable entries outright.
+    cluster.run_until(at(1600));
+    assert_eq!(
+        cluster.sim.node(0).pending_requests(),
+        0,
+        "pending requests advertised only by the departed peer must be evicted"
+    );
+
+    // The cluster heals and node 0 rejoins; the survivors (exactly the
+    // n − t quorum) resume finalizing and node 0 catches up from them.
+    cluster.run_until(at(8000));
+    cluster.assert_safety();
+    assert!(
+        cluster.committed_round(0) > 10,
+        "cut-off node must catch up after the heal (got {})",
+        cluster.committed_round(0)
+    );
+    assert_eq!(
+        cluster.sim.node(0).pending_requests(),
+        0,
+        "no retry state may survive once the chain passes the stale rounds"
+    );
+}
