@@ -36,6 +36,12 @@ use icc_types::{Command, NodeIndex, Rank, Round, SimDuration, SimTime, SubnetCon
 pub trait CoreAccess {
     /// The wrapped consensus core.
     fn core(&self) -> &ConsensusCore;
+
+    /// The dissemination layer's gossip counters, when it keeps any
+    /// (the ICC1 gossip node does; plain ICC0 broadcast does not).
+    fn gossip_counters(&self) -> Option<icc_sim::GossipCounters> {
+        None
+    }
 }
 
 impl CoreAccess for IccNode {
@@ -71,6 +77,7 @@ pub struct ClusterBuilder {
     block_policy: BlockPolicy,
     max_events: u64,
     disable_beacon_pipelining: bool,
+    broadcast_beacon_values: bool,
     fault_plan: FaultPlan,
     checkpoint_interval: Option<u64>,
     epochs: Option<EpochSchedule>,
@@ -95,6 +102,7 @@ impl ClusterBuilder {
             block_policy: BlockPolicy::default(),
             max_events: 500_000_000,
             disable_beacon_pipelining: false,
+            broadcast_beacon_values: false,
             fault_plan: FaultPlan::new(),
             checkpoint_interval: None,
             epochs: None,
@@ -117,6 +125,19 @@ impl ClusterBuilder {
     pub fn without_beacon_pipelining(mut self) -> Self {
         self.disable_beacon_pipelining = true;
         self
+    }
+
+    /// Every node also broadcasts combined beacon *values* (required by
+    /// the gossip layer's aggregator-routed mode, where most nodes
+    /// never see `t + 1` beacon shares).
+    pub fn with_beacon_value_broadcast(mut self) -> Self {
+        self.broadcast_beacon_values = true;
+        self
+    }
+
+    /// The configured subnet size.
+    pub fn n_nodes(&self) -> usize {
+        self.n
     }
 
     /// Sets the RNG seed (keys, network jitter, schedules).
@@ -255,6 +276,11 @@ impl ClusterBuilder {
                 .with_block_policy(self.block_policy);
                 let core = if self.disable_beacon_pipelining {
                     core.without_beacon_pipelining()
+                } else {
+                    core
+                };
+                let core = if self.broadcast_beacon_values {
+                    core.with_beacon_value_broadcast()
                 } else {
                     core
                 };
@@ -463,6 +489,9 @@ impl<N: Node<External = Command, Output = NodeEvent> + CoreAccess> Cluster<N> {
             self.sim.metrics_mut().set_pool_counters(i, stats.into());
             let rec = self.recovery_stats(i);
             self.sim.metrics_mut().set_recovery_counters(i, rec.into());
+            if let Some(g) = self.sim.node(i).gossip_counters() {
+                self.sim.metrics_mut().set_gossip_counters(i, g);
+            }
         }
     }
 

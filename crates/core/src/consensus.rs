@@ -36,7 +36,7 @@ use icc_crypto::beacon::RankPermutation;
 use icc_crypto::{hash_parts, Hash256};
 use icc_telemetry::{SpanEvent, SpanKind};
 use icc_types::block::{Block, HashedBlock, Payload};
-use icc_types::messages::{BlockProposal, BlockRef, ConsensusMessage};
+use icc_types::messages::{Beacon, BlockProposal, BlockRef, ConsensusMessage};
 use icc_types::{Command, Rank, Round, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -168,6 +168,15 @@ pub struct ConsensusCore {
     /// beacon `k` is computed. Costs one extra δ per round (see the
     /// `fig_ablation_pipelining` experiment).
     disable_beacon_pipelining: bool,
+    /// Scale-out switch: when set, a party that combines the round
+    /// beacon also broadcasts the *combined value* (self-certifying —
+    /// threshold signatures are unique, so one group-key verification
+    /// replaces `t + 1` share verifications at every receiver). Used by
+    /// the aggregator-routed gossip mode, where shares travel to a few
+    /// aggregators instead of flooding.
+    broadcast_beacon_values: bool,
+    /// Highest round whose combined beacon value this party broadcast.
+    beacon_value_sent_upto: Round,
 }
 
 impl fmt::Debug for ConsensusCore {
@@ -213,12 +222,22 @@ impl ConsensusCore {
             entered_at: HashMap::new(),
             checkpoint_interval: 8,
             disable_beacon_pipelining: false,
+            broadcast_beacon_values: false,
+            beacon_value_sent_upto: Round::GENESIS,
         }
     }
 
     /// Disables the beacon-share pipelining of Fig. 1 (ablation).
     pub fn without_beacon_pipelining(mut self) -> Self {
         self.disable_beacon_pipelining = true;
+        self
+    }
+
+    /// Broadcasts combined beacon *values* in addition to shares, so
+    /// receivers can verify one group signature instead of `t + 1`
+    /// shares. Required by the aggregator-routed gossip mode.
+    pub fn with_beacon_value_broadcast(mut self) -> Self {
+        self.broadcast_beacon_values = true;
         self
     }
 
@@ -361,6 +380,7 @@ impl ConsensusCore {
         self.round = Round::new(1);
         self.rstate = None;
         self.beacon_share_sent_upto = Round::GENESIS;
+        self.beacon_value_sent_upto = Round::GENESIS;
         self.kmax = Round::GENESIS;
         self.notarizations_broadcast.clear();
         self.finalizations_broadcast.clear();
@@ -432,6 +452,7 @@ impl ConsensusCore {
         // Do not re-broadcast beacon shares for rounds the restored
         // chain already covers; receivers would dedup them anyway.
         self.beacon_share_sent_upto = self.pool.latest_beacon_round();
+        self.beacon_value_sent_upto = self.pool.latest_beacon_round();
         // The pool was rebuilt from scratch above, so its verification
         // counter at this point *is* the number of signature checks the
         // replay cost — the zero the durability tests pin down.
@@ -763,6 +784,19 @@ impl ConsensusCore {
         // re-derive their permutations from it, and catch-up segments
         // chain from its tip.
         self.store.append_beacon(self.round, beacon);
+        // Aggregator-routed mode: flood the combined value (unique, so
+        // self-certifying) once per round. Nodes that never saw `t + 1`
+        // shares verify one group signature and move on.
+        if self.broadcast_beacon_values
+            && self.beacon_value_sent_upto < self.round
+            && self.behavior.shares_beacon()
+        {
+            self.beacon_value_sent_upto = self.round;
+            step.broadcasts.push(ConsensusMessage::Beacon(Beacon {
+                round: self.round,
+                value: beacon,
+            }));
+        }
         // Ranks are drawn over the *round's epoch members* only: a
         // departed (or not-yet-joined) party observes the round without
         // a rank, so it can never lead, propose, or sign.

@@ -25,6 +25,7 @@
 //! and are checked at combine time.
 
 use icc_crypto::batch::BatchVerdict;
+use icc_crypto::beacon::{beacon_sign_message, BeaconValue};
 use icc_crypto::sig::MessageDigest;
 use icc_crypto::Hash256;
 use icc_types::messages::domains;
@@ -34,6 +35,7 @@ use std::collections::HashMap;
 use super::cache::VerificationCache;
 use super::stats::PoolStats;
 use super::unvalidated::{ArtifactId, UnvalidatedArtifact, UnvalidatedEntry, UnvalidatedSection};
+use super::validated::ValidatedSection;
 use crate::keys::PublicSetup;
 
 #[allow(unused_imports)] // rustdoc link
@@ -47,6 +49,12 @@ pub enum RejectReason {
     BadAuthenticator,
     /// An aggregate or share signature failed verification.
     BadSignature,
+    /// The share arrived after the validated section already held a
+    /// quorum (or the aggregate itself) for its block: dropped
+    /// *unverified* — it can no longer change any decision. Not a
+    /// verification failure; counted in
+    /// [`PoolStats::shares_skipped_after_quorum`], not `rejected`.
+    RedundantAfterQuorum,
 }
 
 /// One mutation of the two-tier pool, produced by [`process_changes`]
@@ -88,6 +96,7 @@ enum SchemeKind {
 /// pipeline stays deterministic.
 pub(crate) fn process_changes(
     unvalidated: &UnvalidatedSection,
+    validated: &ValidatedSection,
     setup: &PublicSetup,
     cache: &mut VerificationCache,
     stats: &mut PoolStats,
@@ -121,6 +130,46 @@ pub(crate) fn process_changes(
         if cache.contains(&entry.id) {
             stats.verify_cache_hits += 1;
             decisions[pos] = Some(ChangeAction::MoveToValidated(artifact.clone()));
+            continue;
+        }
+        // Combined beacon values are self-certifying against the group
+        // key — but only once the *previous* value is known (the signed
+        // message chains from it). Until then the artifact stays queued:
+        // it gets a decision on a later pass, after its predecessor
+        // lands or a purge collects it.
+        if let UnvalidatedArtifact::Beacon(b) = artifact {
+            if validated.beacon(b.round).is_some() {
+                // A verified value for this round already exists; the
+                // scheme is unique, so this copy adds nothing.
+                decisions[pos] = Some(ChangeAction::RemoveFromUnvalidated {
+                    id: entry.id,
+                    reason: RejectReason::RedundantAfterQuorum,
+                });
+                continue;
+            }
+            let Some(prev) = b.round.prev().and_then(|p| validated.beacon(p)) else {
+                continue; // predecessor unknown: leave queued
+            };
+            let BeaconValue::Signature(sig) = b.value else {
+                stats.rejected += 1;
+                decisions[pos] = Some(ChangeAction::RemoveFromUnvalidated {
+                    id: entry.id,
+                    reason: RejectReason::BadSignature,
+                });
+                continue;
+            };
+            let msg = beacon_sign_message(b.round.get(), prev);
+            stats.verify_calls += 1;
+            decisions[pos] = Some(if setup.beacon.verify(&msg, &sig) {
+                cache.record(entry.id, round);
+                ChangeAction::MoveToValidated(artifact.clone())
+            } else {
+                stats.rejected += 1;
+                ChangeAction::RemoveFromUnvalidated {
+                    id: entry.id,
+                    reason: RejectReason::BadSignature,
+                }
+            });
             continue;
         }
         // Beacon shares are verified lazily at combine time (§3.4).
@@ -208,7 +257,9 @@ pub(crate) fn process_changes(
                     Some((false, RejectReason::BadSignature))
                 }
             }
-            UnvalidatedArtifact::BeaconShare(_) => unreachable!("handled above: no block_ref"),
+            UnvalidatedArtifact::BeaconShare(_) | UnvalidatedArtifact::Beacon(_) => {
+                unreachable!("handled above: no block_ref")
+            }
         };
         if let Some((ok, reason)) = decided {
             decisions[pos] = Some(if ok {
@@ -224,58 +275,108 @@ pub(crate) fn process_changes(
         }
     }
 
-    // Pass 2: one RLC equation per (scheme, block) share flood. Iteration
-    // order of the map is irrelevant: decisions land by entry position.
+    // Pass 2: one RLC equation per (scheme, block) share flood, cut
+    // short at quorum. Iteration order of the map is irrelevant:
+    // decisions land by entry position.
     for ((kind, block_hash), positions) in share_batches {
-        let sign_bytes: &[u8] = &sign_bytes_memo[&block_hash];
+        let round = entries[positions[0]].artifact.round();
+        let epoch = setup.epoch_of(round);
         let scheme = match kind {
             SchemeKind::Notary => &setup.notary,
             SchemeKind::Finality => &setup.finality,
             SchemeKind::Auth => unreachable!("auth artifacts are never share-batched"),
         };
+        // Early stop: once the validated section holds the aggregate —
+        // or a full quorum of shares — for this block, further shares
+        // cannot change any decision. At n = 1000 that turns ~n share
+        // verifications per block into ~h: the first `need − have`
+        // verify, the rest are dropped unverified (never cached, never
+        // counted as rejected). This is what keeps per-round signature
+        // work bounded by the threshold instead of the subnet size.
+        let (need, have, certified) = match kind {
+            SchemeKind::Notary => (
+                epoch.notarization_threshold(),
+                validated.notarization_share_count(&block_hash),
+                validated.has_notarization(&block_hash),
+            ),
+            SchemeKind::Finality => (
+                epoch.finalization_threshold(),
+                validated.finalization_share_count(&block_hash),
+                validated.has_finalization(&block_hash),
+            ),
+            SchemeKind::Auth => unreachable!("auth artifacts are never share-batched"),
+        };
+        let quota = if certified {
+            0
+        } else {
+            need.saturating_sub(have)
+        };
+        let cut = quota.min(positions.len());
+        let (head, tail) = positions.split_at(cut);
+        let skip = |pos: usize, stats: &mut PoolStats| {
+            stats.shares_skipped_after_quorum += 1;
+            ChangeAction::RemoveFromUnvalidated {
+                id: entries[pos].id,
+                reason: RejectReason::RedundantAfterQuorum,
+            }
+        };
+        if head.is_empty() {
+            for &pos in tail {
+                decisions[pos] = Some(skip(pos, stats));
+            }
+            continue;
+        }
+        let share_of = |pos: usize| match &entries[pos].artifact {
+            UnvalidatedArtifact::NotarizationShare(s) => s.share,
+            UnvalidatedArtifact::FinalizationShare(s) => s.share,
+            _ => unreachable!("only shares are batched"),
+        };
         let digest = *digest_memo
             .entry((kind, block_hash))
-            .or_insert_with(|| scheme.digest(sign_bytes));
-        let shares: Vec<_> = positions
-            .iter()
-            .map(|&pos| match &entries[pos].artifact {
-                UnvalidatedArtifact::NotarizationShare(s) => s.share,
-                UnvalidatedArtifact::FinalizationShare(s) => s.share,
-                _ => unreachable!("only shares are batched"),
-            })
-            .collect();
+            .or_insert_with(|| scheme.digest(&sign_bytes_memo[&block_hash]));
+        let shares: Vec<_> = head.iter().map(|&pos| share_of(pos)).collect();
         stats.verify_calls += 1;
         stats.batch_verifies += 1;
         stats.batched_shares += shares.len() as u64;
-        let all_valid = match scheme.verify_batch_digest(digest, &shares) {
-            BatchVerdict::AllValid => true,
-            BatchVerdict::Invalid { .. } => false,
-        };
-        for (&pos, share) in positions.iter().zip(&shares) {
-            let entry = entries[pos];
-            // On a batch failure, localise per *position* (not per signer
-            // index) so a valid share is never collateral damage of an
-            // equivocating duplicate; the re-check reuses the digest, so
-            // it stays hash-free.
-            let ok = all_valid || {
-                stats.verify_calls += 1;
-                scheme.verify_share_digest(digest, share)
-            };
-            decisions[pos] = Some(if ok {
-                cache.record(entry.id, entry.artifact.round());
-                ChangeAction::MoveToValidated(entry.artifact.clone())
-            } else {
-                stats.rejected += 1;
-                ChangeAction::RemoveFromUnvalidated {
-                    id: entry.id,
-                    reason: RejectReason::BadSignature,
+        match scheme.verify_batch_digest(digest, &shares) {
+            BatchVerdict::AllValid => {
+                for &pos in head {
+                    let entry = entries[pos];
+                    cache.record(entry.id, entry.artifact.round());
+                    decisions[pos] = Some(ChangeAction::MoveToValidated(entry.artifact.clone()));
                 }
-            });
+                // The head alone fills the quorum; everything behind it
+                // is dropped unverified.
+                for &pos in tail {
+                    decisions[pos] = Some(skip(pos, stats));
+                }
+            }
+            BatchVerdict::Invalid { .. } => {
+                // Localise per *position* (not per signer index) so a
+                // valid share is never collateral damage of an
+                // equivocating duplicate — and widen back to the full
+                // batch: a bad share in the head must not cost the
+                // valid shares behind it their quorum slot. The
+                // re-checks reuse the digest, so they stay hash-free.
+                for &pos in &positions {
+                    let entry = entries[pos];
+                    stats.verify_calls += 1;
+                    decisions[pos] = Some(if scheme.verify_share_digest(digest, &share_of(pos)) {
+                        cache.record(entry.id, entry.artifact.round());
+                        ChangeAction::MoveToValidated(entry.artifact.clone())
+                    } else {
+                        stats.rejected += 1;
+                        ChangeAction::RemoveFromUnvalidated {
+                            id: entry.id,
+                            reason: RejectReason::BadSignature,
+                        }
+                    });
+                }
+            }
         }
     }
 
-    decisions
-        .into_iter()
-        .map(|d| d.expect("every unvalidated entry received a decision"))
-        .collect()
+    // Every entry has a decision except combined beacon values still
+    // waiting for their predecessor — those stay queued.
+    decisions.into_iter().flatten().collect()
 }

@@ -201,6 +201,7 @@ impl Pool {
     pub fn process_changes(&mut self) -> ChangeSet {
         changeset::process_changes(
             &self.unvalidated,
+            &self.validated,
             &self.setup,
             &mut self.cache,
             &mut self.stats,
@@ -262,6 +263,7 @@ impl Pool {
                 vec![UnvalidatedArtifact::Finalization(f.clone())]
             }
             ConsensusMessage::BeaconShare(b) => vec![UnvalidatedArtifact::BeaconShare(*b)],
+            ConsensusMessage::Beacon(b) => vec![UnvalidatedArtifact::Beacon(*b)],
         }
     }
 
@@ -285,6 +287,10 @@ impl Pool {
             UnvalidatedArtifact::BeaconShare(b) => {
                 self.validated.has_beacon_share(b.round, b.share.signer)
             }
+            // Any value for an already-known round is redundant: the
+            // beacon scheme is unique, so a verified competitor would be
+            // byte-identical anyway.
+            UnvalidatedArtifact::Beacon(b) => self.validated.beacon(b.round).is_some(),
         };
         in_validated || self.unvalidated.contains(&artifact.id())
     }

@@ -124,6 +124,7 @@ impl EagerPool {
                 .or_default()
                 .insert(b.share.signer, b.share)
                 .is_none(),
+            ConsensusMessage::Beacon(b) => self.insert_beacon_value(*b),
         };
         if changed {
             self.recheck_validity();
@@ -249,6 +250,33 @@ impl EagerPool {
             .or_default()
             .insert(s.share.signer, s)
             .is_none()
+    }
+
+    /// Inserts a combined beacon value, verifying it eagerly against the
+    /// previous value and the group key. Values whose predecessor is
+    /// unknown are dropped (the eager model holds nothing pending).
+    fn insert_beacon_value(&mut self, b: icc_types::messages::Beacon) -> bool {
+        if self.beacons.contains_key(&b.round) {
+            return false;
+        }
+        let Some(prev) = b.round.prev().and_then(|p| self.beacons.get(&p)).copied() else {
+            return false;
+        };
+        let BeaconValue::Signature(sig) = b.value else {
+            self.rejected += 1;
+            return false;
+        };
+        self.verify_calls += 1;
+        if !self
+            .setup
+            .beacon
+            .verify(&beacon_sign_message(b.round.get(), &prev), &sig)
+        {
+            self.rejected += 1;
+            return false;
+        }
+        self.beacons.insert(b.round, b.value);
+        true
     }
 
     fn recheck_validity(&mut self) {

@@ -12,7 +12,8 @@ use icc_crypto::{hash_parts, Hash256};
 use icc_types::block::HashedBlock;
 use icc_types::codec::encode_to_vec;
 use icc_types::messages::{
-    BeaconShare, BlockRef, Finalization, FinalizationShare, Notarization, NotarizationShare,
+    Beacon, BeaconShare, BlockRef, Finalization, FinalizationShare, Notarization,
+    NotarizationShare,
 };
 use icc_types::Round;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -54,6 +55,9 @@ pub enum UnvalidatedArtifact {
     FinalizationShare(FinalizationShare),
     /// One party's beacon share (verifiable only at combine time).
     BeaconShare(BeaconShare),
+    /// A combined beacon value (self-certifying against the group key,
+    /// but only once the *previous* round's value is known).
+    Beacon(Beacon),
 }
 
 impl UnvalidatedArtifact {
@@ -82,6 +86,10 @@ impl UnvalidatedArtifact {
                 &[&s.block_ref.sign_bytes(), &encode_to_vec(&s.share)],
             ),
             UnvalidatedArtifact::BeaconShare(b) => beacon_share_id(b.round, &b.share),
+            UnvalidatedArtifact::Beacon(b) => hash_parts(
+                "pool.artifact.beacon",
+                &[&b.round.get().to_le_bytes(), &encode_to_vec(&b.value)],
+            ),
         }
     }
 
@@ -94,6 +102,7 @@ impl UnvalidatedArtifact {
             UnvalidatedArtifact::NotarizationShare(s) => s.block_ref.round,
             UnvalidatedArtifact::FinalizationShare(s) => s.block_ref.round,
             UnvalidatedArtifact::BeaconShare(b) => b.round,
+            UnvalidatedArtifact::Beacon(b) => b.round,
         }
     }
 
@@ -107,6 +116,9 @@ impl UnvalidatedArtifact {
             UnvalidatedArtifact::NotarizationShare(s) => s.share.signer,
             UnvalidatedArtifact::FinalizationShare(s) => s.share.signer,
             UnvalidatedArtifact::BeaconShare(b) => b.share.signer,
+            // A combined value carries no signer set; charge the shared
+            // synthetic bucket rather than any real party's quota.
+            UnvalidatedArtifact::Beacon(_) => u32::MAX,
         }
     }
 
@@ -119,7 +131,7 @@ impl UnvalidatedArtifact {
             UnvalidatedArtifact::Finalization(f) => Some(f.block_ref),
             UnvalidatedArtifact::NotarizationShare(s) => Some(s.block_ref),
             UnvalidatedArtifact::FinalizationShare(s) => Some(s.block_ref),
-            UnvalidatedArtifact::BeaconShare(_) => None,
+            UnvalidatedArtifact::BeaconShare(_) | UnvalidatedArtifact::Beacon(_) => None,
         }
     }
 }
@@ -175,6 +187,12 @@ impl UnvalidatedSection {
             UnvalidatedArtifact::NotarizationShare(s) => (s.share.signer as usize) < n_parties,
             UnvalidatedArtifact::FinalizationShare(s) => (s.share.signer as usize) < n_parties,
             UnvalidatedArtifact::BeaconShare(b) => (b.share.signer as usize) < n_parties,
+            // Non-genesis rounds only ever carry Signature values; the
+            // genesis seed is baked into every party's setup.
+            UnvalidatedArtifact::Beacon(b) => {
+                !b.round.is_genesis()
+                    && matches!(b.value, icc_crypto::beacon::BeaconValue::Signature(_))
+            }
             UnvalidatedArtifact::Notarization(_) | UnvalidatedArtifact::Finalization(_) => true,
         };
         if !structurally_ok {

@@ -128,6 +128,17 @@ impl ValidatedSection {
             .is_some_and(|m| m.contains_key(&signer))
     }
 
+    /// Distinct validated notarization shares held for `hash` — the
+    /// quorum progress the ChangeSet early-stop consults.
+    pub fn notarization_share_count(&self, hash: &Hash256) -> usize {
+        self.notarization_shares.get(hash).map_or(0, BTreeMap::len)
+    }
+
+    /// Distinct validated finalization shares held for `hash`.
+    pub fn finalization_share_count(&self, hash: &Hash256) -> usize {
+        self.finalization_shares.get(hash).map_or(0, BTreeMap::len)
+    }
+
     // ------------------------------------------------------------------
     // Inserts (artifacts already verified by the ChangeSet step)
     // ------------------------------------------------------------------
@@ -150,6 +161,17 @@ impl ValidatedSection {
                 .or_default()
                 .insert(b.share.signer, b.share)
                 .is_none(),
+            // Verified in the ChangeSet step against the previous value
+            // and the group key; first value per round wins (the scheme
+            // is unique, so any verified competitor is identical).
+            UnvalidatedArtifact::Beacon(b) => {
+                if self.beacons.contains_key(&b.round) {
+                    false
+                } else {
+                    self.beacons.insert(b.round, b.value);
+                    true
+                }
+            }
         }
     }
 

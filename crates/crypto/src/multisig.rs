@@ -18,6 +18,50 @@ use crate::Fp;
 use std::fmt;
 use std::sync::Arc;
 
+/// A fixed-capacity membership bitset over signer indices `0..n`.
+///
+/// Replaces the quadratic `signers[i + 1..].contains(&s)` duplicate
+/// scans in aggregate verification and combine: at n = 1000 a single
+/// notarization check walks ~h²/2 ≈ 220k index comparisons the old
+/// way, versus h word-indexed bit probes here.
+#[derive(Debug, Clone)]
+pub(crate) struct SignerBitset {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl SignerBitset {
+    /// An empty set with capacity for indices `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        SignerBitset {
+            words: vec![0u64; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    /// Inserts `idx`. Returns `false` (without mutating) when the index
+    /// is out of range or already present — the two conditions every
+    /// signer-set walk must reject.
+    pub(crate) fn insert(&mut self, idx: u32) -> bool {
+        let i = idx as usize;
+        if i >= self.n {
+            return false;
+        }
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if self.words[word] & bit != 0 {
+            return false;
+        }
+        self.words[word] |= bit;
+        true
+    }
+
+    /// Whether `idx` is in the set.
+    pub(crate) fn contains(&self, idx: u32) -> bool {
+        let i = idx as usize;
+        i < self.n && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+}
+
 /// An individual contribution to a multi-signature: an ordinary signature
 /// tagged with its signer index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -217,6 +261,7 @@ impl MultiSigScheme {
         // Digest-once: one hash for the whole combine, however many shares.
         let digest = self.digest(msg);
         let mut seen: Vec<MultiSigShare> = Vec::new();
+        let mut taken = SignerBitset::new(self.public_keys.len());
         for share in shares {
             if share.signer as usize >= self.public_keys.len() {
                 return Err(CryptoError::UnknownSigner {
@@ -224,7 +269,7 @@ impl MultiSigScheme {
                     n: self.public_keys.len(),
                 });
             }
-            if seen.iter().any(|s| s.signer == share.signer) {
+            if !taken.insert(share.signer) {
                 return Err(CryptoError::DuplicateShare {
                     signer: share.signer,
                 });
@@ -261,9 +306,10 @@ impl MultiSigScheme {
         if sig.signers.len() < self.threshold {
             return false;
         }
-        // Reject duplicates and unknown indices.
-        for (i, &s) in sig.signers.iter().enumerate() {
-            if s as usize >= self.public_keys.len() || sig.signers[i + 1..].contains(&s) {
+        // Reject duplicates and unknown indices (bitset: O(k), not O(k²)).
+        let mut seen = SignerBitset::new(self.public_keys.len());
+        for &s in sig.signers.iter() {
+            if !seen.insert(s) {
                 return false;
             }
         }
@@ -281,8 +327,9 @@ impl MultiSigScheme {
         if sig.signers.len() < self.threshold {
             return false;
         }
-        for (i, &s) in sig.signers.iter().enumerate() {
-            if s as usize >= self.public_keys.len() || sig.signers[i + 1..].contains(&s) {
+        let mut seen = SignerBitset::new(self.public_keys.len());
+        for &s in sig.signers.iter() {
+            if !seen.insert(s) {
                 return false;
             }
         }
@@ -315,11 +362,16 @@ impl MultiSigScheme {
         if sig.signers.len() < threshold {
             return false;
         }
-        for (i, &s) in sig.signers.iter().enumerate() {
-            if s as usize >= self.public_keys.len()
-                || allowed.binary_search(&s).is_err()
-                || sig.signers[i + 1..].contains(&s)
-            {
+        // Membership of `allowed` folds into a second bitset, so the
+        // whole walk is O(k) probes instead of a binary search plus a
+        // tail scan per signer.
+        let mut members = SignerBitset::new(self.public_keys.len());
+        for &m in allowed {
+            members.insert(m);
+        }
+        let mut seen = SignerBitset::new(self.public_keys.len());
+        for &s in sig.signers.iter() {
+            if !members.contains(s) || !seen.insert(s) {
                 return false;
             }
         }
@@ -362,6 +414,20 @@ mod tests {
         idx.iter()
             .map(|&i| s.sign_share(&keys[i as usize], i, msg))
             .collect()
+    }
+
+    #[test]
+    fn bitset_rejects_out_of_range_and_duplicates() {
+        let mut b = SignerBitset::new(130);
+        assert!(b.insert(0));
+        assert!(b.insert(63));
+        assert!(b.insert(64));
+        assert!(b.insert(129));
+        assert!(!b.insert(129), "duplicate");
+        assert!(!b.insert(130), "out of range");
+        assert!(b.contains(64));
+        assert!(!b.contains(1));
+        assert!(!b.contains(1000));
     }
 
     #[test]

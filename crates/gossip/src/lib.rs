@@ -28,7 +28,7 @@
 pub mod node;
 pub mod overlay;
 
-pub use node::{GossipConfig, GossipMessage, GossipNode};
+pub use node::{aggregators_for, DisseminationMode, GossipConfig, GossipMessage, GossipNode};
 pub use overlay::Overlay;
 
 use icc_core::cluster::{Cluster, ClusterBuilder};
@@ -61,4 +61,38 @@ pub fn gossip_cluster(
 ) -> Cluster<GossipNode> {
     let overlay = Arc::new(overlay);
     builder.build_with(move |core| GossipNode::new(core, Arc::clone(&overlay), config))
+}
+
+/// The overlay seed [`routed_gossip_cluster`] derives for a subnet of
+/// `n` — public so experiment binaries can rebuild the identical graph
+/// for topology reporting (degree, diameter).
+pub fn subnet_overlay_seed(n: usize) -> u64 {
+    0x1cc0 ^ n as u64
+}
+
+/// Builds the scale-out ICC1 cluster: the [`Overlay::for_subnet`]
+/// topology with aggregator-routed share dissemination
+/// ([`DisseminationMode::Routed`]) and beacon-value broadcast, so
+/// per-node traffic stays ~flat as `n` grows. This is the
+/// configuration the n = 1000 sweep (`fig_scale`) runs.
+///
+/// # Example
+///
+/// ```
+/// use icc_core::cluster::ClusterBuilder;
+/// use icc_gossip::routed_gossip_cluster;
+/// use icc_types::SimDuration;
+///
+/// let mut cluster = routed_gossip_cluster(ClusterBuilder::new(7).seed(1));
+/// cluster.run_for(SimDuration::from_secs(5));
+/// assert!(cluster.min_committed_round() > 0);
+/// cluster.assert_safety();
+/// ```
+pub fn routed_gossip_cluster(builder: ClusterBuilder) -> Cluster<GossipNode> {
+    let n = builder.n_nodes();
+    let overlay = Arc::new(Overlay::for_subnet(n, subnet_overlay_seed(n)));
+    let config = GossipConfig::routed();
+    builder
+        .with_beacon_value_broadcast()
+        .build_with(move |core| GossipNode::new(core, Arc::clone(&overlay), config))
 }

@@ -23,12 +23,40 @@ use std::sync::Arc;
 
 use crate::overlay::Overlay;
 
+/// How small artifacts travel across the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisseminationMode {
+    /// Every push floods hop-by-hop with once-only relay. Per-node
+    /// traffic for a share round is `O(n · degree)`: each of the `n`
+    /// share floods crosses every node once. Right for small subnets.
+    Flood,
+    /// Signature and beacon shares are *unicast* to a small rotating
+    /// per-round aggregator set instead of flooding; only the compact
+    /// round certificates (notarization / finalization aggregates,
+    /// combined beacon values) flood. Per-node traffic goes ~flat in
+    /// `n`, which is what makes n = 1000 feasible. Requires cores built
+    /// with beacon-value broadcast so non-aggregators still learn the
+    /// beacon.
+    Routed {
+        /// Aggregator-set size per round (liveness degrades gracefully:
+        /// a stalled round widens the set exponentially).
+        aggregators: usize,
+    },
+}
+
 /// Gossip sub-layer tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct GossipConfig {
     /// Artifacts whose wire size is at most this are flooded inline;
     /// larger ones go advert/request. Default 4 KiB.
     pub inline_threshold: usize,
+    /// How shares travel: [`DisseminationMode::Flood`] (default) or
+    /// [`DisseminationMode::Routed`].
+    pub mode: DisseminationMode,
+    /// Routed mode's liveness watchdog period: if the committed round
+    /// has not advanced between two ticks, recent own shares are
+    /// re-sent to an exponentially widened aggregator set. Default 1 s.
+    pub stall_timeout: SimDuration,
     /// How long to wait for a requested body before asking another
     /// advertiser. Default 300 ms.
     pub request_timeout: SimDuration,
@@ -50,12 +78,59 @@ impl Default for GossipConfig {
     fn default() -> Self {
         GossipConfig {
             inline_threshold: 4 << 10,
+            mode: DisseminationMode::Flood,
+            stall_timeout: SimDuration::from_millis(1_000),
             request_timeout: SimDuration::from_millis(300),
             offered_capacity: 128,
             retry_backoff_cap: SimDuration::from_millis(3_000),
             catch_up_threshold: 10,
         }
     }
+}
+
+impl GossipConfig {
+    /// The default config with aggregator-routed share dissemination
+    /// (3 aggregators per round) — the scale-out mode.
+    pub fn routed() -> Self {
+        GossipConfig {
+            mode: DisseminationMode::Routed { aggregators: 3 },
+            ..GossipConfig::default()
+        }
+    }
+}
+
+/// The rotating per-round aggregator set: `k` distinct node indices
+/// drawn deterministically from the round number (splitmix64 over the
+/// round), so every party computes the identical set with zero
+/// coordination and the role rotates round-to-round — no node is a
+/// standing hot spot or a standing single point of failure.
+pub fn aggregators_for(round: Round, n: usize, k: usize) -> Vec<NodeIndex> {
+    let k = k.min(n);
+    let mut out: Vec<NodeIndex> = Vec::with_capacity(k);
+    let mut x = round.get().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    while out.len() < k {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let cand = NodeIndex::new((z % n as u64) as u32);
+        if !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Shares are the artifacts routed mode unicasts to aggregators; all
+/// other pushes (certificates, beacon values, small proposals) flood.
+fn is_share(msg: &ConsensusMessage) -> bool {
+    matches!(
+        msg,
+        ConsensusMessage::NotarizationShare(_)
+            | ConsensusMessage::FinalizationShare(_)
+            | ConsensusMessage::BeaconShare(_)
+    )
 }
 
 /// `base × 2^attempts`, saturating at `cap`.
@@ -105,9 +180,16 @@ impl PushedArtifact {
 /// Messages exchanged on the gossip overlay.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GossipMessage {
-    /// A small artifact, flooded hop-by-hop. Carries its pre-encoded
-    /// bytes so the buffer is shared across every recipient.
-    Push(PushedArtifact),
+    /// A small artifact, flooded hop-by-hop (or unicast to aggregators
+    /// in routed mode). Carries its pre-encoded bytes so the buffer is
+    /// shared across every recipient, plus the hop distance travelled
+    /// so far — the relay-depth observability signal.
+    Push {
+        /// The artifact with its shared encoding.
+        artifact: PushedArtifact,
+        /// Overlay hops this copy has travelled (0 at the originator).
+        hops: u8,
+    },
     /// "I hold the block with this hash" (sent to neighbors).
     Advert {
         /// The block hash.
@@ -173,9 +255,10 @@ impl Encode for GossipMessage {
     /// approximation — see [`CatchUpPackage::encoded_len`]).
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            GossipMessage::Push(p) => {
+            GossipMessage::Push { artifact, hops } => {
                 buf.push(0);
-                p.encode(buf);
+                buf.push(*hops);
+                artifact.encode(buf);
             }
             GossipMessage::Advert { id, size, round } => {
                 buf.push(1);
@@ -205,7 +288,7 @@ impl Encode for GossipMessage {
 
     fn encoded_len(&self) -> usize {
         1 + match self {
-            GossipMessage::Push(p) => Encode::encoded_len(p),
+            GossipMessage::Push { artifact, .. } => 1 + Encode::encoded_len(artifact),
             GossipMessage::Advert { .. } => 32 + 8 + 8,
             GossipMessage::Request { .. } => 32,
             GossipMessage::Deliver { proposal, .. } => 32 + proposal.encoded_len(),
@@ -218,7 +301,13 @@ impl Encode for GossipMessage {
 impl Decode for GossipMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match u8::decode(r)? {
-            0 => Ok(GossipMessage::Push(PushedArtifact::decode(r)?)),
+            0 => {
+                let hops = u8::decode(r)?;
+                Ok(GossipMessage::Push {
+                    artifact: PushedArtifact::decode(r)?,
+                    hops,
+                })
+            }
             1 => Ok(GossipMessage::Advert {
                 id: Hash256::decode(r)?,
                 size: u64::decode(r)?,
@@ -250,7 +339,7 @@ impl WireMessage for GossipMessage {
         match self {
             // Metered from the shared buffer's length, not a re-walk of
             // the payload; identical by construction to `encoded_len`.
-            GossipMessage::Push(p) => 1 + p.encoded_len(),
+            GossipMessage::Push { artifact, .. } => 2 + artifact.encoded_len(),
             GossipMessage::Advert { .. } => 1 + 32 + 8 + 8,
             GossipMessage::Request { .. } => 1 + 32,
             GossipMessage::Deliver { proposal, .. } => 1 + 32 + proposal.encoded_len(),
@@ -260,7 +349,7 @@ impl WireMessage for GossipMessage {
     }
     fn kind(&self) -> &'static str {
         match self {
-            GossipMessage::Push(p) => p.msg().kind(),
+            GossipMessage::Push { artifact, .. } => artifact.msg().kind(),
             GossipMessage::Advert { .. } => "advert",
             GossipMessage::Request { .. } => "request",
             GossipMessage::Deliver { .. } => "deliver",
@@ -274,6 +363,21 @@ impl WireMessage for GossipMessage {
 const TAG_CORE: u64 = 0;
 const TAG_SWEEP: u64 = 1;
 const TAG_CATCHUP: u64 = 2;
+const TAG_LIVENESS: u64 = 3;
+
+/// Cap on advertisers remembered per outstanding body request. Retries
+/// only ever need a handful of fallback peers; without the cap a full
+/// mesh makes every pending entry O(n).
+const MAX_ADVERTISERS: usize = 16;
+
+/// Cap on remembered per-peer advertised rounds (the behind-detection
+/// signal). Eviction drops the *least-ahead* peer — the one least
+/// useful as a catch-up target — keeping the map O(degree)-ish instead
+/// of O(n).
+const MAX_PEER_ROUNDS: usize = 64;
+
+/// Own routed shares remembered for the liveness watchdog's re-send.
+const MAX_ROUTED_RECENT: usize = 64;
 
 /// An outstanding body request.
 #[derive(Debug)]
@@ -305,8 +409,10 @@ pub struct GossipNode {
     /// eviction order.
     offered: HashMap<Hash256, BlockProposal>,
     offered_order: std::collections::VecDeque<Hash256>,
-    /// Block hashes already advertised to neighbors.
+    /// Block hashes already advertised to neighbors. Two generations,
+    /// rotated when full, bound memory on long runs.
     adverted: HashSet<Hash256>,
+    adverted_old: HashSet<Hash256>,
     /// Outstanding body requests.
     pending: HashMap<Hash256, PendingRequest>,
     sweep_armed: bool,
@@ -325,6 +431,21 @@ pub struct GossipNode {
     /// Test knob: serve forged catch-up packages (the finalization
     /// certificate is replaced by a wrong-domain signature).
     forge_catch_up: bool,
+    /// Dissemination observability (relay fan-out, dedup hits, hop
+    /// depths, routed-share volume). Survives `crash()` like the core's
+    /// telemetry: it is an external monitor, not replica state.
+    counters: icc_sim::GossipCounters,
+    /// Own shares recently unicast to aggregators, kept for the
+    /// liveness watchdog's escalating re-send. Bounded.
+    routed_recent: std::collections::VecDeque<(Round, PushedArtifact)>,
+    /// Committed round at the last watchdog tick.
+    last_progress_round: Round,
+    /// Consecutive watchdog ticks without progress (drives the
+    /// aggregator-set widening).
+    stall_attempts: u32,
+    /// Highest round this node received a routed share for (counts
+    /// `aggregator_rounds` once per round served).
+    last_aggregated_round: Round,
 }
 
 impl GossipNode {
@@ -339,6 +460,7 @@ impl GossipNode {
             offered: HashMap::new(),
             offered_order: std::collections::VecDeque::new(),
             adverted: HashSet::new(),
+            adverted_old: HashSet::new(),
             pending: HashMap::new(),
             sweep_armed: false,
             core_wakeups: BTreeSet::new(),
@@ -347,6 +469,11 @@ impl GossipNode {
             catch_up_attempts: 0,
             catch_up_rotation: 0,
             forge_catch_up: false,
+            counters: icc_sim::GossipCounters::default(),
+            routed_recent: std::collections::VecDeque::new(),
+            last_progress_round: Round::GENESIS,
+            stall_attempts: 0,
+            last_aggregated_round: Round::GENESIS,
         }
     }
 
@@ -384,8 +511,10 @@ impl GossipNode {
             .unwrap_or(Round::GENESIS)
     }
 
-    fn neighbors(&self, me: NodeIndex) -> Vec<NodeIndex> {
-        self.overlay.neighbors(me).to_vec()
+    /// A snapshot of the dissemination counters (relay fan-out, dedup,
+    /// hop depths, routed-share volume).
+    pub fn gossip_counters(&self) -> icc_sim::GossipCounters {
+        self.counters
     }
 
     /// Flood dedup with bounded memory: rotate generations at 100k ids.
@@ -397,6 +526,18 @@ impl GossipNode {
             self.seen_pushes_old = std::mem::take(&mut self.seen_pushes);
         }
         self.seen_pushes.insert(id);
+        true
+    }
+
+    /// Advert dedup with the same two-generation rotation.
+    fn mark_adverted(&mut self, id: Hash256) -> bool {
+        if self.adverted.contains(&id) || self.adverted_old.contains(&id) {
+            return false;
+        }
+        if self.adverted.len() >= 50_000 {
+            self.adverted_old = std::mem::take(&mut self.adverted);
+        }
+        self.adverted.insert(id);
         true
     }
 
@@ -426,20 +567,66 @@ impl GossipNode {
                 let size = p.encoded_len() as u64;
                 let round = p.block.round();
                 self.offer(id, p);
-                if self.adverted.insert(id) {
-                    for nb in self.neighbors(ctx.me()) {
+                if self.mark_adverted(id) {
+                    let overlay = Arc::clone(&self.overlay);
+                    for &nb in overlay.neighbors(ctx.me()) {
                         ctx.send(nb, GossipMessage::Advert { id, size, round });
                     }
                 }
             }
             other => {
-                // Encode once; every neighbor shares the same buffer.
+                let routed_k = match self.config.mode {
+                    DisseminationMode::Routed { aggregators } if is_share(&other) => {
+                        Some(aggregators)
+                    }
+                    _ => None,
+                };
+                // Encode once; every recipient shares the same buffer.
                 let push = PushedArtifact::new(other);
                 self.mark_seen(push.id());
-                for nb in self.neighbors(ctx.me()) {
-                    ctx.send(nb, GossipMessage::Push(push.clone()));
+                match routed_k {
+                    // Routed: the share travels to the round's
+                    // aggregators only — O(k) sends instead of a flood
+                    // crossing every overlay edge.
+                    Some(k) => {
+                        let round = push.msg().round();
+                        let me = ctx.me();
+                        for agg in aggregators_for(round, self.overlay.n(), k) {
+                            if agg != me {
+                                ctx.send(
+                                    agg,
+                                    GossipMessage::Push {
+                                        artifact: push.clone(),
+                                        hops: 0,
+                                    },
+                                );
+                                self.counters.shares_routed += 1;
+                            }
+                        }
+                        self.remember_routed(round, push);
+                    }
+                    None => {
+                        let overlay = Arc::clone(&self.overlay);
+                        for &nb in overlay.neighbors(ctx.me()) {
+                            ctx.send(
+                                nb,
+                                GossipMessage::Push {
+                                    artifact: push.clone(),
+                                    hops: 0,
+                                },
+                            );
+                        }
+                    }
                 }
             }
+        }
+    }
+
+    /// Remembers an own routed share for the watchdog's re-send.
+    fn remember_routed(&mut self, round: Round, push: PushedArtifact) {
+        self.routed_recent.push_back((round, push));
+        while self.routed_recent.len() > MAX_ROUTED_RECENT {
+            self.routed_recent.pop_front();
         }
     }
 
@@ -449,7 +636,13 @@ impl GossipNode {
         }
         for (to, msg) in step.sends {
             // Targeted sends (corrupt behaviors) bypass the overlay.
-            ctx.send(to, GossipMessage::Push(PushedArtifact::new(msg)));
+            ctx.send(
+                to,
+                GossipMessage::Push {
+                    artifact: PushedArtifact::new(msg),
+                    hops: 0,
+                },
+            );
         }
         for event in step.events {
             ctx.output(event);
@@ -473,8 +666,9 @@ impl GossipNode {
                 }
                 let size = p.encoded_len() as u64;
                 let round = p.block.round();
-                if self.adverted.insert(id) {
-                    for nb in self.neighbors(ctx.me()) {
+                if self.mark_adverted(id) {
+                    let overlay = Arc::clone(&self.overlay);
+                    for &nb in overlay.neighbors(ctx.me()) {
                         ctx.send(nb, GossipMessage::Advert { id, size, round });
                     }
                 }
@@ -505,10 +699,22 @@ impl GossipNode {
         // Round-tagged adverts double as the behind-detection signal:
         // remember the highest round each peer claims to hold a block
         // for, and trigger a catch-up request if the gap to our own
-        // committed round clears the threshold.
-        let best = self.peer_rounds.entry(from).or_insert(round);
-        if round > *best {
-            *best = round;
+        // committed round clears the threshold. The map is bounded:
+        // past the cap, the least-ahead peer (the worst catch-up
+        // candidate) is evicted in favour of a more-ahead newcomer.
+        if let Some(best) = self.peer_rounds.get_mut(&from) {
+            if round > *best {
+                *best = round;
+            }
+        } else if self.peer_rounds.len() < MAX_PEER_ROUNDS {
+            self.peer_rounds.insert(from, round);
+        } else if let Some((&evict, &min_round)) =
+            self.peer_rounds.iter().min_by_key(|&(p, r)| (*r, *p))
+        {
+            if round > min_round {
+                self.peer_rounds.remove(&evict);
+                self.peer_rounds.insert(from, round);
+            }
         }
         self.maybe_request_catch_up(ctx);
         // Stale adverts: a block below this node's committed round can
@@ -521,7 +727,13 @@ impl GossipNode {
             return;
         }
         match self.pending.get_mut(&id) {
-            Some(req) => req.advertisers.push(from),
+            Some(req) => {
+                // A handful of fallback advertisers is all the retry
+                // sweep ever consults; don't hold O(n) of them.
+                if req.advertisers.len() < MAX_ADVERTISERS && !req.advertisers.contains(&from) {
+                    req.advertisers.push(from);
+                }
+            }
             None => {
                 ctx.send(from, GossipMessage::Request { id });
                 self.pending.insert(
@@ -691,6 +903,9 @@ impl Node for GossipNode {
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
         let step = self.core.start(ctx.now());
         self.apply_step(ctx, step);
+        if matches!(self.config.mode, DisseminationMode::Routed { .. }) {
+            ctx.set_timer(self.config.stall_timeout, TAG_LIVENESS);
+        }
     }
 
     fn on_message(
@@ -700,20 +915,46 @@ impl Node for GossipNode {
         msg: Self::Msg,
     ) {
         match msg {
-            GossipMessage::Push(push) => {
+            GossipMessage::Push { artifact, hops } => {
                 // Dedup id and encoded bytes travel with the artifact:
                 // forwarding a flood costs refcount bumps, never a
                 // re-encode or re-hash per hop.
-                if !self.mark_seen(push.id()) {
+                if !self.mark_seen(artifact.id()) {
+                    self.counters.pushes_deduped += 1;
                     return;
                 }
-                // Forward the flood to all neighbors except the sender.
-                for nb in self.neighbors(ctx.me()) {
-                    if nb != from {
-                        ctx.send(nb, GossipMessage::Push(push.clone()));
+                // Routed shares terminate here (this node is one of the
+                // round's aggregators); everything else floods on with
+                // once-only relay.
+                let relay = match self.config.mode {
+                    DisseminationMode::Flood => true,
+                    DisseminationMode::Routed { .. } => !is_share(artifact.msg()),
+                };
+                if relay {
+                    self.counters.relayed_first_seen += 1;
+                    self.counters.relay_hops_total += u64::from(hops) + 1;
+                    let overlay = Arc::clone(&self.overlay);
+                    let fwd_hops = hops.saturating_add(1);
+                    for &nb in overlay.neighbors(ctx.me()) {
+                        if nb != from {
+                            ctx.send(
+                                nb,
+                                GossipMessage::Push {
+                                    artifact: artifact.clone(),
+                                    hops: fwd_hops,
+                                },
+                            );
+                            self.counters.pushes_relayed += 1;
+                        }
+                    }
+                } else {
+                    let round = artifact.msg().round();
+                    if round > self.last_aggregated_round {
+                        self.last_aggregated_round = round;
+                        self.counters.aggregator_rounds += 1;
                     }
                 }
-                self.ingest(ctx, push.msg());
+                self.ingest(ctx, artifact.msg());
             }
             GossipMessage::Advert { id, round, .. } => self.on_advert(ctx, from, id, round),
             GossipMessage::Request { id } => self.on_request(ctx, from, id),
@@ -792,6 +1033,48 @@ impl Node for GossipNode {
                 }
                 self.arm_sweep(ctx);
             }
+            TAG_LIVENESS => {
+                let committed = self.core.committed_round();
+                if committed > self.last_progress_round {
+                    self.last_progress_round = committed;
+                    self.stall_attempts = 0;
+                } else if let DisseminationMode::Routed { aggregators } = self.config.mode {
+                    // No progress for a whole watchdog period: the
+                    // round's aggregator set may be crashed or silent.
+                    // Re-send our own recent shares to an exponentially
+                    // widened set — it eventually covers the subnet, so
+                    // an honest live aggregator is always reached.
+                    self.stall_attempts = self.stall_attempts.saturating_add(1);
+                    let n = self.overlay.n();
+                    let widened = aggregators
+                        .saturating_mul(1usize << self.stall_attempts.min(10))
+                        .min(n);
+                    let me = ctx.me();
+                    let resend: Vec<(Round, PushedArtifact)> = self
+                        .routed_recent
+                        .iter()
+                        .filter(|(r, _)| *r > committed)
+                        .cloned()
+                        .collect();
+                    for (round, push) in resend {
+                        for agg in aggregators_for(round, n, widened) {
+                            if agg != me && ctx.peer_up(agg) {
+                                ctx.send(
+                                    agg,
+                                    GossipMessage::Push {
+                                        artifact: push.clone(),
+                                        hops: 0,
+                                    },
+                                );
+                                self.counters.shares_routed += 1;
+                            }
+                        }
+                    }
+                }
+                if matches!(self.config.mode, DisseminationMode::Routed { .. }) {
+                    ctx.set_timer(self.config.stall_timeout, TAG_LIVENESS);
+                }
+            }
             TAG_CATCHUP => {
                 match self.catch_up_inflight {
                     // The in-flight request timed out unanswered: rotate
@@ -841,6 +1124,7 @@ impl Node for GossipNode {
         self.offered.clear();
         self.offered_order.clear();
         self.adverted.clear();
+        self.adverted_old.clear();
         self.pending.clear();
         self.sweep_armed = false;
         self.core_wakeups.clear();
@@ -848,11 +1132,19 @@ impl Node for GossipNode {
         self.catch_up_inflight = None;
         self.catch_up_attempts = 0;
         self.catch_up_rotation = 0;
+        // `counters` deliberately survives, like the core's telemetry.
+        self.routed_recent.clear();
+        self.last_progress_round = Round::GENESIS;
+        self.stall_attempts = 0;
+        self.last_aggregated_round = Round::GENESIS;
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
         let step = self.core.restore(ctx.now());
         self.apply_step(ctx, step);
+        if matches!(self.config.mode, DisseminationMode::Routed { .. }) {
+            ctx.set_timer(self.config.stall_timeout, TAG_LIVENESS);
+        }
     }
 
     /// Evicts a peer that left the membership. Without this the sweep
@@ -889,6 +1181,10 @@ impl Node for GossipNode {
 impl CoreAccess for GossipNode {
     fn core(&self) -> &ConsensusCore {
         GossipNode::core(self)
+    }
+
+    fn gossip_counters(&self) -> Option<icc_sim::GossipCounters> {
+        Some(self.counters)
     }
 }
 
@@ -934,9 +1230,10 @@ mod tests {
             assert_eq!(back, msg);
         };
 
-        roundtrip(GossipMessage::Push(PushedArtifact::new(
-            ConsensusMessage::Proposal(proposal.clone()),
-        )));
+        roundtrip(GossipMessage::Push {
+            artifact: PushedArtifact::new(ConsensusMessage::Proposal(proposal.clone())),
+            hops: 3,
+        });
         roundtrip(GossipMessage::Advert {
             id: Hash256([9; 32]),
             size: 1234,
@@ -1009,8 +1306,12 @@ mod tests {
         // Metering from the buffer length agrees with the codec walk.
         assert_eq!(push.encoded_len(), msg.wire_bytes());
         assert_eq!(
-            GossipMessage::Push(push.clone()).wire_bytes(),
-            1 + msg.wire_bytes()
+            GossipMessage::Push {
+                artifact: push.clone(),
+                hops: 0
+            }
+            .wire_bytes(),
+            2 + msg.wire_bytes()
         );
         // The dedup id is the hash of the encoded bytes, so two pushes
         // of the same artifact collide (and a forwarded clone carries

@@ -71,6 +71,21 @@ impl Overlay {
         }
     }
 
+    /// The default overlay for a subnet of `n` nodes: a full mesh while
+    /// the subnet is small enough that direct broadcast is cheap
+    /// (n ≤ 32), a bounded-degree random graph beyond that — degree
+    /// `⌈log₂ n⌉ + 2` clamped to `[6, 16]`, so per-node fan-out stays
+    /// ~flat while the diameter stays logarithmic.
+    pub fn for_subnet(n: usize, seed: u64) -> Overlay {
+        if n <= 32 {
+            Overlay::full_mesh(n)
+        } else {
+            let log2_ceil = (usize::BITS - (n - 1).leading_zeros()) as usize;
+            let degree = (log2_ceil + 2).clamp(6, 16);
+            Overlay::random_regular(n, degree, seed)
+        }
+    }
+
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.neighbors.len()

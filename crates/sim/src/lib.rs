@@ -76,6 +76,8 @@ pub mod runtime;
 
 pub use engine::{Simulation, SimulationBuilder};
 pub use fault::{FaultPlan, LifecycleEvent};
-pub use metrics::{Metrics, MetricsSummary, NodeMetrics, PoolCounters, RecoveryCounters};
+pub use metrics::{
+    GossipCounters, Metrics, MetricsSummary, NodeMetrics, PoolCounters, RecoveryCounters,
+};
 pub use node::{Context, Node, WireMessage};
 pub use runtime::{drive, RecvError, Transport, TransportEvent};

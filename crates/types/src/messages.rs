@@ -171,6 +171,23 @@ pub struct BeaconShare {
     pub share: ThresholdSigShare,
 }
 
+/// The *combined* beacon value for a round.
+///
+/// Because the beacon scheme produces **unique** threshold signatures
+/// (§2.3), the value is self-certifying: any party can check it against
+/// the group public key and the previous beacon, with no signer set
+/// attached. Broadcasting the 40-ish-byte value lets a party enter a
+/// round after one verification instead of collecting `t + 1` separate
+/// shares — the share floods can then be routed to a handful of
+/// aggregators rather than everyone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Beacon {
+    /// The round this beacon value opens.
+    pub round: Round,
+    /// The combined `S_beacon` threshold signature (or genesis seed).
+    pub value: icc_crypto::beacon::BeaconValue,
+}
+
 /// Every message kind an ICC0/ICC1 party broadcasts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConsensusMessage {
@@ -186,6 +203,8 @@ pub enum ConsensusMessage {
     Finalization(Finalization),
     /// A beacon share.
     BeaconShare(BeaconShare),
+    /// A combined beacon value (self-certifying; see [`Beacon`]).
+    Beacon(Beacon),
 }
 
 impl ConsensusMessage {
@@ -198,6 +217,7 @@ impl ConsensusMessage {
             ConsensusMessage::FinalizationShare(_) => "finalization-share",
             ConsensusMessage::Finalization(_) => "finalization",
             ConsensusMessage::BeaconShare(_) => "beacon-share",
+            ConsensusMessage::Beacon(_) => "beacon",
         }
     }
 
@@ -210,6 +230,7 @@ impl ConsensusMessage {
             ConsensusMessage::FinalizationShare(s) => s.block_ref.round,
             ConsensusMessage::Finalization(n) => n.block_ref.round,
             ConsensusMessage::BeaconShare(b) => b.round,
+            ConsensusMessage::Beacon(b) => b.round,
         }
     }
 
@@ -290,6 +311,25 @@ impl Decode for BeaconShare {
     }
 }
 
+impl Encode for Beacon {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.round.encode(buf);
+        self.value.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        8 + self.value.encoded_len()
+    }
+}
+
+impl Decode for Beacon {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Beacon {
+            round: Round::decode(r)?,
+            value: icc_crypto::beacon::BeaconValue::decode(r)?,
+        })
+    }
+}
+
 impl Encode for ConsensusMessage {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -317,6 +357,10 @@ impl Encode for ConsensusMessage {
                 buf.push(5);
                 m.encode(buf);
             }
+            ConsensusMessage::Beacon(m) => {
+                buf.push(6);
+                m.encode(buf);
+            }
         }
     }
     fn encoded_len(&self) -> usize {
@@ -327,6 +371,7 @@ impl Encode for ConsensusMessage {
             ConsensusMessage::FinalizationShare(m) => m.encoded_len(),
             ConsensusMessage::Finalization(m) => m.encoded_len(),
             ConsensusMessage::BeaconShare(m) => m.encoded_len(),
+            ConsensusMessage::Beacon(m) => m.encoded_len(),
         }
     }
 }
@@ -344,6 +389,7 @@ impl Decode for ConsensusMessage {
             )),
             4 => Ok(ConsensusMessage::Finalization(Finalization::decode(r)?)),
             5 => Ok(ConsensusMessage::BeaconShare(BeaconShare::decode(r)?)),
+            6 => Ok(ConsensusMessage::Beacon(Beacon::decode(r)?)),
             tag => Err(CodecError::InvalidTag {
                 tag,
                 ty: "ConsensusMessage",
@@ -424,6 +470,14 @@ mod tests {
                 signer: 5,
                 signature: Signature::from_value(3),
             },
+        }));
+        roundtrip_msg(ConsensusMessage::Beacon(Beacon {
+            round: Round::new(3),
+            value: icc_crypto::beacon::BeaconValue::Signature(Signature::from_value(11)),
+        }));
+        roundtrip_msg(ConsensusMessage::Beacon(Beacon {
+            round: Round::new(1),
+            value: icc_crypto::beacon::BeaconValue::Genesis(Hash256([9u8; 32])),
         }));
     }
 

@@ -270,7 +270,13 @@ fn main() {
         inline_threshold: 0,
         ..GossipConfig::default()
     };
-    let node = GossipNode::new(core, Arc::new(Overlay::full_mesh(n)), config);
+    // Same topology at every replica: `for_subnet` is deterministic in
+    // (n, seed), and the shared seed is already the cluster identity.
+    let node = GossipNode::new(
+        core,
+        Arc::new(Overlay::for_subnet(n, icc_gossip::subnet_overlay_seed(n))),
+        config,
+    );
 
     let transport: TcpTransport<_, _> = TcpTransport::bind(&spec, me, NetOptions::default())
         .unwrap_or_else(|e| usage(&format!("bind {}: {e}", spec.addr(me))));

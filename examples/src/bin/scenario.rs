@@ -33,7 +33,7 @@ use icc_core::cluster::{Cluster, ClusterBuilder, CoreAccess};
 use icc_core::events::NodeEvent;
 use icc_core::Behavior;
 use icc_erasure::{icc2_cluster, Icc2Config};
-use icc_gossip::{gossip_cluster, GossipConfig, Overlay};
+use icc_gossip::{gossip_cluster, routed_gossip_cluster, GossipConfig, Overlay};
 use icc_sim::delay::{FixedDelay, InterDcDelay};
 use icc_sim::{FaultPlan, Node};
 use icc_types::{Command, NodeIndex, SimDuration, SimTime};
@@ -59,7 +59,7 @@ struct Opts {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: scenario [--nodes N] [--protocol icc0|icc1|icc2] [--delta-ms MS]\n\
+        "usage: scenario [--nodes N] [--protocol icc0|icc1|icc1-routed|icc2] [--delta-ms MS]\n\
          \t[--delta-bnd-ms MS] [--epsilon-ms MS] [--secs S] [--seed U64]\n\
          \t[--crash F] [--equivocate F] [--churn F] [--load RATExBYTES] [--interdc]\n\
          \t[--trace-out PATH] [--metrics-out PATH]"
@@ -157,13 +157,16 @@ fn parse() -> Opts {
             other => usage(&format!("unknown flag {other}")),
         }
     }
-    if !matches!(opts.protocol.as_str(), "icc0" | "icc1" | "icc2") {
-        usage("--protocol must be icc0, icc1 or icc2");
+    if !matches!(
+        opts.protocol.as_str(),
+        "icc0" | "icc1" | "icc1-routed" | "icc2"
+    ) {
+        usage("--protocol must be icc0, icc1, icc1-routed or icc2");
     }
     if opts.nodes == 0 {
         usage("--nodes must be at least 1");
     }
-    if opts.protocol == "icc1" && opts.nodes < 3 {
+    if opts.protocol.starts_with("icc1") && opts.nodes < 3 {
         usage("--protocol icc1 needs at least 3 nodes for a gossip overlay");
     }
     let t = opts.nodes.div_ceil(3) - 1;
@@ -268,6 +271,15 @@ where
     println!("pool duplicates dropped {}", pool.duplicates_dropped);
     println!("pool evictions          {}", pool.unvalidated_evictions);
     println!("pool rejected           {}", pool.rejected);
+    println!(
+        "pool skipped at quorum  {}",
+        pool.shares_skipped_after_quorum
+    );
+    // Gossip/overlay counters are all zero when the cluster runs
+    // without a dissemination layer (icc0/icc2) — skip the line then.
+    if summary.gossip != icc_sim::GossipCounters::default() {
+        println!("gossip                  {}", summary.gossip);
+    }
     let rec = summary.recovery;
     println!("restarts                {}", rec.restarts);
     println!(
@@ -444,6 +456,9 @@ fn main() {
             };
             report(gossip_cluster(builder, overlay, config), &opts)
         }
+        // The scale-out configuration: bounded-degree overlay with
+        // aggregator-routed shares (what `fig_scale` sweeps to n=1000).
+        "icc1-routed" => report(routed_gossip_cluster(builder), &opts),
         "icc2" => report(icc2_cluster(builder, Icc2Config::default()), &opts),
         _ => unreachable!("validated in parse()"),
     }

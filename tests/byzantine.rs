@@ -208,11 +208,19 @@ mod regossip {
             after.verify_calls, baseline.verify_calls,
             "replay caused re-verification"
         );
+        // Every replayed artifact must be dropped without touching
+        // crypto — either as an exact duplicate of a pooled artifact,
+        // or (for shares the quorum early-stop discarded unverified,
+        // which are in no pool section to be duplicates *of*) as
+        // redundant-after-quorum again.
+        let dup_delta = after.duplicates_dropped - baseline.duplicates_dropped;
+        let skip_delta = after.shares_skipped_after_quorum - baseline.shares_skipped_after_quorum;
         assert_eq!(
-            after.duplicates_dropped,
-            baseline.duplicates_dropped + REPLAYS * stream.len() as u64,
-            "every replayed artifact must be dropped as a duplicate"
+            dup_delta + skip_delta,
+            REPLAYS * stream.len() as u64,
+            "every replayed artifact must be cheaply dropped"
         );
+        assert!(dup_delta > 0, "duplicate detection must still fire");
         assert!(
             after.verify_cache_hits >= baseline.verify_cache_hits,
             "cache hits must not regress"

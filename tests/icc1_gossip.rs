@@ -4,10 +4,10 @@
 use icc_core::cluster::ClusterBuilder;
 use icc_core::Behavior;
 use icc_core::BlockPolicy;
-use icc_gossip::{gossip_cluster, GossipConfig, Overlay};
+use icc_gossip::{gossip_cluster, routed_gossip_cluster, GossipConfig, Overlay};
 use icc_sim::delay::FixedDelay;
 use icc_tests::{assert_chains_consistent, committed_commands};
-use icc_types::{SimDuration, SimTime};
+use icc_types::{Round, SimDuration, SimTime};
 
 fn ms(v: u64) -> SimDuration {
     SimDuration::from_millis(v)
@@ -144,4 +144,73 @@ fn crash_faults_on_overlay_do_not_partition_honest_nodes() {
     cluster.run_for(SimDuration::from_secs(4));
     let chain = assert_chains_consistent(&cluster);
     assert!(chain.len() > 10, "committed {}", chain.len());
+}
+
+#[test]
+fn routed_mode_finalizes_same_chain_as_full_fanout() {
+    // Parity: the aggregator-routed bounded-degree regime must finalize
+    // the *same blocks* as ICC0's full broadcast — same seed, same
+    // keys, same beacons, same leaders, byte-identical chain on every
+    // round both runs committed.
+    let n = 40;
+    let mut icc0 = builder(n, 11).build();
+    icc0.run_for(SimDuration::from_secs(4));
+    icc0.assert_safety();
+
+    let mut routed = routed_gossip_cluster(builder(n, 11));
+    routed.run_for(SimDuration::from_secs(4));
+    let chain1 = assert_chains_consistent(&routed);
+    assert!(chain1.len() > 10, "routed committed {}", chain1.len());
+
+    let chain0 = icc0.committed_chain(0);
+    let by_round0: std::collections::BTreeMap<_, _> =
+        chain0.iter().map(|b| (b.round(), b.hash())).collect();
+    let mut common = 0;
+    for b in &chain1 {
+        if let Some(h0) = by_round0.get(&b.round()) {
+            assert_eq!(
+                *h0,
+                b.hash(),
+                "routed and full-fanout disagree at round {}",
+                b.round()
+            );
+            common += 1;
+        }
+    }
+    assert!(common > 10, "only {common} common rounds");
+
+    // The point of the exercise: routed shares were used, and the pool
+    // skipped share verifications once quorums stood.
+    routed.sample_pool_metrics();
+    let totals = routed.sim.metrics().gossip_totals();
+    assert!(totals.shares_routed > 0, "no shares routed: {totals:?}");
+}
+
+#[test]
+fn routed_mode_survives_aggregator_crash() {
+    // Crash the *entire* aggregator set of one future round before the
+    // run starts. Shares for that round go to dead nodes; the liveness
+    // watchdog must detect the stall and re-send to a widened set.
+    let n = 40;
+    let stalled_round = Round::new(10);
+    let doomed = icc_gossip::aggregators_for(stalled_round, n, 3);
+    let mut plan = icc_sim::FaultPlan::new();
+    for a in &doomed {
+        plan = plan.crash_at(*a, SimTime::ZERO);
+    }
+    let mut cluster = routed_gossip_cluster(builder(n, 12).fault_plan(plan));
+    cluster.run_for(SimDuration::from_secs(12));
+    cluster.assert_safety();
+    let honest: Vec<usize> = (0..n)
+        .filter(|i| !doomed.contains(&icc_types::NodeIndex::new(*i as u32)))
+        .collect();
+    let min_round = honest
+        .iter()
+        .map(|&i| cluster.committed_round(i))
+        .min()
+        .unwrap();
+    assert!(
+        min_round > stalled_round.get() + 3,
+        "stalled at round {min_round} (aggregators of round {stalled_round} were crashed)"
+    );
 }

@@ -154,3 +154,40 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// The default scale-out overlay stays connected with a small
+    /// (logarithmic-ish) diameter and bounded degree for every subnet
+    /// size and seed — the property the routed dissemination mode's
+    /// traffic analysis rests on.
+    #[test]
+    fn prop_subnet_overlay_connected_with_log_diameter(
+        n in 33usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let o = icc_gossip::Overlay::for_subnet(n, seed);
+        // `diameter()` panics on a disconnected graph, so completing at
+        // all proves connectivity.
+        let d = o.diameter();
+        let log2_ceil = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        prop_assert!(
+            d <= 2 * log2_ceil + 4,
+            "diameter {d} too large for n={n} (log2 {log2_ceil})"
+        );
+        // `random_regular` may exceed the target degree by 2 while
+        // honouring symmetry; `for_subnet` targets at most 16.
+        prop_assert!(o.max_degree() <= 18, "degree {} at n={n}", o.max_degree());
+        // Symmetry: every edge is bidirectional.
+        for i in 0..n {
+            let me = icc_types::NodeIndex::new(i as u32);
+            for j in o.neighbors(me) {
+                prop_assert!(o.neighbors(*j).contains(&me));
+            }
+        }
+    }
+}
