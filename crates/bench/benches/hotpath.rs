@@ -20,7 +20,14 @@
 //!    bumps, a histogram sample, a flight-recorder event) vs without.
 //!    With `--no-default-features` the telemetry types are zero-sized
 //!    no-ops and both sides compile to identical code — the
-//!    `telemetry_enabled` field in the JSON says which build ran.
+//!    `telemetry_enabled` field in the JSON says which build ran;
+//! 6. `scrape_under_load` — the same flood while a live admin HTTP
+//!    server is being scraped continuously (`/metrics` hammered from a
+//!    rival thread) vs with no admin plane at all. The admin handler
+//!    only clones a pre-rendered snapshot string — the design bet of
+//!    the observability plane is that scrapes never touch the hot
+//!    path, and this cell is where that bet is priced. Feature-off the
+//!    no-op server binds nothing and both sides are the bare flood.
 //!
 //! Hand-rolled harness (`harness = false`): `--smoke` shrinks the
 //! iteration counts for CI while still emitting the JSON report.
@@ -32,13 +39,17 @@
 
 use icc_crypto::batch::BatchVerdict;
 use icc_crypto::multisig::{MultiSigScheme, MultiSigShare};
-use icc_telemetry::{Counter, FlightRecorder, Histogram, SpanEvent, SpanKind};
+use icc_telemetry::{
+    http_get, AdminBuilder, AdminResponse, Counter, FlightRecorder, Histogram, SpanEvent, SpanKind,
+};
 use icc_types::block::{Block, Command, Payload};
 use icc_types::{NodeIndex, Round};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One A/B cell: median ns/iter for baseline and optimised paths.
 struct AbResult {
@@ -232,6 +243,86 @@ fn main() {
         optimised_ns: instrumented,
     });
 
+    // 6. Scrape under load: the flood with the admin plane live and a
+    // scraper thread hammering /metrics as fast as it can, vs no admin
+    // plane. The handler clones a pre-rendered page (the replica swaps
+    // whole snapshots under a mutex off the hot path), so the measured
+    // delta is pure accept-thread and kernel socket noise.
+    let metrics_page: Arc<String> = Arc::new({
+        let mut page = String::from(
+            "# HELP icc_replica_committed_round Highest committed round.\n\
+             # TYPE icc_replica_committed_round gauge\n\
+             icc_replica_committed_round 512\n",
+        );
+        for i in 0..120 {
+            page.push_str(&format!("icc_bench_counter{{field=\"f{i}\"}} {i}\n"));
+        }
+        page
+    });
+    let quiet = time_ns(reps, iters, || {
+        let d = scheme.digest(black_box(msg));
+        for s in &shares {
+            assert!(black_box(scheme.verify_share_digest(d, s)));
+        }
+    });
+    let page = Arc::clone(&metrics_page);
+    let mut server = AdminBuilder::new()
+        .route("/metrics", move || AdminResponse::text((*page).clone()))
+        .serve("127.0.0.1:0")
+        .ok();
+    let admin_live = server.as_ref().map(|s| s.port() != 0).unwrap_or(false);
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrape_count = Arc::new(AtomicU64::new(0));
+    let scraper = if admin_live {
+        let addr = server
+            .as_ref()
+            .expect("admin server")
+            .local_addr()
+            .to_string();
+        let flag = Arc::clone(&stop);
+        let count = Arc::clone(&scrape_count);
+        Some(std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                if http_get(&addr, "/metrics", Duration::from_millis(200)).is_ok() {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }))
+    } else {
+        None
+    };
+    let under_scrape = if admin_live {
+        // Don't start the clock until the scraper has landed at least
+        // one full GET — otherwise a short smoke run measures nothing
+        // but an idle listener.
+        while scrape_count.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        time_ns(reps, iters, || {
+            let d = scheme.digest(black_box(msg));
+            for s in &shares {
+                assert!(black_box(scheme.verify_share_digest(d, s)));
+            }
+        })
+    } else {
+        quiet
+    };
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = scraper {
+        h.join().expect("scraper thread");
+    }
+    let scrapes_served = scrape_count.load(Ordering::Relaxed);
+    if let Some(s) = server.as_mut() {
+        s.stop();
+    }
+    let scrape_overhead_pct = (under_scrape - quiet) / quiet.max(1e-9) * 100.0;
+    results.push(AbResult {
+        name: "scrape_under_load",
+        what: "round's share flood with /metrics under continuous scrape vs no admin plane",
+        baseline_ns: quiet,
+        optimised_ns: under_scrape,
+    });
+
     // Report: aligned table + BENCH_hotpath.json.
     println!(
         "== hotpath micro-benchmark ({}) ==",
@@ -264,6 +355,12 @@ fn main() {
         },
         telemetry_overhead_pct
     );
+    println!(
+        "admin plane: {} ({} scrapes served), scrape-under-load overhead {:+.2}%",
+        if admin_live { "live" } else { "no-op" },
+        scrapes_served,
+        scrape_overhead_pct
+    );
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -275,6 +372,9 @@ fn main() {
         "  \"telemetry_enabled\": {},\n  \"telemetry_overhead_pct\": {:.2},\n",
         cfg!(feature = "telemetry"),
         telemetry_overhead_pct
+    ));
+    json.push_str(&format!(
+        "  \"admin_live\": {admin_live},\n  \"scrapes_served\": {scrapes_served},\n  \"scrape_overhead_pct\": {scrape_overhead_pct:.2},\n",
     ));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {

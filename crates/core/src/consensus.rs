@@ -198,6 +198,8 @@ impl ConsensusCore {
     /// profile.
     pub fn new(keys: NodeKeys, delays: impl Delays + Send + 'static, behavior: Behavior) -> Self {
         let pool = Pool::new(Arc::clone(&keys.setup));
+        let mut telemetry = NodeTelemetry::default();
+        telemetry.anomalies.set_node(keys.index.get());
         ConsensusCore {
             keys,
             delays: Box::new(delays),
@@ -218,7 +220,7 @@ impl ConsensusCore {
             store: DurableStore::new(),
             last_recovered_round: 0,
             recovery: RecoveryStats::default(),
-            telemetry: NodeTelemetry::default(),
+            telemetry,
             entered_at: HashMap::new(),
             checkpoint_interval: 8,
             disable_beacon_pipelining: false,
@@ -290,6 +292,17 @@ impl ConsensusCore {
     /// The last committed round (Fig. 2's `kmax`).
     pub fn committed_round(&self) -> Round {
         self.kmax
+    }
+
+    /// The epoch index the current round falls in (admin `/status`).
+    pub fn current_epoch(&self) -> u64 {
+        self.keys.setup.epoch_index_of(self.round) as u64
+    }
+
+    /// The highest finalized round in the pool — the finalized
+    /// frontier the admin `/status` endpoint reports.
+    pub fn finalized_frontier(&self) -> Round {
+        self.pool.latest_finalized_round()
     }
 
     /// Read access to the artifact pool (tests, experiments).
@@ -671,9 +684,11 @@ impl ConsensusCore {
         &mut self.telemetry
     }
 
-    /// Records one flight-recorder event stamped with sim time.
+    /// Records one flight-recorder event stamped with sim time. Goes
+    /// through the [`NodeTelemetry::record`] funnel, so every span also
+    /// feeds the live anomaly detector.
     fn record_span(&mut self, now: SimTime, round: Round, kind: SpanKind) {
-        self.telemetry.recorder.record(SpanEvent {
+        self.telemetry.record(SpanEvent {
             at_us: now.as_micros(),
             node: self.keys.index.get(),
             round: round.get(),

@@ -12,8 +12,7 @@ use icc_crypto::{hash_parts, Hash256};
 use icc_types::block::HashedBlock;
 use icc_types::codec::encode_to_vec;
 use icc_types::messages::{
-    Beacon, BeaconShare, BlockRef, Finalization, FinalizationShare, Notarization,
-    NotarizationShare,
+    Beacon, BeaconShare, BlockRef, Finalization, FinalizationShare, Notarization, NotarizationShare,
 };
 use icc_types::Round;
 use std::collections::{HashMap, HashSet, VecDeque};

@@ -165,11 +165,11 @@ impl ValidatedSection {
             // and the group key; first value per round wins (the scheme
             // is unique, so any verified competitor is identical).
             UnvalidatedArtifact::Beacon(b) => {
-                if self.beacons.contains_key(&b.round) {
-                    false
-                } else {
-                    self.beacons.insert(b.round, b.value);
+                if let std::collections::btree_map::Entry::Vacant(e) = self.beacons.entry(b.round) {
+                    e.insert(b.value);
                     true
+                } else {
+                    false
                 }
             }
         }

@@ -20,7 +20,7 @@
 //! external monitoring agent would, so a trace shows the outage rather
 //! than forgetting it.
 
-use icc_telemetry::{Counter, FlightRecorder, Histogram};
+use icc_telemetry::{AnomalyDetector, AnomalyEvent, Counter, FlightRecorder, Histogram, SpanEvent};
 
 /// Protocol-level metrics for one replica.
 ///
@@ -60,7 +60,8 @@ impl CoreMetrics {
     }
 }
 
-/// A replica's full telemetry bundle: metrics plus the flight recorder.
+/// A replica's full telemetry bundle: metrics, the flight recorder,
+/// and the live anomaly detector watching the span stream.
 #[derive(Debug, Default)]
 pub struct NodeTelemetry {
     /// Protocol-level counters and latency histograms.
@@ -68,6 +69,56 @@ pub struct NodeTelemetry {
     /// Bounded ring of structured span events (consensus phases,
     /// catch-ups, gossip retries).
     pub recorder: FlightRecorder,
+    /// Rolling stall/flap/storm watcher over the span stream.
+    pub anomalies: AnomalyDetector,
+}
+
+impl NodeTelemetry {
+    /// The one funnel every span goes through: records into the ring
+    /// AND feeds the anomaly detector; anomalies the detector emits are
+    /// mirrored back into the ring as compact
+    /// [`SpanKind::Anomaly`](icc_telemetry::SpanKind) events (which the
+    /// detector itself ignores — no feedback loop).
+    pub fn record(&mut self, ev: SpanEvent) {
+        self.recorder.record(ev);
+        if self.anomalies.observe(&ev) > 0 {
+            self.mirror_new_anomalies();
+        }
+    }
+
+    /// Clock tick for silent-stall detection: a stalled round produces
+    /// no events, so the driver must poke the detector with the current
+    /// time between spans.
+    pub fn tick(&mut self, now_us: u64) {
+        if self.anomalies.tick(now_us) > 0 {
+            self.mirror_new_anomalies();
+        }
+    }
+
+    /// Feed one peer link-state sample (from transport liveness diffs).
+    pub fn observe_peer(&mut self, peer: u32, up: bool, at_us: u64) {
+        if self.anomalies.observe_peer(peer, up, at_us) > 0 {
+            self.mirror_new_anomalies();
+        }
+    }
+
+    /// Feed one fsync/flush latency sample (from the WAL layer).
+    pub fn observe_fsync(&mut self, at_us: u64, latency_us: u64) {
+        if self.anomalies.observe_fsync(at_us, latency_us) > 0 {
+            self.mirror_new_anomalies();
+        }
+    }
+
+    /// The newest retained anomalies, oldest first.
+    pub fn recent_anomalies(&self) -> Vec<AnomalyEvent> {
+        self.anomalies.recent()
+    }
+
+    fn mirror_new_anomalies(&mut self) {
+        for a in self.anomalies.drain_new() {
+            self.recorder.record(a.to_span_event());
+        }
+    }
 }
 
 #[cfg(all(test, feature = "telemetry"))]

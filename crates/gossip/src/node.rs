@@ -806,7 +806,7 @@ impl GossipNode {
         ctx.send(peer, GossipMessage::CatchUpRequest { have_round: have });
         let me = ctx.me().get();
         let at_us = ctx.now().as_micros();
-        self.core.telemetry_mut().recorder.record(SpanEvent {
+        self.core.telemetry_mut().record(SpanEvent {
             at_us,
             node: me,
             round: have.get(),
@@ -1024,13 +1024,18 @@ impl Node for GossipNode {
                 let at_us = now.as_micros();
                 for (round, id, peer, attempts) in retries {
                     ctx.send(peer, GossipMessage::Request { id });
-                    self.core.telemetry_mut().recorder.record(SpanEvent {
+                    self.core.telemetry_mut().record(SpanEvent {
                         at_us,
                         node: me,
                         round: round.get(),
                         kind: SpanKind::GossipRetry { attempts },
                     });
                 }
+                // The sweep is the one periodic heartbeat every mode
+                // arms, so it doubles as the anomaly detector's clock:
+                // a stalled round emits no spans, only this tick can
+                // flag it.
+                self.core.telemetry_mut().tick(at_us);
                 self.arm_sweep(ctx);
             }
             TAG_LIVENESS => {

@@ -15,7 +15,10 @@
 //!   [`icc_types::frame`] CRC'd frames of [`icc_types::codec`]
 //!   payloads;
 //! * [`counters`] — real-atomic I/O statistics ([`NetCounters`]) for
-//!   the replica's end-of-run report.
+//!   the replica's end-of-run report;
+//! * [`links`] — per-peer link gauges ([`LinkGauges`]: connection
+//!   state, send-queue depth, reconnect backoff, last-frame-seen age)
+//!   feeding the admin plane's `/status` endpoint.
 //!
 //! Std-only by design: the workspace builds offline, so there is no
 //! tokio — blocking sockets and OS threads, which for a handful of
@@ -55,8 +58,10 @@
 
 pub mod config;
 pub mod counters;
+pub mod links;
 pub mod mesh;
 
 pub use config::{ClusterSpec, SpecError};
 pub use counters::{NetCounters, NetCountersSnapshot};
+pub use links::{LinkGauges, PeerLinkSnapshot};
 pub use mesh::{NetHandle, NetOptions, TcpTransport, PROTO_VERSION};

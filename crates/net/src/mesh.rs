@@ -32,6 +32,7 @@
 
 use crate::config::ClusterSpec;
 use crate::counters::{NetCounters, NetCountersSnapshot};
+use crate::links::{LinkGauges, PeerLinkSnapshot};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use icc_sim::{RecvError, Transport, TransportEvent};
@@ -100,6 +101,9 @@ struct Shared {
     /// `alive[p]`: whether the outbound connection to peer `p` is
     /// currently established (own index always true).
     alive: Vec<AtomicBool>,
+    /// Per-peer link gauges (queue depth, backoff, last-frame-seen),
+    /// feeding the admin plane's `/status` endpoint.
+    links: Arc<LinkGauges>,
     opts: NetOptions,
 }
 
@@ -194,6 +198,11 @@ where
             shutdown: AtomicBool::new(false),
             counters: Arc::new(NetCounters::default()),
             alive: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            links: Arc::new(LinkGauges::new(
+                me.as_usize(),
+                n,
+                opts.queue_capacity as u64,
+            )),
             opts,
         });
         shared.alive[me.as_usize()].store(true, Ordering::Relaxed);
@@ -259,6 +268,18 @@ where
         Arc::clone(&self.shared.counters)
     }
 
+    /// Point-in-time per-peer link state (self excluded).
+    pub fn links(&self) -> Vec<PeerLinkSnapshot> {
+        self.shared.links.snapshot()
+    }
+
+    /// A keepable handle on the live per-peer link gauges, for the
+    /// admin plane to snapshot after the transport itself has been
+    /// consumed by the driver.
+    pub fn links_handle(&self) -> Arc<LinkGauges> {
+        Arc::clone(&self.shared.links)
+    }
+
     /// The address this transport's listener is bound to (useful with
     /// a port-0 bind).
     pub fn local_addr(&self) -> SocketAddr {
@@ -275,7 +296,15 @@ where
     fn enqueue(&self, peer: usize, framed: Bytes, payload_len: usize) {
         let Some(q) = &self.writers[peer] else { return };
         match q.try_send((framed, payload_len)) {
-            Ok(()) => {}
+            Ok(()) => {
+                // Vendored crossbeam channels expose no len(): the depth
+                // gauge is kept by hand — inc here, dec on dequeue.
+                self.shared
+                    .links
+                    .link(peer)
+                    .queue_depth
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             Err(TrySendError::Full(_)) => {
                 NetCounters::bump(&self.shared.counters.send_queue_drops, 1);
             }
@@ -387,12 +416,15 @@ fn writer_loop(
     shared: &Shared,
 ) {
     let opts = shared.opts;
+    let link = shared.links.link(peer);
     let mut backoff = opts.reconnect_base;
     let mut was_connected = false;
     'outer: while !shared.shutting_down() {
         let stream = match TcpStream::connect_timeout(&addr, opts.connect_timeout) {
             Ok(s) => s,
             Err(_) => {
+                link.backoff_ms
+                    .store(backoff.as_millis() as u64, Ordering::Relaxed);
                 // Sleep the backoff in io_poll slices so shutdown is
                 // never stuck behind a long wait.
                 let until = Instant::now() + backoff;
@@ -415,14 +447,18 @@ fn writer_loop(
         }
         if was_connected {
             NetCounters::bump(&shared.counters.reconnects, 1);
+            link.reconnects.fetch_add(1, Ordering::Relaxed);
         }
         was_connected = true;
         backoff = opts.reconnect_base;
+        link.backoff_ms.store(0, Ordering::Relaxed);
         shared.alive[peer].store(true, Ordering::Relaxed);
+        link.connected.store(true, Ordering::Relaxed);
         // Connected: drain the queue into the socket.
         loop {
             match queue.recv_timeout(opts.io_poll) {
                 Ok((framed, payload_len)) => {
+                    link.queue_depth.fetch_sub(1, Ordering::Relaxed);
                     if stream.write_all(&framed).is_err() {
                         break; // connection lost; redial
                     }
@@ -432,16 +468,19 @@ fn writer_loop(
                 Err(RecvTimeoutError::Timeout) => {
                     if shared.shutting_down() {
                         shared.alive[peer].store(false, Ordering::Relaxed);
+                        link.connected.store(false, Ordering::Relaxed);
                         break 'outer;
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     shared.alive[peer].store(false, Ordering::Relaxed);
+                    link.connected.store(false, Ordering::Relaxed);
                     break 'outer; // transport dropped
                 }
             }
         }
         shared.alive[peer].store(false, Ordering::Relaxed);
+        link.connected.store(false, Ordering::Relaxed);
     }
 }
 
@@ -535,6 +574,7 @@ fn reader_loop<M, X>(
                     Ok(msg) => {
                         NetCounters::bump(&shared.counters.frames_recv, 1);
                         NetCounters::bump(&shared.counters.bytes_recv, payload.len() as u64);
+                        shared.links.frame_seen(from.as_usize());
                         if inbox.send(TransportEvent::Msg { from, msg }).is_err() {
                             return; // transport dropped
                         }
@@ -752,6 +792,40 @@ mod tests {
         );
         drop(t0);
         drop(stalled_conn.join());
+    }
+
+    #[test]
+    fn link_gauges_track_connection_and_frames() {
+        let mut ts = mesh(2, NetOptions::default());
+        let mut t1 = ts.pop().unwrap();
+        let mut t0 = ts.pop().unwrap();
+        t0.send(NodeIndex::new(1), b"ping".to_vec());
+        assert_eq!(collect_msgs(&mut t1, 1).len(), 1);
+
+        // t0's outbound link to 1 is up and its queue has drained.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let links = t0.links();
+            assert_eq!(links.len(), 1);
+            let l = links[0];
+            assert_eq!(l.peer, 1);
+            assert_eq!(l.queue_capacity, 1024);
+            if l.connected && l.queue_depth == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "link never settled: {l:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // t1 has heard an inbound frame from 0 recently.
+        t1.send(NodeIndex::new(0), b"pong".to_vec());
+        assert_eq!(collect_msgs(&mut t0, 1).len(), 1);
+        let l = t0.links()[0];
+        assert!(
+            l.last_frame_age_us < 5_000_000,
+            "no recent frame from peer 1: {l:?}"
+        );
+        assert_eq!(l.backoff_ms, 0);
     }
 
     #[test]

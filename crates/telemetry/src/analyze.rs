@@ -31,6 +31,13 @@ use crate::recorder::{SpanEvent, SpanKind};
 use std::collections::BTreeMap;
 use std::fmt;
 
+// The stall anomaly detector is the *online* counterpart of this
+// module's offline critical-path analysis; re-export it here so both
+// watchers over the span stream share one import path.
+pub use crate::anomaly::{
+    scan as scan_anomalies, AnomalyConfig, AnomalyDetector, AnomalyEvent, AnomalyKind,
+};
+
 /// The protocol phase a round spent most of its time waiting on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Phase {
@@ -219,7 +226,8 @@ pub fn round_timelines(events: &[SpanEvent]) -> Vec<RoundTimeline> {
             | SpanKind::GossipRetry { .. }
             | SpanKind::NodeDown
             | SpanKind::NodeUp
-            | SpanKind::EpochTransition { .. } => {}
+            | SpanKind::EpochTransition { .. }
+            | SpanKind::Anomaly { .. } => {}
         }
     }
     rounds.into_values().collect()

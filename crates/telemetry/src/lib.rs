@@ -20,24 +20,42 @@
 //!    finalization / catch-up*) per round, plus a cluster-level
 //!    critical-path summary.
 //! 4. [`export`] — Chrome trace-event JSON (loadable in Perfetto /
-//!    `chrome://tracing`) and a Prometheus-style text snapshot.
+//!    `chrome://tracing`), a Prometheus-style text snapshot, and the
+//!    cross-node trace stitcher.
+//! 5. [`anomaly`] — a rolling watcher over the span stream emitting
+//!    structured anomaly events (round stalls, peer flaps, fsync
+//!    spikes, catch-up storms) — ISSUE 10.
+//! 6. [`serve`] — the per-replica admin plane: a hand-rolled
+//!    HTTP/1.0 server (`/metrics`, `/health`, `/status`, `/trace`)
+//!    plus the pure health/status renderers behind it — ISSUE 10.
 //!
-//! Everything is deterministic: no wall clock, no global state, no
-//! background threads. Callers own their recorders and stamp events
-//! with whatever clock they run under (the simulator's `SimTime`).
+//! The analysis layers are deterministic: no wall clock, no global
+//! state. Callers own their recorders and stamp events with whatever
+//! clock they run under (the simulator's `SimTime` or a live
+//! process's monotonic clock); only [`serve`] spawns a thread, and
+//! only when the `enabled` feature is on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod anomaly;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
+pub mod serve;
 
 pub use analyze::{critical_path, round_timelines, CriticalPathSummary, Phase, RoundTimeline};
-pub use export::{chrome_trace, PromSnapshot};
+pub use anomaly::{AnomalyConfig, AnomalyCounts, AnomalyDetector, AnomalyEvent, AnomalyKind};
+pub use export::{
+    chrome_trace, chrome_trace_tagged, extract_trace_anchor, stitch_chrome_traces, PromSnapshot,
+};
 pub use metrics::{Counter, Gauge, Histogram};
-pub use recorder::{FlightRecorder, SpanEvent, SpanKind};
+pub use recorder::{AnomalyCode, FlightRecorder, SpanEvent, SpanKind};
+pub use serve::{
+    evaluate_health, http_get, AdminBuilder, AdminResponse, AdminServer, HealthInputs,
+    HealthReport, PeerLinkStatus, StatusReport,
+};
 
 /// Generate a plain-old-data counter-set struct whose aggregation can
 /// never drift from its field list.

@@ -14,6 +14,43 @@
 /// ~6 events per round while staying a few hundred KiB.
 pub const DEFAULT_CAPACITY: usize = 8192;
 
+/// Compact class tag for an anomaly span event (see
+/// [`crate::anomaly`]). The full structured
+/// [`crate::anomaly::AnomalyEvent`] is retained by the detector; the
+/// span ring carries only this `Copy` code plus one magnitude so
+/// anomalies show up inline on the flight-recorder timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyCode {
+    /// A round has been open for more than k× the median duration.
+    RoundStall,
+    /// A peer link flapped up/down repeatedly within a short window.
+    PeerFlap,
+    /// One fsync took far longer than the rolling median.
+    FsyncSpike,
+    /// Many certified catch-ups were applied in a short window.
+    CatchUpStorm,
+}
+
+impl AnomalyCode {
+    /// Short static label (Chrome-trace event name, Prometheus-safe).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnomalyCode::RoundStall => "round_stall",
+            AnomalyCode::PeerFlap => "peer_flap",
+            AnomalyCode::FsyncSpike => "fsync_spike",
+            AnomalyCode::CatchUpStorm => "catch_up_storm",
+        }
+    }
+
+    /// All codes, in declaration order (for per-kind roll-ups).
+    pub const ALL: [AnomalyCode; 4] = [
+        AnomalyCode::RoundStall,
+        AnomalyCode::PeerFlap,
+        AnomalyCode::FsyncSpike,
+        AnomalyCode::CatchUpStorm,
+    ];
+}
+
 /// What happened. Variants mirror the protocol phases the critical-
 /// path analyzer folds over (see [`crate::analyze`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +108,16 @@ pub enum SpanKind {
         /// Index of the epoch being entered.
         epoch: u64,
     },
+    /// The stall anomaly detector flagged something (see
+    /// [`crate::anomaly`]). `value` is the code-specific magnitude:
+    /// waited µs for a stall, up/down transitions for a flap, latency
+    /// µs for an fsync spike, catch-up count for a storm.
+    Anomaly {
+        /// Which anomaly class fired.
+        code: AnomalyCode,
+        /// Code-specific magnitude.
+        value: u64,
+    },
 }
 
 impl SpanKind {
@@ -89,6 +136,7 @@ impl SpanKind {
             SpanKind::NodeDown => "node_down",
             SpanKind::NodeUp => "node_up",
             SpanKind::EpochTransition { .. } => "epoch_transition",
+            SpanKind::Anomaly { code, .. } => code.label(),
         }
     }
 }

@@ -1,0 +1,351 @@
+//! Prometheus **text-format compliance suite** for the exporter
+//! (ISSUE 10 satellite): whatever strings callers feed in —
+//! counter-set field names, peer labels, free-form help text — the
+//! rendered exposition must parse. A hand-rolled validator checks the
+//! grammar (metric-name validity, label escaping, HELP/TYPE ordering,
+//! histogram bucket monotonicity) and proptest fuzzes the inputs.
+
+use icc_telemetry::export::{sanitize_label_name, sanitize_metric_name};
+use icc_telemetry::{Histogram, PromSnapshot};
+use proptest::prelude::*;
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse one sample line into `(metric_name, labels, value)`,
+/// asserting the grammar along the way.
+fn parse_sample(line: &str) -> (String, Vec<(String, String)>, f64) {
+    let (name_part, rest) = match line.find('{') {
+        Some(i) => {
+            let close = line
+                .rfind('}')
+                .unwrap_or_else(|| panic!("unbalanced braces in sample line: {line:?}"));
+            (&line[..i], Some((&line[i + 1..close], &line[close + 1..])))
+        }
+        None => {
+            let sp = line
+                .find(' ')
+                .unwrap_or_else(|| panic!("no value in sample line: {line:?}"));
+            (&line[..sp], None)
+        }
+    };
+    assert!(
+        valid_metric_name(name_part),
+        "invalid metric name {name_part:?} in line {line:?}"
+    );
+    let mut labels = Vec::new();
+    let value_str = match rest {
+        Some((label_block, tail)) => {
+            // label_block: name="value",name="value"  (escaped values)
+            let mut s = label_block;
+            while !s.is_empty() {
+                let eq = s
+                    .find('=')
+                    .unwrap_or_else(|| panic!("no '=' in label block {label_block:?}"));
+                let lname = &s[..eq];
+                assert!(
+                    valid_label_name(lname),
+                    "invalid label name {lname:?} in line {line:?}"
+                );
+                assert_eq!(
+                    s.as_bytes().get(eq + 1),
+                    Some(&b'"'),
+                    "label value not quoted in {line:?}"
+                );
+                // Walk the escaped value to its closing quote.
+                let bytes = s.as_bytes();
+                let mut j = eq + 2;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(j) {
+                        None => panic!("unterminated label value in {line:?}"),
+                        Some(b'"') => break,
+                        Some(b'\\') => {
+                            let esc = bytes
+                                .get(j + 1)
+                                .unwrap_or_else(|| panic!("dangling backslash in {line:?}"));
+                            assert!(
+                                matches!(esc, b'\\' | b'"' | b'n'),
+                                "illegal escape \\{} in {line:?}",
+                                *esc as char
+                            );
+                            value.push(*esc as char);
+                            j += 2;
+                        }
+                        Some(&b) => {
+                            assert_ne!(b, b'\n', "raw newline in label value: {line:?}");
+                            value.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                labels.push((lname.to_string(), value));
+                s = &s[j + 1..];
+                if let Some(stripped) = s.strip_prefix(',') {
+                    s = stripped;
+                } else {
+                    assert!(s.is_empty(), "junk after label value in {line:?}");
+                }
+            }
+            tail.trim_start()
+        }
+        None => {
+            let sp = line.find(' ').unwrap();
+            &line[sp + 1..]
+        }
+    };
+    let value = match value_str.trim() {
+        "+Inf" => f64::INFINITY,
+        v => v
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("unparseable value {v:?} in line {line:?}")),
+    };
+    (name_part.to_string(), labels, value)
+}
+
+/// Validate a whole exposition: HELP→TYPE→samples ordering per
+/// family, names valid everywhere, histogram buckets cumulative and
+/// consistent with `_count`.
+fn validate(text: &str) {
+    let mut current: Option<(String, String)> = None; // (family, kind)
+    let mut pending_help: Option<String> = None;
+    let mut buckets: Vec<f64> = Vec::new(); // cumulative counts in order
+    let mut bucket_bounds: Vec<f64> = Vec::new();
+    let mut bucket_count: Option<f64> = None;
+
+    let close_family = |buckets: &mut Vec<f64>,
+                        bounds: &mut Vec<f64>,
+                        count: &mut Option<f64>,
+                        family: &Option<(String, String)>| {
+        if let Some((name, kind)) = family {
+            if kind == "histogram" {
+                assert!(!buckets.is_empty(), "histogram {name} rendered no buckets");
+                for w in buckets.windows(2) {
+                    assert!(
+                        w[1] >= w[0],
+                        "histogram {name} buckets not monotone: {buckets:?}"
+                    );
+                }
+                for w in bounds.windows(2) {
+                    assert!(
+                        w[1] > w[0],
+                        "histogram {name} bounds not increasing: {bounds:?}"
+                    );
+                }
+                assert_eq!(
+                    bounds.last().copied(),
+                    Some(f64::INFINITY),
+                    "histogram {name} missing +Inf bucket"
+                );
+                let c = count.unwrap_or_else(|| panic!("histogram {name} missing _count"));
+                assert_eq!(
+                    buckets.last().copied(),
+                    Some(c),
+                    "histogram {name}: +Inf bucket != _count"
+                );
+            }
+        }
+        buckets.clear();
+        bounds.clear();
+        *count = None;
+    };
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            close_family(
+                &mut buckets,
+                &mut bucket_bounds,
+                &mut bucket_count,
+                &current,
+            );
+            current = None;
+            let name = rest.split(' ').next().unwrap_or("");
+            assert!(valid_metric_name(name), "invalid HELP name {name:?}");
+            let help = &rest[name.len()..];
+            assert!(!help.contains('\n'));
+            pending_help = Some(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE kind {kind:?}"
+            );
+            assert_eq!(
+                pending_help.take().as_deref(),
+                Some(name),
+                "TYPE {name} not immediately preceded by its HELP"
+            );
+            current = Some((name.to_string(), kind.to_string()));
+        } else {
+            assert!(
+                pending_help.is_none(),
+                "HELP without TYPE before sample {line:?}"
+            );
+            let (name, labels, value) = parse_sample(line);
+            let (family, kind) = current
+                .as_ref()
+                .unwrap_or_else(|| panic!("sample {line:?} outside any family"));
+            if kind == "histogram" {
+                if let Some(stripped) = name.strip_suffix("_bucket") {
+                    assert_eq!(stripped, family);
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_else(|| panic!("bucket without le: {line:?}"));
+                    let bound = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse::<f64>().unwrap()
+                    };
+                    bucket_bounds.push(bound);
+                    buckets.push(value);
+                } else if let Some(stripped) = name.strip_suffix("_count") {
+                    assert_eq!(stripped, family);
+                    bucket_count = Some(value);
+                } else if let Some(stripped) = name.strip_suffix("_sum") {
+                    assert_eq!(stripped, family);
+                } else {
+                    panic!("histogram family {family} has stray sample {name}");
+                }
+            } else {
+                assert_eq!(
+                    &name, family,
+                    "sample name {name} does not match family {family}"
+                );
+            }
+        }
+    }
+    close_family(
+        &mut buckets,
+        &mut bucket_bounds,
+        &mut bucket_count,
+        &current,
+    );
+    assert!(pending_help.is_none(), "trailing HELP without TYPE");
+}
+
+/// Characters deliberately hostile to the exposition format.
+const POOL: &[char] = &[
+    'a', 'Z', '0', '9', '_', ':', '-', '.', ' ', '"', '\\', '\n', '{', '}', '=', ',', '#', 'é',
+    '\t', '/',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..POOL.len(), 0..24)
+        .prop_map(|ix| ix.into_iter().map(|i| POOL[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// Arbitrary metric/label/help strings must always render a
+    /// parseable exposition.
+    #[test]
+    fn fuzzed_exposition_is_compliant(
+        name1 in arb_string(),
+        name2 in arb_string(),
+        label in arb_string(),
+        help in arb_string(),
+        series_labels in proptest::collection::vec(arb_string(), 0..6),
+        counter_v in 0u64..u64::MAX,
+        gauge_v in -1_000_000i64..1_000_000,
+        observations in proptest::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let mut snap = PromSnapshot::new();
+        snap.counter(&name1, &help, counter_v);
+        snap.gauge(&format!("{name2}_g"), &help, gauge_v);
+        let series_refs: Vec<(&str, u64)> = series_labels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i as u64 * 37))
+            .collect();
+        snap.counter_series(&format!("{name1}_s"), &help, &label, &series_refs);
+        let mut h = Histogram::new();
+        for v in &observations {
+            h.observe(*v);
+        }
+        snap.histogram(&format!("{name2}_h"), &help, &h);
+        validate(&snap.render());
+    }
+
+    /// Sanitization always produces grammar-valid names and is
+    /// idempotent.
+    #[test]
+    fn sanitization_valid_and_idempotent(s in arb_string()) {
+        let m = sanitize_metric_name(&s);
+        prop_assert!(valid_metric_name(&m), "metric {m:?} from {s:?}");
+        prop_assert_eq!(sanitize_metric_name(&m).as_str(), m.as_str());
+        let l = sanitize_label_name(&s);
+        prop_assert!(valid_label_name(&l), "label {l:?} from {s:?}");
+        prop_assert_eq!(sanitize_label_name(&l).as_str(), l.as_str());
+    }
+}
+
+#[test]
+fn realistic_replica_scrape_is_compliant() {
+    let mut snap = PromSnapshot::new();
+    snap.counter("icc_blocks_committed_total", "Blocks committed.", 42);
+    snap.gauge("icc_current_round", "Round in progress.", 43);
+    snap.counter_series(
+        "icc_net_counters",
+        "TCP mesh counters.",
+        "field",
+        &[("frames_sent", 100), ("send_queue_drops", 1)],
+    );
+    snap.gauge_series(
+        "icc_link_queue_depth",
+        "Outbound frames queued per peer.",
+        "peer",
+        &[("0", 3), ("2", 0)],
+    );
+    let mut h = Histogram::new();
+    for v in [120u64, 450, 450, 9_000, 120_000] {
+        h.observe(v);
+    }
+    snap.histogram("icc_round_duration_us", "Round durations.", &h);
+    validate(&snap.render());
+}
+
+#[test]
+fn help_type_ordering_is_strict() {
+    let mut snap = PromSnapshot::new();
+    snap.counter("a_total", "First.", 1);
+    snap.counter("b_total", "Second.", 2);
+    let text = snap.render();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].starts_with("# HELP a_total"));
+    assert!(lines[1].starts_with("# TYPE a_total"));
+    assert_eq!(lines[2], "a_total 1");
+    assert!(lines[3].starts_with("# HELP b_total"));
+}
+
+#[test]
+fn empty_histogram_is_compliant() {
+    let mut snap = PromSnapshot::new();
+    snap.histogram("empty_h", "Nothing observed.", &Histogram::new());
+    validate(&snap.render());
+}

@@ -58,6 +58,12 @@ pub struct StorageCounters {
     /// `fsync` calls actually issued (group/periodic policies issue
     /// fewer than one per record — that is their point).
     pub fsyncs: u64,
+    /// Wall-clock microseconds spent inside those fsyncs, summed —
+    /// `fsync_total_us / fsyncs` is the mean latency the admin plane's
+    /// spike detector samples against.
+    pub fsync_total_us: u64,
+    /// Slowest single fsync observed, in microseconds.
+    pub fsync_max_us: u64,
     /// Segment files created.
     pub segments_created: u64,
     /// Segment files deleted by checkpoint compaction.
@@ -102,10 +108,14 @@ pub struct StorageCounters {
 
 impl StorageCounters {
     /// Field-wise sum of `other` into `self` (cluster aggregation).
+    /// `fsync_max_us` is the one non-additive field: the merged value
+    /// is the max, not the sum.
     pub fn merge(&mut self, other: &StorageCounters) {
+        let max_us = self.fsync_max_us.max(other.fsync_max_us);
         for ((_, a), (_, b)) in self.fields_mut().into_iter().zip(other.fields()) {
             *a = a.wrapping_add(b);
         }
+        self.fsync_max_us = max_us;
     }
 
     /// `(name, value)` pairs in declaration order.
@@ -141,6 +151,8 @@ impl StorageCounters {
             ("records_appended", &mut self.records_appended),
             ("bytes_appended", &mut self.bytes_appended),
             ("fsyncs", &mut self.fsyncs),
+            ("fsync_total_us", &mut self.fsync_total_us),
+            ("fsync_max_us", &mut self.fsync_max_us),
             ("segments_created", &mut self.segments_created),
             ("segments_removed", &mut self.segments_removed),
             ("checkpoints_written", &mut self.checkpoints_written),
@@ -184,6 +196,23 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"records_appended\":5"));
         assert!(json.contains("\"discarded_bytes\":7"));
-        assert_eq!(a.fields().len(), 19);
+        assert_eq!(a.fields().len(), 21);
+    }
+
+    #[test]
+    fn merge_takes_max_of_fsync_max() {
+        let mut a = StorageCounters {
+            fsync_total_us: 100,
+            fsync_max_us: 40,
+            ..StorageCounters::default()
+        };
+        let b = StorageCounters {
+            fsync_total_us: 50,
+            fsync_max_us: 90,
+            ..StorageCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.fsync_total_us, 150, "totals add");
+        assert_eq!(a.fsync_max_us, 90, "max is max, not sum");
     }
 }

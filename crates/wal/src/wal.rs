@@ -438,9 +438,13 @@ impl Wal {
     fn sync_now(&mut self) -> io::Result<()> {
         if let Some(file) = self.active.as_mut() {
             if self.pending_records > 0 {
+                let started = Instant::now();
                 file.flush()?;
                 file.sync()?;
+                let us = started.elapsed().as_micros() as u64;
                 self.counters.fsyncs += 1;
+                self.counters.fsync_total_us += us;
+                self.counters.fsync_max_us = self.counters.fsync_max_us.max(us);
             }
         }
         self.pending_records = 0;

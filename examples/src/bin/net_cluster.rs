@@ -9,7 +9,20 @@
 //! cargo run --release -p icc-examples --bin net_cluster -- \
 //!     [--nodes N] [--secs S] [--seed U64] [--no-churn] [--replace-node]
 //!     [--bench-out PATH] [--trace-out PATH]
+//!     [--admin] [--scrape-out PATH] [--stitched-trace PATH]
 //! ```
+//!
+//! `--admin` starts every replica with a live admin endpoint
+//! (`--admin-port 0`; the launcher learns each address from the
+//! replica's `ADMIN` stdout line) and scrapes `/metrics` + `/health`
+//! from every running process **mid-run** — the cluster must serve
+//! observability while consensus is actually running, not just at
+//! exit. `--scrape-out` saves replica 0's mid-run `/metrics` body.
+//! `--stitched-trace PATH` (implies `--admin`) scrapes every replica's
+//! `/trace` ring near the end of the run, aligns the per-process
+//! clocks via the `clockAnchorUs` stamped in each body, rewrites pids,
+//! and merges everything into one Perfetto-loadable timeline with
+//! cross-node round flows.
 //!
 //! `--replace-node` runs the **reconfiguration** scenario instead of
 //! churn: the cluster starts with N members out of an (N+1)-party
@@ -43,6 +56,7 @@
 //!
 //! Results land in `BENCH_net.json` (override with `--bench-out`).
 
+use icc_telemetry::{http_get, stitch_chrome_traces};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader};
 use std::net::TcpListener;
@@ -62,13 +76,20 @@ struct Opts {
     trace_out: Option<String>,
     /// `--epochs` spec passed to every replica (replace mode only).
     epochs: Option<String>,
+    /// Start every replica with an admin endpoint and scrape it mid-run.
+    admin: bool,
+    /// Save replica 0's mid-run `/metrics` body here.
+    scrape_out: Option<String>,
+    /// Merge every replica's `/trace` into one Perfetto timeline here.
+    stitched_trace: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: net_cluster [--nodes N] [--secs S] [--seed U64] [--no-churn]\n\
-         \t[--replace-node] [--bench-out PATH] [--trace-out PATH]"
+         \t[--replace-node] [--bench-out PATH] [--trace-out PATH]\n\
+         \t[--admin] [--scrape-out PATH] [--stitched-trace PATH]"
     );
     std::process::exit(2);
 }
@@ -83,6 +104,9 @@ fn parse() -> Opts {
         bench_out: "BENCH_net.json".into(),
         trace_out: None,
         epochs: None,
+        admin: false,
+        scrape_out: None,
+        stitched_trace: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -115,8 +139,15 @@ fn parse() -> Opts {
             }
             "--bench-out" => opts.bench_out = val("--bench-out"),
             "--trace-out" => opts.trace_out = Some(val("--trace-out")),
+            "--admin" => opts.admin = true,
+            "--scrape-out" => opts.scrape_out = Some(val("--scrape-out")),
+            "--stitched-trace" => opts.stitched_trace = Some(val("--stitched-trace")),
             other => usage(&format!("unknown flag {other}")),
         }
+    }
+    // Scrape and stitch outputs need the endpoints they read from.
+    if opts.scrape_out.is_some() || opts.stitched_trace.is_some() {
+        opts.admin = true;
     }
     if opts.nodes < 4 && opts.churn {
         usage("churn needs at least 4 nodes (3 survivors keep quorum)");
@@ -173,6 +204,11 @@ impl Instance {
         if let Some(epochs) = &opts.epochs {
             cmd.arg("--epochs").arg(epochs);
         }
+        if opts.admin {
+            // Port 0: the OS picks, the replica resolves and announces
+            // the bound address on its ADMIN stdout line.
+            cmd.arg("--admin-port").arg("0");
+        }
         if me == 0 {
             if let Some(trace) = &opts.trace_out {
                 cmd.arg("--trace-out").arg(trace);
@@ -195,6 +231,26 @@ impl Instance {
             child,
             lines,
             reader: Some(reader),
+        }
+    }
+
+    /// Polls the captured stdout for the replica's `ADMIN <addr>` line.
+    /// `None` after the timeout — which, when `--admin` was passed,
+    /// means the replica binary was built without the `telemetry`
+    /// feature (the no-op plane binds nothing and stays silent).
+    fn wait_admin(&self, timeout: Duration) -> Option<String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let found = self
+                .lines
+                .lock()
+                .expect("stdout sink")
+                .iter()
+                .find_map(|l| l.strip_prefix("ADMIN ").map(str::to_string));
+            if found.is_some() || Instant::now() >= deadline {
+                return found;
+            }
+            std::thread::sleep(Duration::from_millis(50));
         }
     }
 
@@ -306,20 +362,108 @@ fn main() {
     // (me, lines) per finished process incarnation, in finish order.
     let mut finished: Vec<(usize, Vec<String>)> = Vec::new();
 
-    // Replace: spawn the spare as a brand-new process a third in (the
-    // boundary has long passed, so it must join via a certified
-    // cross-epoch catch-up package), retire the replaced member at two
-    // thirds. The retiree spends its post-boundary life as an observer
-    // — killing it must not dent liveness.
+    // Orchestration runs on absolute offsets from `started` so the
+    // churn/replace phases and the admin scrapes interleave
+    // deterministically: fault injection at 1/3, mid-run scrape at
+    // 1/2, recovery injection at 2/3, trace collection 2s before the
+    // deadline.
+    let sleep_until = |offset: Duration| {
+        let target = started + offset;
+        let now = Instant::now();
+        if now < target {
+            std::thread::sleep(target - now);
+        }
+    };
+    let third = Duration::from_secs(opts.secs / 3);
+
+    // Replace phase 1: spawn the spare as a brand-new process a third
+    // in (the boundary has long passed, so it must join via a
+    // certified cross-epoch catch-up package).
     if opts.replace {
-        std::thread::sleep(Duration::from_secs(opts.secs / 3));
+        sleep_until(third);
         let remaining = opts.secs.saturating_sub(started.elapsed().as_secs()).max(2);
         running.push(Instance::spawn(
             &bin, &config, &data_root, joiner, remaining, &opts,
         ));
         println!("spawned joiner {joiner} at t={:?}", started.elapsed());
+    }
 
-        std::thread::sleep(Duration::from_secs(opts.secs / 3));
+    // Churn phase 1: SIGKILL the last replica a third of the way
+    // through. The ~secs/3 outage at ICC1's localhost round rate puts
+    // it far more than `catch_up_threshold` (10) rounds behind, so
+    // rejoining MUST go through a certified catch-up package —
+    // per-round artifact replay would be too slow.
+    let victim = n - 1;
+    if opts.churn {
+        sleep_until(third);
+        let pos = running
+            .iter()
+            .position(|i| i.me == victim)
+            .expect("victim running");
+        let inst = running.remove(pos);
+        finished.push(inst.finish(true));
+        println!("killed replica {victim} at t={:?}", started.elapsed());
+    }
+
+    // Mid-run scrape: every *running* replica must serve a live
+    // Prometheus render and report healthy while consensus is actually
+    // making progress around it — observability at exit only would be
+    // a much weaker claim.
+    let mut scrape_body: Option<String> = None;
+    if opts.admin {
+        sleep_until(Duration::from_secs(opts.secs / 2));
+        for inst in &running {
+            let addr = inst.wait_admin(Duration::from_secs(5)).unwrap_or_else(|| {
+                usage(&format!(
+                    "replica {} never announced an admin endpoint — was the \
+                     replica binary built with the `telemetry` feature?",
+                    inst.me
+                ))
+            });
+            let (code, body) = http_get(&addr, "/metrics", Duration::from_secs(5))
+                .unwrap_or_else(|e| usage(&format!("scrape {addr}/metrics: {e}")));
+            assert_eq!(code, 200, "replica {} /metrics returned {code}", inst.me);
+            assert!(
+                body.contains("icc_replica_committed_round"),
+                "replica {} /metrics is missing the consensus gauges",
+                inst.me
+            );
+            let (hcode, hbody) = http_get(&addr, "/health", Duration::from_secs(5))
+                .unwrap_or_else(|e| usage(&format!("scrape {addr}/health: {e}")));
+            assert_eq!(
+                hcode, 200,
+                "replica {} reported unhealthy mid-run: {hbody}",
+                inst.me
+            );
+            let (scode, sbody) = http_get(&addr, "/status", Duration::from_secs(5))
+                .unwrap_or_else(|e| usage(&format!("scrape {addr}/status: {e}")));
+            assert_eq!(scode, 200, "replica {} /status returned {scode}", inst.me);
+            assert!(
+                sbody.contains("\"peers\":["),
+                "replica {} /status is missing the link table",
+                inst.me
+            );
+            if inst.me == 0 {
+                scrape_body = Some(body);
+            }
+        }
+        println!(
+            "mid-run scrape OK: {} replicas served /metrics, /health, /status at t={:?}",
+            running.len(),
+            started.elapsed()
+        );
+    }
+    if let Some(path) = &opts.scrape_out {
+        std::fs::write(path, scrape_body.as_deref().unwrap_or(""))
+            .unwrap_or_else(|e| usage(&format!("--scrape-out {path}: {e}")));
+        println!("wrote {path}");
+    }
+
+    // Replace phase 2: retire the replaced member at two thirds. The
+    // retiree spends its post-boundary life as an observer — killing
+    // it must not dent liveness.
+    if opts.replace {
+        sleep_until(2 * third);
         let pos = running
             .iter()
             .position(|i| i.me == retiree)
@@ -329,29 +473,45 @@ fn main() {
         println!("retired replica {retiree} at t={:?}", started.elapsed());
     }
 
-    // Churn: SIGKILL the last replica a third of the way through,
-    // restart it at two thirds. The ~secs/3 outage at ICC1's localhost
-    // round rate puts it far more than `catch_up_threshold` (10) rounds
-    // behind, so rejoining MUST go through a certified catch-up
-    // package — per-round artifact replay would be too slow.
-    let victim = n - 1;
+    // Churn phase 2: restart the victim at two thirds. Stop when the
+    // others do: its budget is the remaining time.
     if opts.churn {
-        std::thread::sleep(Duration::from_secs(opts.secs / 3));
-        let pos = running
-            .iter()
-            .position(|i| i.me == victim)
-            .expect("victim running");
-        let inst = running.remove(pos);
-        finished.push(inst.finish(true));
-        println!("killed replica {victim} at t={:?}", started.elapsed());
-
-        std::thread::sleep(Duration::from_secs(opts.secs / 3));
-        // Stop when the others do: its budget is the remaining time.
+        sleep_until(2 * third);
         let remaining = opts.secs.saturating_sub(started.elapsed().as_secs()).max(2);
         running.push(Instance::spawn(
             &bin, &config, &data_root, victim, remaining, &opts,
         ));
         println!("restarted replica {victim} at t={:?}", started.elapsed());
+    }
+
+    // Trace collection: scrape every replica's flight-recorder ring
+    // shortly before the deadline (the admin server dies with its
+    // process, so this is the last safe moment), then align clocks via
+    // the per-body `clockAnchorUs` and merge into one timeline.
+    if let Some(path) = &opts.stitched_trace {
+        sleep_until(Duration::from_secs(opts.secs.saturating_sub(2)));
+        let mut bodies = Vec::new();
+        for inst in &running {
+            let Some(addr) = inst.wait_admin(Duration::from_secs(2)) else {
+                continue;
+            };
+            // A replica racing its own shutdown may refuse — stitch
+            // whatever answered.
+            if let Ok((200, body)) = http_get(&addr, "/trace", Duration::from_secs(5)) {
+                bodies.push(body);
+            }
+        }
+        assert!(
+            !bodies.is_empty(),
+            "no replica served /trace before shutdown"
+        );
+        let stitched = stitch_chrome_traces(&bodies);
+        std::fs::write(path, &stitched)
+            .unwrap_or_else(|e| usage(&format!("--stitched-trace {path}: {e}")));
+        println!(
+            "wrote {path} ({} per-replica traces stitched)",
+            bodies.len()
+        );
     }
 
     for inst in running {

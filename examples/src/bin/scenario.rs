@@ -313,6 +313,21 @@ where
         println!("{cp}");
     }
     let events = cluster.flight_events();
+    // Anomaly roll-up: re-run the same rolling detector the live admin
+    // plane uses, offline over the merged span stream, and put what it
+    // flags in the report (and the metrics export below).
+    let anomalies = icc_telemetry::anomaly::scan(&events, &icc_telemetry::AnomalyConfig::default());
+    let anomaly_counts = icc_telemetry::anomaly::count(&anomalies);
+    if !anomalies.is_empty() {
+        println!(
+            "anomalies               {} round stalls, {} peer flaps, {} fsync spikes, \
+             {} catch-up storms",
+            anomaly_counts.round_stalls,
+            anomaly_counts.peer_flaps,
+            anomaly_counts.fsync_spikes,
+            anomaly_counts.catch_up_storms
+        );
+    }
     if let Some(path) = &opts.trace_out {
         let trace = icc_telemetry::chrome_trace(&events);
         // Acceptance invariant: one "ph":"i" instant per recorded
@@ -405,6 +420,19 @@ where
             "Crash-recovery counters (aggregate).",
             "field",
             &rec.fields(),
+        );
+        snap.counter_series(
+            "icc_gossip_counters",
+            "Dissemination counters: relay fan-out, dedup, hop depth, \
+             aggregator routing (aggregate).",
+            "field",
+            &summary.gossip.fields(),
+        );
+        snap.counter_series(
+            "icc_anomaly_counters",
+            "Anomalies flagged by the detector over the merged span stream.",
+            "class",
+            &anomaly_counts.fields(),
         );
         let text = snap.render();
         std::fs::write(path, text).unwrap_or_else(|e| usage(&format!("--metrics-out {path}: {e}")));
